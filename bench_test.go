@@ -1,0 +1,198 @@
+// Top-level benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation. Each benchmark regenerates its
+// experiment through internal/bench and reports the experiment's headline
+// statistic as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full system end to end and prints the reproduced
+// numbers. Run cmd/caratbench for the full row-by-row tables.
+package carat_test
+
+import (
+	"io"
+	"testing"
+
+	"carat/internal/bench"
+	"carat/internal/guard"
+	"carat/internal/workload"
+)
+
+// benchOpts uses a representative subset at test scale so the full suite
+// stays fast; pass -benchtime=1x and use cmd/caratbench -scale small for
+// paper-scale numbers.
+func benchOpts(names ...string) bench.Options {
+	o := bench.DefaultOptions(workload.ScaleTest)
+	o.Only = names
+	return o
+}
+
+var corpus = []string{"EP", "LU", "canneal", "mcf_s", "swaptions", "nab_s"}
+
+func BenchmarkFig2DTLBMisses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, row := range r.Rows {
+			if row.DTLBMPKI > worst {
+				worst = row.DTLBMPKI
+			}
+		}
+		b.ReportMetric(worst, "worst-MPKI")
+	}
+}
+
+func BenchmarkTable1GuardOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean.OptGuards, "mean-frac-remaining")
+		b.ReportMetric(r.Mean.Opt3, "mean-frac-opt3")
+	}
+}
+
+func BenchmarkFig3GuardOverheadGeneral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(benchOpts(corpus...), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMPX, "geomean-mpx")
+		b.ReportMetric(r.GeoRange, "geomean-range")
+	}
+}
+
+func BenchmarkFig3GuardOverheadCARAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig3(benchOpts(corpus...), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMPX, "geomean-mpx")
+		b.ReportMetric(r.GeoRange, "geomean-range")
+	}
+}
+
+func BenchmarkFig4MultiRegionGuards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig4(bench.DefaultOptions(workload.ScaleTest))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: random if-tree cost at the largest region count.
+		for _, p := range r.Points {
+			if p.Mechanism == "iftree" && p.Pattern == "random" && p.Regions == 16384 {
+				b.ReportMetric(p.AvgCycles, "iftree-random-16k-cyc")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2PagingRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table2(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoAllocRate, "geo-alloc-per-s")
+		b.ReportMetric(r.GeoMoveRate, "geo-move-per-s")
+	}
+}
+
+func BenchmarkFig5EscapeHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FracLE10*100, "pct-allocs-le10-escapes")
+		b.ReportMetric(float64(r.TotalOver50), "allocs-over-50-escapes")
+	}
+}
+
+func BenchmarkFig6TrackingMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig6(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean, "geomean-mem-ratio")
+	}
+}
+
+func BenchmarkFig7TrackingTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig7(benchOpts(corpus...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean, "geomean-time-ratio")
+	}
+}
+
+func BenchmarkFig9PageMoves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig9(benchOpts("canneal", "nab_s"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomeans[0], "geomean-1-per-s")
+		b.ReportMetric(r.Geomeans[len(r.Geomeans)-1], "geomean-20k-per-s")
+	}
+}
+
+func BenchmarkTable3MoveBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table3(benchOpts("canneal", "mcf_s", "nab_s"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMean.TotalCost, "geomean-total-cyc")
+		b.ReportMetric(r.GeoMean.FracNoExpand, "geomean-frac-no-expand")
+	}
+}
+
+// Ablation-style microbenchmarks: raw guard mechanism throughput, which
+// grounds the Figure 3/4 cost model.
+func BenchmarkGuardMechanisms(b *testing.B) {
+	set := guard.NewRegionSet()
+	for i := 0; i < 64; i++ {
+		if err := set.Add(guard.Region{Base: 0x10000 + uint64(i)*0x2000, Len: 0x1000, Perm: guard.PermRW}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mech := range []guard.Mechanism{guard.MechRange, guard.MechMPX, guard.MechIfTree, guard.MechBinarySearch} {
+		b.Run(mech.String(), func(b *testing.B) {
+			ev := guard.NewEvaluator(mech, set)
+			addr := uint64(0x10000)
+			for i := 0; i < b.N; i++ {
+				ev.Check(addr, 8, guard.PermRead)
+				addr += 64
+				if addr >= 0x10000+0x1000 {
+					addr = 0x10000
+				}
+			}
+			b.ReportMetric(ev.AvgCycles(), "modeled-cyc/check")
+		})
+	}
+}
+
+// BenchmarkFullExperimentSuite runs every experiment once at test scale —
+// the "does everything still regenerate" smoke benchmark.
+func BenchmarkFullExperimentSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		o := bench.DefaultOptions(workload.ScaleTest)
+		o.Only = corpus
+		if err := bench.RunByID("all", o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command caratbench regenerates the paper's tables and figures from the
+// simulated system (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	caratbench -exp all                 # every experiment, test scale
+//	caratbench -exp fig2 -scale small   # one figure at paper scale
+//	caratbench -exp table3 -only canneal,mcf_s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"carat/internal/bench"
+	"carat/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig2 table1 fig3a fig3b fig4 table2 fig5 fig6 fig7 fig9 table3 all")
+	scale := flag.String("scale", "test", "problem scale: test, small, ref")
+	only := flag.String("only", "", "comma-separated benchmark subset (default: all 22)")
+	list := flag.Bool("list", false, "list experiments and benchmarks, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("benchmarks:")
+		for _, w := range workload.All() {
+			fmt.Printf("  %-14s [%s] %s\n", w.Name, w.Suite, w.Desc)
+		}
+		return
+	}
+
+	var sc workload.Scale
+	switch *scale {
+	case "test":
+		sc = workload.ScaleTest
+	case "small":
+		sc = workload.ScaleSmall
+	case "ref":
+		sc = workload.ScaleRef
+	default:
+		fmt.Fprintf(os.Stderr, "caratbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	o := bench.DefaultOptions(sc)
+	if *only != "" {
+		o.Only = strings.Split(*only, ",")
+	}
+	if err := bench.RunByID(*exp, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "caratbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Protection demonstrates CARAT's guard-based protection (§2.3): guards
+// admit legal accesses with low overhead, a kernel protection change is
+// observed by the very next guard, and a forged out-of-region pointer is
+// stopped before it touches physical memory.
+//
+//	go run ./examples/protection
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"carat/internal/core"
+	"carat/internal/guard"
+	"carat/internal/ir"
+	"carat/internal/kernel"
+	"carat/internal/passes"
+	"carat/internal/vm"
+)
+
+const legal = `module "legal"
+global @data : [512 x i64]
+func @main() -> i64 {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0, ^entry], [%i1, ^loop]
+  %p = gep i64, @data, %i
+  store i64 %i, %p
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, 512
+  condbr %c, ^loop, ^done
+done:
+  %q = gep i64, @data, 511
+  %v = load i64, %q
+  ret i64 %v
+}`
+
+const forged = `module "forged"
+func @main() -> i64 {
+entry:
+  %p = inttoptr i64 81985529216486895 to ptr
+  %v = load i64, %p
+  ret i64 %v
+}`
+
+func run(src string, lvl passes.Level, pre func(*vm.VM) error) (*vm.VM, int64, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiler, err := core.NewCompiler(lvl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := compiler.Compile(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := vm.DefaultConfig()
+	cfg.MemBytes = 1 << 24
+	cfg.HeapBytes = 1 << 20
+	v, err := core.NewSystem(compiler, cfg).Load(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pre != nil {
+		if err := pre(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ret, err := v.Run()
+	return v, ret, err
+}
+
+func main() {
+	// 1. A legal program runs under full guarding.
+	v, ret, err := run(legal, passes.LevelGuardsOpt, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legal program: exit %d after %d guard checks, 0 faults\n", ret, v.GuardChecks)
+
+	// 2. A forged physical pointer is rejected by the first guard.
+	_, _, err = run(forged, passes.LevelGuardsOpt, nil)
+	var fault *vm.Fault
+	if errors.As(err, &fault) {
+		fmt.Printf("forged pointer: guard trapped access to %#x (%s)\n", fault.Addr, fault.Msg)
+	} else {
+		log.Fatalf("forged pointer was not trapped: %v", err)
+	}
+
+	// 3. A kernel protection change: the globals region becomes read-only
+	//    mid-flight, so the program's first store faults with a write
+	//    permission violation — the CARAT analogue of mprotect + SIGSEGV.
+	_, _, err = run(legal, passes.LevelGuardsOpt, func(v *vm.VM) error {
+		g := v.GlobalAddr(findGlobal(v))
+		page := g &^ (kernel.PageSize - 1)
+		return v.Process().RequestProtect(page, kernel.PageSize, guard.PermRead)
+	})
+	if errors.As(err, &fault) && fault.Perm == guard.PermWrite {
+		fmt.Printf("protection change: next store faulted as expected (%s at %#x)\n",
+			fault.Msg, fault.Addr)
+	} else {
+		log.Fatalf("protection change not enforced: %v", err)
+	}
+	fmt.Println("all three protection scenarios behaved as the paper describes")
+}
+
+// findGlobal digs the @data global out of the loaded module.
+func findGlobal(v *vm.VM) *ir.Global {
+	// The VM exposes global addresses; examples keep a handle by parsing
+	// the module again would be wasteful, so walk the one we loaded.
+	for _, g := range loadedGlobals(v) {
+		if g.Name == "data" {
+			return g
+		}
+	}
+	log.Fatal("global @data not found")
+	return nil
+}
+
+func loadedGlobals(v *vm.VM) []*ir.Global { return v.Module().Globals }

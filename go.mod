@@ -1,0 +1,3 @@
+module carat
+
+go 1.22

@@ -1,0 +1,120 @@
+package analysis
+
+import "carat/internal/ir"
+
+// Bits is a fixed-width bitset used by the dataflow framework.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits, all clear.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether bit i is set.
+func (b Bits) Has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Copy returns an independent copy of b.
+func (b Bits) Copy() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// AndWith intersects b with o in place and reports whether b changed.
+func (b Bits) AndWith(o Bits) bool {
+	changed := false
+	for i := range b {
+		n := b[i] & o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// OrWith unions o into b in place and reports whether b changed.
+func (b Bits) OrWith(o Bits) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports whether b and o have identical contents.
+func (b Bits) Equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillAll sets every bit in the universe of size n.
+func (b Bits) FillAll(n int) {
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+}
+
+// ForwardMust runs a forward "must" (intersection-confluence) dataflow to a
+// fixed point, as used by available-expressions style analyses (the AC/DC
+// analysis of paper §4.1.1). universe is the number of facts; transfer maps
+// a block's IN set to its OUT set (it must not retain or mutate in). The
+// returned map gives each reachable block's IN set. The entry block starts
+// from the empty set; all other blocks start from the full set (top).
+func ForwardMust(c *CFG, universe int, transfer func(b *ir.Block, in Bits) Bits) map[*ir.Block]Bits {
+	ins := make(map[*ir.Block]Bits, len(c.RPO))
+	outs := make(map[*ir.Block]Bits, len(c.RPO))
+	for i, b := range c.RPO {
+		in := NewBits(universe)
+		if i > 0 {
+			in.FillAll(universe)
+		}
+		ins[b] = in
+		out := NewBits(universe)
+		out.FillAll(universe)
+		outs[b] = out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, b := range c.RPO {
+			in := ins[b]
+			if i > 0 {
+				first := true
+				for _, p := range c.Preds[b] {
+					if !c.Reachable(p) {
+						continue
+					}
+					if first {
+						copy(in, outs[p])
+						first = false
+					} else {
+						in.AndWith(outs[p])
+					}
+				}
+				if first { // no reachable preds (shouldn't happen past entry)
+					for j := range in {
+						in[j] = 0
+					}
+				}
+			}
+			out := transfer(b, in.Copy())
+			if !out.Equal(outs[b]) {
+				outs[b] = out
+				changed = true
+			}
+		}
+	}
+	return ins
+}

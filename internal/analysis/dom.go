@@ -1,0 +1,97 @@
+package analysis
+
+import "carat/internal/ir"
+
+// DomTree is a dominator tree computed with the Cooper-Harvey-Kennedy
+// iterative algorithm.
+type DomTree struct {
+	cfg  *CFG
+	idom map[*ir.Block]*ir.Block
+}
+
+// NewDomTree computes the dominator tree of f's CFG.
+func NewDomTree(c *CFG) *DomTree {
+	d := &DomTree{cfg: c, idom: make(map[*ir.Block]*ir.Block)}
+	if len(c.RPO) == 0 {
+		return d
+	}
+	entry := c.RPO[0]
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIdom *ir.Block
+			for _, p := range c.Preds[b] {
+				if d.idom[p] == nil {
+					continue // not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.cfg.RPONum[a] > d.cfg.RPONum[b] {
+			a = d.idom[a]
+		}
+		for d.cfg.RPONum[b] > d.cfg.RPONum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block and
+// unreachable blocks).
+func (d *DomTree) IDom(b *ir.Block) *ir.Block {
+	id := d.idom[b]
+	if id == b {
+		return nil
+	}
+	return id
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	if !d.cfg.Reachable(a) || !d.cfg.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// InstrDominates reports whether instruction a dominates instruction b:
+// a and b in the same block with a earlier, or a's block dominating b's.
+func (d *DomTree) InstrDominates(a, b *ir.Instr) bool {
+	if a.Block == b.Block {
+		for _, in := range a.Block.Instrs {
+			if in == a {
+				return true
+			}
+			if in == b {
+				return false
+			}
+		}
+		return false
+	}
+	return d.Dominates(a.Block, b.Block)
+}

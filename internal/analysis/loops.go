@@ -1,0 +1,181 @@
+package analysis
+
+import "carat/internal/ir"
+
+// Loop is a natural loop: a header plus the set of blocks that can reach a
+// back edge to the header without leaving the loop.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	Parent *Loop   // enclosing loop, or nil for top-level loops
+	Subs   []*Loop // directly nested loops
+	Depth  int     // nesting depth, 1 for top-level
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// ContainsInstr reports whether in belongs to the loop.
+func (l *Loop) ContainsInstr(in *ir.Instr) bool { return l.Blocks[in.Block] }
+
+// Preheader returns the unique out-of-loop predecessor of the header, or
+// nil when the header has multiple out-of-loop predecessors. The CARAT
+// guard-hoisting pass creates one when needed.
+func (l *Loop) Preheader(c *CFG) *ir.Block {
+	var ph *ir.Block
+	for _, p := range c.Preds[l.Header] {
+		if l.Contains(p) {
+			continue
+		}
+		if ph != nil {
+			return nil
+		}
+		ph = p
+	}
+	// A preheader must branch only to the header.
+	if ph != nil && len(ph.Succs()) != 1 {
+		return nil
+	}
+	return ph
+}
+
+// Latches returns the in-loop predecessors of the header (back-edge sources).
+func (l *Loop) Latches(c *CFG) []*ir.Block {
+	var ls []*ir.Block
+	for _, p := range c.Preds[l.Header] {
+		if l.Contains(p) {
+			ls = append(ls, p)
+		}
+	}
+	return ls
+}
+
+// Exits returns the blocks outside the loop that are branched to from
+// inside the loop.
+func (l *Loop) Exits() []*ir.Block {
+	seen := make(map[*ir.Block]bool)
+	var out []*ir.Block
+	for b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// LoopForest is the set of natural loops of a function, nested.
+type LoopForest struct {
+	// Top holds the outermost loops in header RPO order.
+	Top []*Loop
+	// ByHeader maps a header block to its loop.
+	ByHeader map[*ir.Block]*Loop
+	// Innermost maps each block to the innermost loop containing it.
+	Innermost map[*ir.Block]*Loop
+}
+
+// FindLoops discovers the natural loops of f using dominance: an edge
+// t→h is a back edge iff h dominates t; the loop body is found by a
+// reverse flood from t stopping at h.
+func FindLoops(c *CFG, dom *DomTree) *LoopForest {
+	lf := &LoopForest{
+		ByHeader:  make(map[*ir.Block]*Loop),
+		Innermost: make(map[*ir.Block]*Loop),
+	}
+	// Collect loops in RPO so outer loops come before inner ones.
+	for _, b := range c.RPO {
+		for _, s := range b.Succs() {
+			if dom.Dominates(s, b) { // back edge b→s
+				l := lf.ByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+					lf.ByHeader[s] = l
+				}
+				// Reverse flood from the latch.
+				var stack []*ir.Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range c.Preds[x] {
+						if !l.Blocks[p] && c.Reachable(p) {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Nest loops: loop A is inside loop B if B contains A's header and A≠B.
+	var all []*Loop
+	for _, b := range c.RPO {
+		if l, ok := lf.ByHeader[b]; ok {
+			all = append(all, l)
+		}
+	}
+	for _, inner := range all {
+		var best *Loop
+		for _, outer := range all {
+			if outer == inner || !outer.Contains(inner.Header) {
+				continue
+			}
+			if best == nil || best.Contains(outer.Header) {
+				best = outer
+			}
+		}
+		inner.Parent = best
+		if best != nil {
+			best.Subs = append(best.Subs, inner)
+		} else {
+			lf.Top = append(lf.Top, inner)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, s := range l.Subs {
+			setDepth(s, d+1)
+		}
+	}
+	for _, l := range lf.Top {
+		setDepth(l, 1)
+	}
+	// Innermost map: deeper loops overwrite shallower ones.
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		for b := range l.Blocks {
+			if cur := lf.Innermost[b]; cur == nil || cur.Depth < l.Depth {
+				lf.Innermost[b] = l
+			}
+		}
+		for _, s := range l.Subs {
+			walk(s)
+		}
+	}
+	for _, l := range lf.Top {
+		walk(l)
+	}
+	return lf
+}
+
+// All returns every loop in the forest, outermost first.
+func (lf *LoopForest) All() []*Loop {
+	var out []*Loop
+	var walk func(*Loop)
+	walk = func(l *Loop) {
+		out = append(out, l)
+		for _, s := range l.Subs {
+			walk(s)
+		}
+	}
+	for _, l := range lf.Top {
+		walk(l)
+	}
+	return out
+}

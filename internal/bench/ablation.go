@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+	"carat/internal/vm"
+)
+
+// Ablations of the design choices DESIGN.md calls out, realizing the
+// paper's §6 future-work directions so they can be measured against the
+// baseline design:
+//
+//   - allocation-granularity moves vs page-granularity moves (the paper
+//     predicts a ~95% cost reduction from eliminating the page-semantics
+//     impedance mismatch);
+//   - the single-region "dark capsule" layout vs the multi-region layout
+//     (the optimal case for guards, §3).
+
+// AblAllocRow compares per-move prototype costs for one benchmark.
+type AblAllocRow struct {
+	Name       string
+	PageCyc    float64 // avg total cycles per page-granularity move
+	AllocCyc   float64 // avg total cycles per allocation-granularity move
+	Reduction  float64 // 1 - AllocCyc/PageCyc
+	PageMoves  int
+	AllocMoves int
+	PageProto  float64 // prototype (non-data-movement) cycles
+	AllocProto float64
+}
+
+// AblAllocResult is the allocation-granularity ablation.
+type AblAllocResult struct {
+	Rows         []AblAllocRow
+	GeoReduction float64
+}
+
+// AblationAllocGranularity measures both move engines on heap-allocating
+// benchmarks.
+func AblationAllocGranularity(o Options) (*AblAllocResult, error) {
+	res := &AblAllocResult{}
+	var reds []float64
+	for _, w := range o.workloads() {
+		var pageVM, allocVM *vm.VM
+		_, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
+			func(v *vm.VM) {
+				pageVM = v
+				v.SetMovePolicy(moveEveryInstrs(o), func() error { return v.InjectWorstCaseMove() })
+			})
+		if err != nil {
+			return nil, err
+		}
+		_, _, err = o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
+			func(v *vm.VM) {
+				allocVM = v
+				v.SetMovePolicy(moveEveryInstrs(o), func() error {
+					// Benchmarks without heap allocations cannot play.
+					if e := v.InjectWorstCaseAllocationMove(); e != nil {
+						return nil
+					}
+					return nil
+				})
+			})
+		if err != nil {
+			return nil, err
+		}
+		ps, as := pageVM.Runtime().MoveStats, allocVM.Runtime().MoveStats
+		if len(ps) == 0 || len(as) == 0 {
+			continue // nothing movable at both granularities
+		}
+		row := AblAllocRow{Name: w.Name, PageMoves: len(ps), AllocMoves: len(as)}
+		for _, bd := range ps {
+			row.PageCyc += float64(bd.TotalCycles())
+			row.PageProto += float64(bd.PrototypeCycles())
+		}
+		for _, bd := range as {
+			row.AllocCyc += float64(bd.TotalCycles())
+			row.AllocProto += float64(bd.PrototypeCycles())
+		}
+		row.PageCyc /= float64(len(ps))
+		row.PageProto /= float64(len(ps))
+		row.AllocCyc /= float64(len(as))
+		row.AllocProto /= float64(len(as))
+		if row.PageCyc > 0 {
+			row.Reduction = 1 - row.AllocCyc/row.PageCyc
+		}
+		res.Rows = append(res.Rows, row)
+		if row.AllocCyc > 0 && row.PageCyc > 0 {
+			reds = append(reds, row.AllocCyc/row.PageCyc)
+		}
+	}
+	if g := geomean(reds); g > 0 {
+		res.GeoReduction = 1 - g
+	}
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r *AblAllocResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: allocation-granularity vs page-granularity moves (§6)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tpage cyc/move\talloc cyc/move\treduction\tpage proto\talloc proto")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.1f%%\t%.0f\t%.0f\n",
+				row.Name, row.PageCyc, row.AllocCyc, row.Reduction*100, row.PageProto, row.AllocProto)
+		}
+		fmt.Fprintf(tw, "geomean reduction\t\t\t%.1f%%\n", r.GeoReduction*100)
+	})
+}
+
+// AblCapsuleRow compares guarded execution under the two layouts.
+type AblCapsuleRow struct {
+	Name       string
+	MultiCyc   uint64
+	CapsuleCyc uint64
+	Speedup    float64 // MultiCyc / CapsuleCyc
+}
+
+// AblCapsuleResult is the dark-capsule ablation.
+type AblCapsuleResult struct {
+	Rows       []AblCapsuleRow
+	GeoSpeedup float64
+}
+
+// AblationCapsule runs guarded builds under the multi-region and capsule
+// layouts.
+func AblationCapsule(o Options) (*AblCapsuleResult, error) {
+	res := &AblCapsuleResult{}
+	var sps []float64
+	for _, w := range o.workloads() {
+		multi, _, err := o.buildAndRun(w, passes.LevelGuardsOpt, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		m := w.Build(o.Scale)
+		pl := passes.Build(passes.LevelGuardsOpt)
+		if err := pl.Run(m); err != nil {
+			return nil, err
+		}
+		cfg := o.vmConfig(vm.ModeCARAT, guard.MechRange)
+		cfg.Capsule = true
+		// The capsule heap also hosts stacks.
+		cfg.HeapBytes += cfg.StackBytes * 2
+		capV, err := vm.Load(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+		}
+		if _, err := capV.Run(); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+		}
+		row := AblCapsuleRow{
+			Name:       w.Name,
+			MultiCyc:   multi.Cycles,
+			CapsuleCyc: capV.Cycles,
+			Speedup:    float64(multi.Cycles) / float64(capV.Cycles),
+		}
+		res.Rows = append(res.Rows, row)
+		sps = append(sps, row.Speedup)
+	}
+	res.GeoSpeedup = geomean(sps)
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r *AblCapsuleResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: single-region capsule vs multi-region layout (guarded builds)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tmulti-region cyc\tcapsule cyc\tspeedup")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\n", row.Name, row.MultiCyc, row.CapsuleCyc, row.Speedup)
+		}
+		fmt.Fprintf(tw, "geomean\t\t\t%.3f\n", r.GeoSpeedup)
+	})
+}

@@ -1,0 +1,142 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each experiment returns a
+// typed result with one row per benchmark plus summary statistics, and can
+// render itself as the text table the paper prints. cmd/caratbench and the
+// top-level benchmark suite both drive this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+	"carat/internal/ir"
+	"carat/internal/kernel"
+	"carat/internal/passes"
+	"carat/internal/vm"
+	"carat/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects problem sizes (workload.ScaleTest for smoke runs,
+	// ScaleSmall for paper-shaped results).
+	Scale workload.Scale
+	// Only, when non-empty, restricts the benchmark set by name.
+	Only []string
+	// MemBytes / HeapBytes configure the simulated machine.
+	MemBytes  uint64
+	HeapBytes uint64
+}
+
+// DefaultOptions returns the standard configuration for scale s.
+func DefaultOptions(s workload.Scale) Options {
+	return Options{Scale: s, MemBytes: 1 << 28, HeapBytes: 1 << 26}
+}
+
+func (o Options) workloads() []*workload.Workload {
+	all := workload.All()
+	if len(o.Only) == 0 {
+		return all
+	}
+	var out []*workload.Workload
+	for _, w := range all {
+		for _, n := range o.Only {
+			if w.Name == n {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+func (o Options) vmConfig(mode vm.Mode, mech guard.Mechanism) vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.Mode = mode
+	cfg.GuardMech = mech
+	cfg.MemBytes = o.MemBytes
+	cfg.HeapBytes = o.HeapBytes
+	return cfg
+}
+
+// buildAndRun compiles w at the given level and executes it.
+func (o Options) buildAndRun(w *workload.Workload, lvl passes.Level, mode vm.Mode,
+	mech guard.Mechanism, tweak func(*vm.VM)) (*vm.VM, *passes.Stats, error) {
+	m := w.Build(o.Scale)
+	pl := passes.Build(lvl)
+	if err := pl.Run(m); err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+	}
+	v, err := vm.Load(m, o.vmConfig(mode, mech))
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+	}
+	if tweak != nil {
+		tweak(v)
+	}
+	if _, err := v.Run(); err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+	}
+	return v, &pl.Stats, nil
+}
+
+// compileOnly runs the pipeline without executing (Table 1).
+func (o Options) compileOnly(w *workload.Workload, lvl passes.Level) (*ir.Module, *passes.Stats, error) {
+	m := w.Build(o.Scale)
+	pl := passes.Build(lvl)
+	if err := pl.Run(m); err != nil {
+		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+	}
+	return m, &pl.Stats, nil
+}
+
+// CPUFreqHz is the modeled clock (the paper's E5-2695v3 runs at 2.3 GHz);
+// rate-based experiments (Table 2, Figure 9) convert cycles to seconds
+// with it.
+const CPUFreqHz = 2.3e9
+
+// geomean returns the geometric mean of xs (ignoring non-positives).
+func geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// harmean returns the harmonic mean of positive xs.
+func harmean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += 1 / x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// table writes rows through a tabwriter.
+func table(w io.Writer, write func(tw *tabwriter.Writer)) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	write(tw)
+	tw.Flush()
+}
+
+// pagesOf converts bytes to 4 KB pages, rounding up.
+func pagesOf(bytes uint64) uint64 {
+	return (bytes + kernel.PageSize - 1) / kernel.PageSize
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+	"carat/internal/vm"
+)
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Row is one benchmark's traditional-model translation behaviour.
+type Fig2Row struct {
+	Name          string
+	DTLBMPKI      float64 // level-1 DTLB misses per 1000 instructions
+	WalksPerKI    float64 // completed pagewalks per 1000 instructions
+	AvgWalkCycles float64
+	Instrs        uint64
+}
+
+// Fig2Result reproduces Figure 2 (and the surrounding §3 prose: walks/KI
+// and average walk latency).
+type Fig2Result struct{ Rows []Fig2Row }
+
+// Fig2 runs every benchmark uninstrumented under the traditional model and
+// reports DTLB miss rates.
+func Fig2(o Options) (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, w := range o.workloads() {
+		v, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeTraditional, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		h := v.Hierarchy()
+		res.Rows = append(res.Rows, Fig2Row{
+			Name:          w.Name,
+			DTLBMPKI:      h.DTLBMPKI(v.Instrs),
+			WalksPerKI:    h.WalksPerKI(v.Instrs),
+			AvgWalkCycles: h.AvgWalkCycles(),
+			Instrs:        v.Instrs,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the figure's data series.
+func (r *Fig2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: Level-1 DTLB misses per 1000 instructions (traditional model)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tDTLB MPKI\twalks/KI\tavg walk cyc\tinstrs")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.1f\t%d\n",
+				row.Name, row.DTLBMPKI, row.WalksPerKI, row.AvgWalkCycles, row.Instrs)
+		}
+	})
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row mirrors one row of Table 1.
+type Table1Row struct {
+	Name      string
+	OptGuards float64 // fraction of guards statically remaining
+	Untouched float64
+	Opt1      float64 // hoisting
+	Opt2      float64 // scalar evolution
+	Opt3      float64 // redundancy elimination
+}
+
+// Table1Result reproduces Table 1, "Effectiveness of Compiler
+// Optimizations".
+type Table1Result struct {
+	Rows []Table1Row
+	Mean Table1Row // arithmetic mean, as the paper reports
+}
+
+// Table1 compiles every benchmark at LevelGuardsOpt and reports the
+// per-optimization guard attribution.
+func Table1(o Options) (*Table1Result, error) {
+	res := &Table1Result{Mean: Table1Row{Name: "Arith. Mean"}}
+	for _, w := range o.workloads() {
+		_, st, err := o.compileOnly(w, passes.LevelGuardsOpt)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name:      w.Name,
+			OptGuards: st.FracRemaining(),
+			Untouched: st.FracUntouched(),
+			Opt1:      st.FracHoisted(),
+			Opt2:      st.FracMerged(),
+			Opt3:      st.FracRemoved(),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Mean.OptGuards += row.OptGuards
+		res.Mean.Untouched += row.Untouched
+		res.Mean.Opt1 += row.Opt1
+		res.Mean.Opt2 += row.Opt2
+		res.Mean.Opt3 += row.Opt3
+	}
+	n := float64(len(res.Rows))
+	if n > 0 {
+		res.Mean.OptGuards /= n
+		res.Mean.Untouched /= n
+		res.Mean.Opt1 /= n
+		res.Mean.Opt2 /= n
+		res.Mean.Opt3 /= n
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *Table1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Effectiveness of Compiler Optimizations")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tOpt. Guards\tUntouched\tOpt.1\tOpt.2\tOpt.3")
+		emit := func(row Table1Row) {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				row.Name, row.OptGuards, row.Untouched, row.Opt1, row.Opt2, row.Opt3)
+		}
+		for _, row := range r.Rows {
+			emit(row)
+		}
+		emit(r.Mean)
+	})
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Row is one benchmark's normalized guard overhead.
+type Fig3Row struct {
+	Name       string
+	Baseline   float64 // always 1.0
+	MPXGuard   float64 // cycles(guards, MPX) / cycles(baseline)
+	RangeGuard float64 // cycles(guards, compare+branch) / cycles(baseline)
+}
+
+// Fig3Result reproduces Figure 3: protection overhead with (a) general
+// optimizations only, or (b) CARAT-specific optimizations.
+type Fig3Result struct {
+	CARATOpts bool
+	Rows      []Fig3Row
+	GeoMPX    float64
+	GeoRange  float64
+}
+
+// Fig3 measures guard overhead at the chosen optimization level.
+func Fig3(o Options, caratOpts bool) (*Fig3Result, error) {
+	lvl := passes.LevelGuardsOnly
+	if caratOpts {
+		lvl = passes.LevelGuardsOpt
+	}
+	res := &Fig3Result{CARATOpts: caratOpts}
+	var mpxs, ranges []float64
+	for _, w := range o.workloads() {
+		base, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		mpx, _, err := o.buildAndRun(w, lvl, vm.ModeCARAT, guard.MechMPX, nil)
+		if err != nil {
+			return nil, err
+		}
+		rng, _, err := o.buildAndRun(w, lvl, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{
+			Name:       w.Name,
+			Baseline:   1,
+			MPXGuard:   float64(mpx.Cycles) / float64(base.Cycles),
+			RangeGuard: float64(rng.Cycles) / float64(base.Cycles),
+		}
+		res.Rows = append(res.Rows, row)
+		mpxs = append(mpxs, row.MPXGuard)
+		ranges = append(ranges, row.RangeGuard)
+	}
+	res.GeoMPX = geomean(mpxs)
+	res.GeoRange = geomean(ranges)
+	return res, nil
+}
+
+// Print renders the figure's data series.
+func (r *Fig3Result) Print(w io.Writer) {
+	which := "(a) general optimizations only"
+	if r.CARATOpts {
+		which = "(b) CARAT-specific optimizations"
+	}
+	fmt.Fprintf(w, "Figure 3%s: normalized guard overhead\n", which)
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tbaseline\tMPX guard\trange guard")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", row.Name, row.Baseline, row.MPXGuard, row.RangeGuard)
+		}
+		fmt.Fprintf(tw, "geomean\t1.000\t%.3f\t%.3f\n", r.GeoMPX, r.GeoRange)
+	})
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+)
+
+// Fig4Point is one (mechanism/pattern, region count) measurement.
+type Fig4Point struct {
+	Mechanism string
+	Pattern   string // "random" or "stride N"
+	Regions   int
+	AvgCycles float64
+}
+
+// Fig4Result reproduces Figure 4: multi-region software guard performance
+// as a function of region count, for random accesses (if-tree and binary
+// search) and strided accesses (if-tree at several strides).
+type Fig4Result struct{ Points []Fig4Point }
+
+// fig4RegionCounts mirrors the paper's x-axis (1 .. 16384, log scale).
+var fig4RegionCounts = []int{1, 4, 16, 64, 256, 1024, 4096, 16384}
+
+// fig4Strides mirrors Figure 4(b)'s stride series (bytes between probes).
+var fig4Strides = []int{8, 64, 512, 4096, 16384}
+
+// Fig4 runs the guard microbenchmark. It needs no workloads: it probes the
+// guard mechanisms directly, the way the paper's t620 microbenchmark does.
+func Fig4(o Options) (*Fig4Result, error) {
+	const probes = 30000
+	res := &Fig4Result{}
+	for _, n := range fig4RegionCounts {
+		set := guard.NewRegionSet()
+		base := uint64(0x100000)
+		regionSpan := uint64(0x2000)
+		for i := 0; i < n; i++ {
+			if err := set.Add(guard.Region{
+				Base: base + uint64(i)*regionSpan, Len: 0x1000, Perm: guard.PermRW,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		total := uint64(n) * regionSpan
+
+		// Random accesses: if-tree and binary search (Figure 4a).
+		for _, mech := range []guard.Mechanism{guard.MechIfTree, guard.MechBinarySearch} {
+			ev := guard.NewEvaluator(mech, set)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < probes; i++ {
+				region := rng.Intn(n)
+				addr := base + uint64(region)*regionSpan + uint64(rng.Intn(0x1000/8))*8
+				ev.Check(addr, 8, guard.PermRead)
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Mechanism: mech.String(), Pattern: "random", Regions: n, AvgCycles: ev.AvgCycles(),
+			})
+		}
+		// Strided accesses: if-tree at several strides (Figure 4b).
+		for _, stride := range fig4Strides {
+			ev := guard.NewEvaluator(guard.MechIfTree, set)
+			addr := base
+			for i := 0; i < probes; i++ {
+				// Step by the stride, skipping the gaps between regions.
+				off := (addr - base) % regionSpan
+				if off >= 0x1000 {
+					addr += regionSpan - off
+				}
+				if addr >= base+total {
+					addr = base
+				}
+				ev.Check(addr, 8, guard.PermRead)
+				addr += uint64(stride)
+			}
+			res.Points = append(res.Points, Fig4Point{
+				Mechanism: "iftree", Pattern: fmt.Sprintf("stride %d", stride),
+				Regions: n, AvgCycles: ev.AvgCycles(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Print renders both panels' series.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: multi-region software guard cost (cycles per check)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "mechanism\tpattern\tregions\tavg cycles")
+		for _, p := range r.Points {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\n", p.Mechanism, p.Pattern, p.Regions, p.AvgCycles)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+	"carat/internal/runtime"
+	"carat/internal/vm"
+)
+
+// Fig9Rates are the forced worst-case page-move rates (moves per simulated
+// second) that Figure 9 sweeps.
+var Fig9Rates = []float64{1, 100, 10000, 20000}
+
+// Fig9Row is one benchmark's overhead across the rate sweep.
+type Fig9Row struct {
+	Name     string
+	Baseline uint64 // cycles of the CARAT build with no forced moves
+	// Overhead[i] is cycles(rate i)/Baseline; Moves[i] counts moves done.
+	Overhead []float64
+	Moves    []int
+}
+
+// Fig9Result reproduces Figure 9, "Worst-case page movement overheads".
+type Fig9Result struct {
+	Rates    []float64
+	Rows     []Fig9Row
+	Geomeans []float64
+}
+
+// Fig9 runs each benchmark fully instrumented while a move policy forces a
+// worst-case page move (the page overlapping the most-escaped allocation)
+// at each target rate. Rates are converted from moves/second to an
+// instruction period using the benchmark's own baseline CPI at the modeled
+// 2.3 GHz clock.
+func Fig9(o Options) (*Fig9Result, error) {
+	res := &Fig9Result{Rates: Fig9Rates}
+	perRate := make([][]float64, len(Fig9Rates))
+	for _, w := range o.workloads() {
+		base, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		cpi := float64(base.Cycles) / float64(base.Instrs)
+		row := Fig9Row{Name: w.Name, Baseline: base.Cycles}
+		for i, rate := range Fig9Rates {
+			period := uint64(CPUFreqHz / (rate * cpi))
+			if period == 0 {
+				period = 1
+			}
+			moves := 0
+			v, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
+				func(v *vm.VM) {
+					v.SetMovePolicy(period, func() error {
+						moves++
+						return v.InjectWorstCaseMove()
+					})
+				})
+			if err != nil {
+				return nil, err
+			}
+			ov := float64(v.Cycles) / float64(base.Cycles)
+			row.Overhead = append(row.Overhead, ov)
+			row.Moves = append(row.Moves, moves)
+			perRate[i] = append(perRate[i], ov)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, xs := range perRate {
+		res.Geomeans = append(res.Geomeans, geomean(xs))
+	}
+	return res, nil
+}
+
+// Print renders the figure's bars.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: worst-case page movement overhead (normalized to CARAT baseline)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprint(tw, "benchmark")
+		for _, rate := range r.Rates {
+			fmt.Fprintf(tw, "\t%.0f/s", rate)
+		}
+		fmt.Fprintln(tw, "\tmoves@max")
+		for _, row := range r.Rows {
+			fmt.Fprint(tw, row.Name)
+			for _, ov := range row.Overhead {
+				fmt.Fprintf(tw, "\t%.3f", ov)
+			}
+			fmt.Fprintf(tw, "\t%d\n", row.Moves[len(row.Moves)-1])
+		}
+		fmt.Fprint(tw, "geomean")
+		for _, g := range r.Geomeans {
+			fmt.Fprintf(tw, "\t%.3f", g)
+		}
+		fmt.Fprintln(tw)
+	})
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one benchmark's per-move cycle breakdown.
+type Table3Row struct {
+	Name          string
+	PageExpand    float64 // avg cycles
+	PatchGenExec  float64
+	RegisterPatch float64
+	AllocAndMove  float64
+	ProtoCost     float64 // expand + patch + regs
+	ProtoNoExpand float64 // patch + regs
+	TotalCost     float64
+	FracNoExpand  float64 // ProtoNoExpand / TotalCost (rightmost column)
+	Moves         int
+}
+
+// Table3Result reproduces Table 3, "Worst-case Page Movement Costs in
+// Cycles".
+type Table3Result struct {
+	Rows    []Table3Row
+	GeoMean Table3Row
+}
+
+// Table3 forces a steady worst-case move stream on each benchmark and
+// averages the runtime's per-move breakdowns.
+func Table3(o Options) (*Table3Result, error) {
+	res := &Table3Result{GeoMean: Table3Row{Name: "Geo. Mean"}}
+	var expands, patches, regs, movesC, protos, noexp, totals, fracs []float64
+	for _, w := range o.workloads() {
+		var vref *vm.VM
+		_, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
+			func(v *vm.VM) {
+				vref = v
+				v.SetMovePolicy(moveEveryInstrs(o), func() error { return v.InjectWorstCaseMove() })
+			})
+		if err != nil {
+			return nil, err
+		}
+		stats := vref.Runtime().MoveStats
+		if len(stats) == 0 {
+			continue
+		}
+		row := averageBreakdown(w.Name, stats)
+		res.Rows = append(res.Rows, row)
+		expands = append(expands, row.PageExpand)
+		patches = append(patches, row.PatchGenExec)
+		regs = append(regs, row.RegisterPatch)
+		movesC = append(movesC, row.AllocAndMove)
+		protos = append(protos, row.ProtoCost)
+		noexp = append(noexp, row.ProtoNoExpand)
+		totals = append(totals, row.TotalCost)
+		fracs = append(fracs, row.FracNoExpand)
+	}
+	res.GeoMean.PageExpand = geomean(expands)
+	res.GeoMean.PatchGenExec = geomean(patches)
+	res.GeoMean.RegisterPatch = geomean(regs)
+	res.GeoMean.AllocAndMove = geomean(movesC)
+	res.GeoMean.ProtoCost = geomean(protos)
+	res.GeoMean.ProtoNoExpand = geomean(noexp)
+	res.GeoMean.TotalCost = geomean(totals)
+	res.GeoMean.FracNoExpand = geomean(fracs)
+	return res, nil
+}
+
+// moveEveryInstrs picks a forcing period that yields a healthy sample of
+// moves at the configured scale.
+func moveEveryInstrs(o Options) uint64 {
+	return 50_000
+}
+
+func averageBreakdown(name string, stats []runtime.MoveBreakdown) Table3Row {
+	var row Table3Row
+	row.Name = name
+	n := float64(len(stats))
+	for _, bd := range stats {
+		row.PageExpand += float64(bd.ExpandCycles)
+		row.PatchGenExec += float64(bd.PatchCycles)
+		row.RegisterPatch += float64(bd.RegCycles)
+		row.AllocAndMove += float64(bd.MoveCycles)
+	}
+	row.PageExpand /= n
+	row.PatchGenExec /= n
+	row.RegisterPatch /= n
+	row.AllocAndMove /= n
+	row.ProtoCost = row.PageExpand + row.PatchGenExec + row.RegisterPatch
+	row.ProtoNoExpand = row.PatchGenExec + row.RegisterPatch
+	row.TotalCost = row.ProtoCost + row.AllocAndMove
+	if row.TotalCost > 0 {
+		row.FracNoExpand = row.ProtoNoExpand / row.TotalCost
+	}
+	row.Moves = len(stats)
+	return row
+}
+
+// Print renders the table.
+func (r *Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: worst-case page movement costs in cycles")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\texpand\tpatch\tregs\talloc+move\tproto\tproto w/o exp\ttotal\tw/o exp / total\tmoves")
+		emit := func(row Table3Row) {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.4f\t%d\n",
+				row.Name, row.PageExpand, row.PatchGenExec, row.RegisterPatch,
+				row.AllocAndMove, row.ProtoCost, row.ProtoNoExpand, row.TotalCost,
+				row.FracNoExpand, row.Moves)
+		}
+		for _, row := range r.Rows {
+			emit(row)
+		}
+		emit(r.GeoMean)
+	})
+}

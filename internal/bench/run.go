@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig2", "L1 DTLB misses per 1000 instructions", func(o Options, w io.Writer) error {
+			r, err := Fig2(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"table1", "Effectiveness of compiler optimizations", func(o Options, w io.Writer) error {
+			r, err := Table1(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig3a", "Guard overhead, general optimizations", func(o Options, w io.Writer) error {
+			r, err := Fig3(o, false)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig3b", "Guard overhead, CARAT optimizations", func(o Options, w io.Writer) error {
+			r, err := Fig3(o, true)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig4", "Multi-region software guard cost", func(o Options, w io.Writer) error {
+			r, err := Fig4(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"table2", "Page allocation and movement rates", func(o Options, w io.Writer) error {
+			r, err := Table2(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig5", "Escapes per allocation", func(o Options, w io.Writer) error {
+			r, err := Fig5(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig6", "Memory overhead of tracking", func(o Options, w io.Writer) error {
+			r, err := Fig6(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig7", "Time overhead of tracking", func(o Options, w io.Writer) error {
+			r, err := Fig7(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"fig9", "Worst-case page movement overheads", func(o Options, w io.Writer) error {
+			r, err := Fig9(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"table3", "Per-move cycle breakdown", func(o Options, w io.Writer) error {
+			r, err := Table3(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"abl-alloc", "Ablation: allocation- vs page-granularity moves", func(o Options, w io.Writer) error {
+			r, err := AblationAllocGranularity(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+		{"abl-capsule", "Ablation: capsule vs multi-region layout", func(o Options, w io.Writer) error {
+			r, err := AblationCapsule(o)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
+	}
+}
+
+// RunByID executes one experiment by id ("fig2", "table1", ... or "all").
+func RunByID(id string, o Options, w io.Writer) error {
+	if id == "all" {
+		for _, e := range Experiments() {
+			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+			if err := e.Run(o, w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(o, w)
+		}
+	}
+	return fmt.Errorf("bench: unknown experiment %q (try: fig2 table1 fig3a fig3b fig4 table2 fig5 fig6 fig7 fig9 table3 abl-alloc abl-capsule all)", id)
+}

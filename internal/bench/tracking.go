@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+	"carat/internal/vm"
+)
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Row summarizes one benchmark's escapes-per-allocation distribution.
+type Fig5Row struct {
+	Name        string
+	Allocations int
+	// HistLow counts allocations by escape count for counts 0..50.
+	HistLow [51]int
+	// Over50 lists the escape counts of allocations with more than 50
+	// escapes (Figure 5b's outliers).
+	Over50 []int
+	// P90 is the 90th-percentile escape count.
+	P90 int
+	Max int
+}
+
+// Fig5Result reproduces Figure 5, the escapes-per-allocation histograms.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// FracLE10 is the suite-wide fraction of allocations with <= 10
+	// escapes (the paper reports 90%).
+	FracLE10 float64
+	// TotalOver50 is the suite-wide count of allocations with > 50
+	// escapes (the paper counts 22).
+	TotalOver50 int
+}
+
+// Fig5 runs every benchmark fully instrumented and collects the histogram.
+func Fig5(o Options) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	var le10, total int
+	for _, w := range o.workloads() {
+		v, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		hist := v.Runtime().EscapeHistogram()
+		row := Fig5Row{Name: w.Name, Allocations: len(hist)}
+		sorted := append([]int(nil), hist...)
+		sort.Ints(sorted)
+		for _, h := range hist {
+			switch {
+			case h <= 50:
+				row.HistLow[h]++
+			default:
+				row.Over50 = append(row.Over50, h)
+			}
+			if h <= 10 {
+				le10++
+			}
+			if h > row.Max {
+				row.Max = h
+			}
+			total++
+		}
+		if len(sorted) > 0 {
+			row.P90 = sorted[len(sorted)*9/10]
+		}
+		res.TotalOver50 += len(row.Over50)
+		res.Rows = append(res.Rows, row)
+	}
+	if total > 0 {
+		res.FracLE10 = float64(le10) / float64(total)
+	}
+	return res, nil
+}
+
+// Print renders the histograms' summary statistics.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: escapes per allocation")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tallocations\t0 esc\t1-2 esc\t3-10 esc\t11-50 esc\t>50 esc\tp90\tmax")
+		for _, row := range r.Rows {
+			b12 := row.HistLow[1] + row.HistLow[2]
+			b310, b1150 := 0, 0
+			for i := 3; i <= 10; i++ {
+				b310 += row.HistLow[i]
+			}
+			for i := 11; i <= 50; i++ {
+				b1150 += row.HistLow[i]
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				row.Name, row.Allocations, row.HistLow[0], b12, b310, b1150,
+				len(row.Over50), row.P90, row.Max)
+		}
+	})
+	fmt.Fprintf(w, "suite: %.1f%% of allocations have <= 10 escapes; %d allocations exceed 50\n",
+		r.FracLE10*100, r.TotalOver50)
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Row is one benchmark's tracking-memory overhead.
+type Fig6Row struct {
+	Name          string
+	BaselineBytes uint64
+	TrackingBytes uint64
+	Ratio         float64 // (baseline+tracking)/baseline, Figure 6's bars
+}
+
+// Fig6Result reproduces Figure 6, "Memory overhead of tracking".
+type Fig6Result struct {
+	Rows    []Fig6Row
+	Geomean float64
+}
+
+// Fig6 measures the allocation-table and escape-map footprint against the
+// program's own memory.
+func Fig6(o Options) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	var ratios []float64
+	for _, w := range o.workloads() {
+		v, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		base := v.ProgramFootprintBytes()
+		track := v.Runtime().MemoryOverheadBytes()
+		row := Fig6Row{
+			Name:          w.Name,
+			BaselineBytes: base,
+			TrackingBytes: track,
+			Ratio:         float64(base+track) / float64(base),
+		}
+		res.Rows = append(res.Rows, row)
+		ratios = append(ratios, row.Ratio)
+	}
+	res.Geomean = geomean(ratios)
+	return res, nil
+}
+
+// Print renders the figure's bars.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: memory overhead of tracking (normalized, baseline = 1.0)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tbaseline bytes\ttracking bytes\tCARAT/baseline")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\n", row.Name, row.BaselineBytes, row.TrackingBytes, row.Ratio)
+		}
+		fmt.Fprintf(tw, "geomean\t\t\t%.3f\n", r.Geomean)
+	})
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Row is one benchmark's tracking-time overhead.
+type Fig7Row struct {
+	Name     string
+	Baseline uint64 // cycles, uninstrumented
+	CARAT    uint64 // cycles, tracking only (no guards)
+	Ratio    float64
+}
+
+// Fig7Result reproduces Figure 7, "Time overhead of tracking allocations &
+// escapes".
+type Fig7Result struct {
+	Rows    []Fig7Row
+	Geomean float64
+}
+
+// Fig7 compares tracking-only builds against the baseline.
+func Fig7(o Options) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	var ratios []float64
+	for _, w := range o.workloads() {
+		base, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		tr, _, err := o.buildAndRun(w, passes.LevelTrackingOnly, vm.ModeCARAT, guard.MechRange, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{
+			Name:     w.Name,
+			Baseline: base.Cycles,
+			CARAT:    tr.Cycles,
+			Ratio:    float64(tr.Cycles) / float64(base.Cycles),
+		}
+		res.Rows = append(res.Rows, row)
+		ratios = append(ratios, row.Ratio)
+	}
+	res.Geomean = geomean(ratios)
+	return res, nil
+}
+
+// Print renders the figure's bars.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7: time overhead of tracking (normalized, baseline = 1.0)")
+	table(w, func(tw *tabwriter.Writer) {
+		fmt.Fprintln(tw, "benchmark\tbaseline cyc\tCARAT cyc\tratio")
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\n", row.Name, row.Baseline, row.CARAT, row.Ratio)
+		}
+		fmt.Fprintf(tw, "geomean\t\t\t%.3f\n", r.Geomean)
+	})
+}

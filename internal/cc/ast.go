@@ -1,0 +1,150 @@
+package cc
+
+// The CARAT-C abstract syntax tree.
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// TypeName is a CARAT-C surface type.
+type TypeName struct {
+	Kind   string // "int", "float", "ptr"
+	ArrLen int    // > 0 for global array declarations
+}
+
+// GlobalDecl is `global name: type;` or `global name: [N]type;`.
+type GlobalDecl struct {
+	Name string
+	Type TypeName
+	Line int
+}
+
+// FuncDecl is `func name(params): ret { body }`.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    TypeName // Kind "" for void
+	Body   *Block
+	Line   int
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Type TypeName
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is `{ stmts }`.
+type Block struct {
+	Stmts []Stmt
+}
+
+// VarStmt is `var name = expr;`.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt is `lvalue = expr;` where lvalue is a name or index.
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is `if (cond) block [else block|if]`.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+// WhileStmt is `while (cond) block`.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is `for (init; cond; post) block`.
+type ForStmt struct {
+	Init Stmt // VarStmt or AssignStmt, may be nil
+	Cond Expr
+	Post Stmt // AssignStmt, may be nil
+	Body *Block
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	Value Expr // nil for void
+	Line  int
+}
+
+// ExprStmt is an expression used for effect (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*Block) stmt()      {}
+func (*VarStmt) stmt()    {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ForStmt) stmt()    {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ Val float64 }
+
+// Ident references a local, parameter, or global.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is `base[idx]` (array or pointer indexing).
+type IndexExpr struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary `-x` or `!x`.
+type UnExpr struct {
+	Op string
+	X  Expr
+}
+
+// CallExpr is `fn(args...)`; fn may be a builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) expr()    {}
+func (*FloatLit) expr()  {}
+func (*Ident) expr()     {}
+func (*IndexExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}
+func (*CallExpr) expr()  {}

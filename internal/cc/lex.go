@@ -1,0 +1,152 @@
+// Package cc implements a small C-like frontend for the CARAT toolchain.
+// The paper's pipeline starts from "arbitrary code (C, C++, ...)" lowered
+// to IR by the compiler front end; this package plays that role for a
+// C-subset language ("CARAT-C") so programs can be written as source text
+// rather than hand-assembled IR:
+//
+//	global table: [256]int;
+//
+//	func sum(n: int): int {
+//	    var acc = 0;
+//	    for (var i = 0; i < n; i = i + 1) {
+//	        acc = acc + table[i & 255];
+//	    }
+//	    return acc;
+//	}
+//
+//	func main(): int {
+//	    return sum(1000);
+//	}
+//
+// Types are int (i64), float (f64), and ptr; globals may be scalars or
+// fixed arrays; malloc/free/print_int/print_float are builtins. The
+// restrictions of §2.2 hold by construction: no casts between function and
+// data pointers, no inline assembly, no self-modifying code.
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tPunct // operators and separators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// multi-char operators, longest first.
+var operators = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src, returning a token slice ending in tEOF.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tIdent, l.src[start:l.pos], l.line})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			isFloat := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d == '.' {
+					isFloat = true
+					l.pos++
+					continue
+				}
+				if d == 'x' || d == 'X' || isHexByte(d) {
+					l.pos++
+					continue
+				}
+				break
+			}
+			kind := tInt
+			if isFloat {
+				kind = tFloat
+			}
+			l.toks = append(l.toks, token{kind, l.src[start:l.pos], l.line})
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{tPunct, op, l.line})
+					l.pos += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("cc: line %d: unexpected character %q", l.line, c)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isHexByte(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

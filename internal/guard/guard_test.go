@@ -1,0 +1,296 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkSet(t testing.TB, rs ...Region) *RegionSet {
+	s := NewRegionSet()
+	for _, r := range rs {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add(%v): %v", r, err)
+		}
+	}
+	return s
+}
+
+func TestRegionSetAddSorted(t *testing.T) {
+	s := mkSet(t,
+		Region{Base: 0x3000, Len: 0x1000, Perm: PermRW},
+		Region{Base: 0x1000, Len: 0x1000, Perm: PermRead},
+	)
+	rs := s.Regions()
+	if len(rs) != 2 || rs[0].Base != 0x1000 || rs[1].Base != 0x3000 {
+		t.Fatalf("regions not sorted: %v", rs)
+	}
+}
+
+func TestRegionSetCoalesce(t *testing.T) {
+	s := mkSet(t,
+		Region{Base: 0x1000, Len: 0x1000, Perm: PermRW},
+		Region{Base: 0x2000, Len: 0x1000, Perm: PermRW},
+	)
+	if s.Len() != 1 {
+		t.Fatalf("adjacent same-perm regions not coalesced: %v", s.Regions())
+	}
+	if r := s.Regions()[0]; r.Base != 0x1000 || r.Len != 0x2000 {
+		t.Fatalf("coalesced region wrong: %v", r)
+	}
+	// Different perms must not coalesce.
+	s2 := mkSet(t,
+		Region{Base: 0x1000, Len: 0x1000, Perm: PermRW},
+		Region{Base: 0x2000, Len: 0x1000, Perm: PermRead},
+	)
+	if s2.Len() != 2 {
+		t.Fatalf("different-perm regions coalesced: %v", s2.Regions())
+	}
+}
+
+func TestRegionSetOverlapRejected(t *testing.T) {
+	s := mkSet(t, Region{Base: 0x1000, Len: 0x1000, Perm: PermRW})
+	err := s.Add(Region{Base: 0x1800, Len: 0x1000, Perm: PermRead})
+	if err == nil {
+		t.Fatal("overlapping region with different perm accepted")
+	}
+	if err := s.Add(Region{Base: 0x1800, Len: 0x1000, Perm: PermRW}); err != nil {
+		t.Fatalf("same-perm overlap should merge: %v", err)
+	}
+	if s.Len() != 1 || s.Regions()[0].End() != 0x2800 {
+		t.Fatalf("merge wrong: %v", s.Regions())
+	}
+}
+
+func TestRegionSetRemoveSplits(t *testing.T) {
+	s := mkSet(t, Region{Base: 0x1000, Len: 0x3000, Perm: PermRW})
+	s.Remove(0x2000, 0x1000)
+	rs := s.Regions()
+	if len(rs) != 2 {
+		t.Fatalf("Remove did not split: %v", rs)
+	}
+	if rs[0].Base != 0x1000 || rs[0].End() != 0x2000 || rs[1].Base != 0x3000 || rs[1].End() != 0x4000 {
+		t.Fatalf("split ranges wrong: %v", rs)
+	}
+	if s.Check(0x2800, 8, PermRead) {
+		t.Error("removed range still permitted")
+	}
+}
+
+func TestRegionSetSetPerm(t *testing.T) {
+	s := mkSet(t, Region{Base: 0x1000, Len: 0x3000, Perm: PermRW})
+	if err := s.SetPerm(0x2000, 0x1000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if s.Check(0x2000, 8, PermWrite) {
+		t.Error("write permitted after downgrade to read-only")
+	}
+	if !s.Check(0x2000, 8, PermRead) {
+		t.Error("read denied after SetPerm")
+	}
+	if !s.Check(0x1000, 8, PermWrite) {
+		t.Error("untouched range lost write permission")
+	}
+	if err := s.SetPerm(0x7000, 0x1000, PermRead); err == nil {
+		t.Error("SetPerm outside coverage should fail")
+	}
+}
+
+func TestCheckSpanningRegions(t *testing.T) {
+	s := mkSet(t,
+		Region{Base: 0x1000, Len: 0x1000, Perm: PermRW},
+		Region{Base: 0x2000, Len: 0x1000, Perm: PermRead},
+	)
+	// Access spanning two different-perm regions must fail.
+	if s.Check(0xff8, 16, PermRead) {
+		t.Error("access starting before region permitted")
+	}
+	if s.Check(0x1ff8, 16, PermRead) {
+		t.Error("access spanning perm boundary permitted")
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := mkSet(t,
+		Region{Base: 0x1000, Len: 0x1000, Perm: PermRW},
+		Region{Base: 0x5000, Len: 0x1000, Perm: PermRead},
+	)
+	if r, ok := s.Find(0x1500); !ok || r.Base != 0x1000 {
+		t.Error("Find missed containing region")
+	}
+	if _, ok := s.Find(0x3000); ok {
+		t.Error("Find hit a gap")
+	}
+	if _, ok := s.Find(0x2000); ok {
+		t.Error("Find hit one-past-end")
+	}
+}
+
+// buildRegions makes n equal-size regions with gaps between them.
+func buildRegions(t testing.TB, n int) *RegionSet {
+	s := NewRegionSet()
+	base := uint64(0x10000)
+	for i := 0; i < n; i++ {
+		if err := s.Add(Region{Base: base, Len: 0x1000, Perm: PermRW}); err != nil {
+			t.Fatal(err)
+		}
+		base += 0x2000 // leave a gap so nothing coalesces
+	}
+	return s
+}
+
+func TestMechanismsAgree(t *testing.T) {
+	// All mechanisms must return identical verdicts for all probes
+	// (a DESIGN.md invariant).
+	s := buildRegions(t, 37)
+	mechs := []Mechanism{MechRange, MechMPX, MechBinarySearch, MechIfTree, MechLinear}
+	evs := make([]*Evaluator, len(mechs))
+	for i, m := range mechs {
+		evs[i] = NewEvaluator(m, s)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(0x80000))
+		size := uint64(1 + rng.Intn(16))
+		perm := Perm(1 + rng.Intn(3))
+		want := s.Check(addr, size, perm)
+		for j, ev := range evs {
+			if got := ev.Check(addr, size, perm); got != want {
+				t.Fatalf("mech %v disagrees at %#x+%d %v: got %v want %v",
+					mechs[j], addr, size, perm, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickMechanismsAgree(t *testing.T) {
+	s := buildRegions(t, 9)
+	evA := NewEvaluator(MechIfTree, s)
+	evB := NewEvaluator(MechBinarySearch, s)
+	f := func(addr uint64, szRaw uint8) bool {
+		addr %= 0x40000
+		size := uint64(szRaw%32) + 1
+		return evA.Check(addr, size, PermRead) == evB.Check(addr, size, PermRead)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleRegionFastPath(t *testing.T) {
+	s := mkSet(t, Region{Base: 0x1000, Len: 0x100000, Perm: PermRW})
+	ev := NewEvaluator(MechRange, s)
+	if !ev.Check(0x5000, 8, PermRead) {
+		t.Fatal("in-range check failed")
+	}
+	if ev.Cycles != 2*costCmpBranch {
+		t.Errorf("single-region cost = %d, want %d", ev.Cycles, 2*costCmpBranch)
+	}
+	if ev.Check(0x200000, 8, PermRead) {
+		t.Fatal("out-of-range check passed")
+	}
+	if ev.Faults != 1 {
+		t.Errorf("faults = %d, want 1", ev.Faults)
+	}
+}
+
+func TestMPXCheapForFewRegions(t *testing.T) {
+	s := buildRegions(t, 3)
+	ev := NewEvaluator(MechMPX, s)
+	ev.Check(0x10008, 8, PermRead)
+	if ev.Cycles != costMPX {
+		t.Errorf("MPX cost with 3 regions = %d, want %d", ev.Cycles, costMPX)
+	}
+}
+
+func TestStridedCheaperThanRandom(t *testing.T) {
+	// Figure 4's headline shape: for an if-tree over many regions, strided
+	// access (predictable path) must be much cheaper than random access.
+	s := buildRegions(t, 1024)
+	strided := NewEvaluator(MechIfTree, s)
+	random := NewEvaluator(MechIfTree, s)
+	rng := rand.New(rand.NewSource(7))
+	const probes = 20000
+	addr := uint64(0x10000)
+	for i := 0; i < probes; i++ {
+		strided.Check(addr, 8, PermRead)
+		addr += 8
+		if addr >= 0x10000+0x1000 {
+			addr = 0x10000 // stay within one region: perfectly predictable
+		}
+	}
+	for i := 0; i < probes; i++ {
+		region := rng.Intn(1024)
+		a := 0x10000 + uint64(region)*0x2000 + uint64(rng.Intn(0x1000/8)*8)
+		random.Check(a, 8, PermRead)
+	}
+	if strided.AvgCycles()*3 > random.AvgCycles() {
+		t.Errorf("strided (%.1f cyc) not much cheaper than random (%.1f cyc)",
+			strided.AvgCycles(), random.AvgCycles())
+	}
+}
+
+func TestGuardCostGrowsWithRegions(t *testing.T) {
+	// Random-access guard cost must grow with the region count (Figure 4a).
+	rng := rand.New(rand.NewSource(3))
+	avg := func(n int) float64 {
+		s := buildRegions(t, n)
+		ev := NewEvaluator(MechBinarySearch, s)
+		for i := 0; i < 5000; i++ {
+			region := rng.Intn(n)
+			a := 0x10000 + uint64(region)*0x2000 + 8
+			ev.Check(a, 8, PermRead)
+		}
+		return ev.AvgCycles()
+	}
+	small, large := avg(4), avg(4096)
+	if small >= large {
+		t.Errorf("cost did not grow: 4 regions %.1f, 4096 regions %.1f", small, large)
+	}
+}
+
+func TestIfTreeRebuildOnEpochChange(t *testing.T) {
+	s := buildRegions(t, 8)
+	ev := NewEvaluator(MechIfTree, s)
+	if !ev.Check(0x10000, 8, PermRead) {
+		t.Fatal("check failed")
+	}
+	// Mutate the set: if-tree must rebuild and see the new region.
+	if err := s.Add(Region{Base: 0x900000, Len: 0x1000, Perm: PermRead}); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Check(0x900008, 8, PermRead) {
+		t.Error("if-tree stale after region set mutation")
+	}
+	if ev.Check(0x900008, 8, PermWrite) {
+		t.Error("permission ignored")
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := NewRegionSet()
+	for _, m := range []Mechanism{MechRange, MechMPX, MechBinarySearch, MechIfTree, MechLinear} {
+		ev := NewEvaluator(m, s)
+		if ev.Check(0x1000, 8, PermRead) {
+			t.Errorf("mech %v permitted access against empty set", m)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermExec).String(); got != "r-x" {
+		t.Errorf("Perm string = %q, want r-x", got)
+	}
+	if got := PermRW.String(); got != "rw-" {
+		t.Errorf("Perm string = %q, want rw-", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := buildRegions(t, 4)
+	c := s.Clone()
+	c.Remove(0x10000, 0x1000)
+	if s.Len() != 4 || c.Len() != 3 {
+		t.Error("Clone shares storage with original")
+	}
+}

@@ -1,0 +1,348 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int64
+	}{
+		{I1, 1}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8}, {F64, 8}, {Ptr, 8},
+		{ArrayOf(F64, 10), 80},
+		{ArrayOf(ArrayOf(I32, 4), 3), 48},
+		{StructOf(I64, Ptr, I8), 17},
+		{StructOf(), 0},
+		{Void, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("Size(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"i1": I1, "i64": I64, "f64": F64, "ptr": Ptr, "void": Void,
+		"[4 x f64]":      ArrayOf(F64, 4),
+		"{i64, ptr}":     StructOf(I64, Ptr),
+		"[2 x {i8}]":     ArrayOf(StructOf(I8), 2),
+		"f64 (i32, ptr)": FuncOf(F64, I32, Ptr),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !ArrayOf(F64, 4).Equal(ArrayOf(F64, 4)) {
+		t.Error("structurally identical arrays not Equal")
+	}
+	if ArrayOf(F64, 4).Equal(ArrayOf(F64, 5)) {
+		t.Error("different lengths Equal")
+	}
+	if StructOf(I64).Equal(StructOf(I32)) {
+		t.Error("different fields Equal")
+	}
+	if I32.Equal(I64) {
+		t.Error("i32 equals i64")
+	}
+	if !FuncOf(Void, Ptr).Equal(FuncOf(Void, Ptr)) {
+		t.Error("identical func types not Equal")
+	}
+}
+
+func TestFieldOffset(t *testing.T) {
+	s := StructOf(I64, I8, F64, Ptr)
+	wants := []int64{0, 8, 9, 17}
+	for i, w := range wants {
+		if got := s.FieldOffset(i); got != w {
+			t.Errorf("FieldOffset(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestConstRef(t *testing.T) {
+	cases := []struct {
+		c    *Const
+		want string
+	}{
+		{ConstInt(I64, 42), "42"},
+		{ConstInt(I32, -7), "-7"},
+		{ConstFloat(1.5), "1.5"},
+		{ConstFloat(2), "2.0"},
+		{ConstNull(), "null"},
+	}
+	for _, c := range cases {
+		if got := c.c.Ref(); got != c.want {
+			t.Errorf("Ref() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// buildLoopSum constructs: func sum(n) { s=0; for i in 0..n { s += a[i] }; return s }
+func buildLoopSum(t testing.TB) *Module {
+	m := NewModule("test")
+	g := m.AddGlobal("a", ArrayOf(I64, 64))
+	_ = g
+	f := m.AddFunc("sum", I64, &Param{Name: "n", Typ: I64})
+	b := NewBuilder(f)
+	acc := b.Alloca(I64, nil)
+	b.Store(b.I64(0), acc)
+	b.Loop(b.I64(0), f.Params[0], b.I64(1), func(i Value) {
+		p := b.GEP(I64, m.Global("a"), i)
+		x := b.Load(I64, p)
+		cur := b.Load(I64, acc)
+		b.Store(b.Add(cur, x), acc)
+	})
+	b.Ret(b.Load(I64, acc))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestBuilderLoopVerifies(t *testing.T) {
+	buildLoopSum(t)
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := buildLoopSum(t)
+	text1 := m.String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text1)
+	}
+	if err := m2.Verify(); err != nil {
+		t.Fatalf("Verify after parse: %v", err)
+	}
+	text2 := m2.String()
+	if text1 != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                     // no module
+		`module "m" func`,      // incomplete func
+		`module "m" global @g`, // missing type
+		`module "m" func @f() -> i64 { entry: ret i64 %undef }`, // undefined value
+		`module "m" func @f() -> i64 { entry: br ^nowhere }`,    // undefined label... label created but never defined
+		`module "m" func @f() -> i64 { entry: frobnicate }`,     // unknown op
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `module "c"
+; a comment line
+func @f(%x: i64) -> i64 {
+entry: ; trailing comment
+  %y = add i64 %x, 1
+  ret i64 %y
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Func("f") == nil || m.Func("f").NumInstrs() != 2 {
+		t.Error("comment parsing corrupted function")
+	}
+}
+
+func TestParsePhiForwardRef(t *testing.T) {
+	src := `module "m"
+func @f(%n: i64) -> i64 {
+entry:
+  br ^head
+head:
+  %i = phi i64 [0, ^entry], [%next, ^head]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  condbr %c, ^head, ^done
+done:
+  ret i64 %i
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	phi := m.Func("f").Blocks[1].Instrs[0]
+	if phi.Op != OpPhi || len(phi.Args) != 2 {
+		t.Fatalf("phi malformed: %s", phi)
+	}
+	if phi.Args[1].Ref() != "%next" {
+		t.Errorf("forward ref not resolved: %s", phi.Args[1].Ref())
+	}
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	// Unterminated block.
+	m := NewModule("v")
+	f := m.AddFunc("f", Void)
+	f.NewBlock("entry")
+	if err := m.Verify(); err == nil {
+		t.Error("Verify accepted unterminated block")
+	}
+
+	// Type mismatch in add.
+	m2 := NewModule("v2")
+	f2 := m2.AddFunc("f", Void)
+	b := NewBuilder(f2)
+	b.Blk.Append(&Instr{Op: OpAdd, Name: "x", Typ: I64, Args: []Value{ConstInt(I64, 1), ConstInt(I32, 2)}})
+	b.Ret(nil)
+	if err := m2.Verify(); err == nil {
+		t.Error("Verify accepted mismatched add operands")
+	}
+
+	// Call arity mismatch.
+	m3 := NewModule("v3")
+	callee := m3.AddFunc("g", Void, &Param{Name: "x", Typ: I64})
+	f3 := m3.AddFunc("f", Void)
+	b3 := NewBuilder(f3)
+	b3.Blk.Append(&Instr{Op: OpCall, Typ: Void, Callee: callee})
+	b3.Ret(nil)
+	if err := m3.Verify(); err == nil {
+		t.Error("Verify accepted call arity mismatch")
+	}
+
+	// Duplicate global.
+	m4 := NewModule("v4")
+	m4.AddGlobal("g", I64)
+	m4.AddGlobal("g", I64)
+	if err := m4.Verify(); err == nil {
+		t.Error("Verify accepted duplicate global")
+	}
+}
+
+func TestBlockInsertRemove(t *testing.T) {
+	m := NewModule("b")
+	f := m.AddFunc("f", Void)
+	b := NewBuilder(f)
+	i1 := b.Add(b.I64(1), b.I64(2))
+	i3 := b.Add(b.I64(3), b.I64(4))
+	i2 := &Instr{Op: OpAdd, Name: "mid", Typ: I64, Args: []Value{ConstInt(I64, 5), ConstInt(I64, 6)}}
+	b.Blk.InsertBefore(i2, i3)
+	if b.Blk.Instrs[1] != i2 {
+		t.Fatal("InsertBefore misplaced instruction")
+	}
+	b.Blk.Remove(i2)
+	if len(b.Blk.Instrs) != 2 || b.Blk.Instrs[0] != i1 || b.Blk.Instrs[1] != i3 {
+		t.Fatal("Remove corrupted block")
+	}
+}
+
+func TestPhisRun(t *testing.T) {
+	m := MustParse(`module "m"
+func @f(%n: i64) -> i64 {
+entry:
+  br ^head
+head:
+  %a = phi i64 [0, ^entry], [%a, ^head]
+  %b = phi i64 [1, ^entry], [%b, ^head]
+  %c = icmp slt i64 %a, %n
+  condbr %c, ^head, ^out
+out:
+  ret i64 %b
+}`)
+	head := m.Func("f").Blocks[1]
+	if got := len(head.Phis()); got != 2 {
+		t.Errorf("Phis() = %d, want 2", got)
+	}
+}
+
+func TestDeclareFuncIdempotent(t *testing.T) {
+	m := NewModule("d")
+	f1 := m.DeclareFunc(FnMalloc, Ptr, I64)
+	f2 := m.DeclareFunc(FnMalloc, Ptr, I64)
+	if f1 != f2 {
+		t.Error("DeclareFunc created a duplicate")
+	}
+	if !f1.IsDecl() {
+		t.Error("declared function has a body")
+	}
+}
+
+func TestGlobalInitRoundTrip(t *testing.T) {
+	m := NewModule("g")
+	g := m.AddGlobal("data", ArrayOf(I8, 4))
+	g.Init = []byte{0xde, 0xad, 0xbe, 0xef}
+	g.PtrInit = []int64{0}
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g2 := m2.Global("data")
+	if g2 == nil || len(g2.Init) != 4 || g2.Init[0] != 0xde || g2.Init[3] != 0xef {
+		t.Fatalf("initializer lost in round trip: %+v", g2)
+	}
+	if len(g2.PtrInit) != 1 || g2.PtrInit[0] != 0 {
+		t.Fatalf("ptr offsets lost in round trip: %+v", g2.PtrInit)
+	}
+}
+
+// Property: integer constants of any value round-trip through print+parse
+// in an instruction context.
+func TestQuickConstRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		m := NewModule("q")
+		fn := m.AddFunc("f", I64)
+		b := NewBuilder(fn)
+		b.Ret(b.Add(b.I64(v), b.I64(0)))
+		m2, err := Parse(m.String())
+		if err != nil {
+			return false
+		}
+		in := m2.Func("f").Blocks[0].Instrs[0]
+		c, ok := in.Args[0].(*Const)
+		return ok && c.Int == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: struct size equals sum of field sizes for arbitrary small shapes.
+func TestQuickStructSize(t *testing.T) {
+	prims := []*Type{I1, I8, I16, I32, I64, F64, Ptr}
+	f := func(picks []uint8) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		var fields []*Type
+		var want int64
+		for _, p := range picks {
+			ft := prims[int(p)%len(prims)]
+			fields = append(fields, ft)
+			want += ft.Size()
+		}
+		return StructOf(fields...).Size() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	m := buildLoopSum(t)
+	text := m.String()
+	for _, want := range []string{"alloca i64", "gep i64, @a", "load i64", "store i64", "phi i64", "icmp slt", "condbr", "ret i64"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed module missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,885 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual IR syntax produced by Module.String and returns
+// the module. Parse is the inverse of printing: for any module m,
+// Parse(m.String()) yields a module whose printing equals m.String().
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: newLexer(src)}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, fmt.Errorf("ir: parse: line %d: %w", p.lex.line, err)
+	}
+	return m, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type tokKind int
+
+const (
+	tEOF    tokKind = iota
+	tIdent          // bare identifier or keyword
+	tLocal          // %name
+	tGlobal         // @name
+	tLabel          // ^name
+	tNum            // integer or float literal
+	tStr            // "..."
+	tHex            // #hexbytes
+	tPunct          // single punctuation or "->"
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	tok  token
+	next *token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src, line: 1}
+	l.advance()
+	return l
+}
+
+func (l *lexer) peek() token {
+	if l.next == nil {
+		save := l.tok
+		l.advance()
+		nx := l.tok
+		l.next = &nx
+		l.tok = save
+	}
+	return *l.next
+}
+
+func (l *lexer) advance() {
+	if l.next != nil {
+		l.tok = *l.next
+		l.next = nil
+		return
+	}
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tEOF, line: l.line}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '%' || c == '@' || c == '^':
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		kind := map[byte]tokKind{'%': tLocal, '@': tGlobal, '^': tLabel}[c]
+		l.tok = token{kind: kind, text: l.src[start+1 : l.pos], line: l.line}
+	case c == '#':
+		l.pos++
+		for l.pos < len(l.src) && isHexChar(l.src[l.pos]) {
+			l.pos++
+		}
+		l.tok = token{kind: tHex, text: l.src[start+1 : l.pos], line: l.line}
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		text := l.src[start+1 : l.pos]
+		if l.pos < len(l.src) {
+			l.pos++
+		}
+		l.tok = token{kind: tStr, text: text, line: l.line}
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		l.tok = token{kind: tPunct, text: "->", line: l.line}
+	case c == '-' || c >= '0' && c <= '9':
+		l.pos++
+		for l.pos < len(l.src) && (isNumChar(l.src[l.pos])) {
+			l.pos++
+		}
+		l.tok = token{kind: tNum, text: l.src[start:l.pos], line: l.line}
+	case isIdentChar(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		l.tok = token{kind: tIdent, text: l.src[start:l.pos], line: l.line}
+	default:
+		l.pos++
+		l.tok = token{kind: tPunct, text: string(c), line: l.line}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\n' {
+			l.line++
+			l.pos++
+		} else if c == ';' { // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		} else if unicode.IsSpace(rune(c)) {
+			l.pos++
+		} else {
+			return
+		}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isHexChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+}
+
+type fixup struct {
+	instr *Instr
+	arg   int
+	name  string
+}
+
+type parser struct {
+	lex    *lexer
+	mod    *Module
+	fn     *Func
+	locals map[string]Value
+	fixups []fixup
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.lex.tok.kind != tPunct || p.lex.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.lex.tok.text)
+	}
+	p.lex.advance()
+	return nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	if p.lex.tok.kind != tIdent || p.lex.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.lex.tok.text)
+	}
+	p.lex.advance()
+	return nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectIdent("module"); err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tStr {
+		return nil, p.errf("expected module name string")
+	}
+	p.mod = NewModule(p.lex.tok.text)
+	p.lex.advance()
+
+	// First pass: scan for func headers so calls can be resolved forward.
+	if err := p.prescan(); err != nil {
+		return nil, err
+	}
+
+	for p.lex.tok.kind != tEOF {
+		switch {
+		case p.lex.tok.kind == tIdent && p.lex.tok.text == "global":
+			if err := p.parseGlobal(); err != nil {
+				return nil, err
+			}
+		case p.lex.tok.kind == tIdent && p.lex.tok.text == "func":
+			if err := p.parseFunc(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected token %q at top level", p.lex.tok.text)
+		}
+	}
+	return p.mod, nil
+}
+
+// prescan registers every function name with its signature so that call
+// instructions can reference functions defined later in the file.
+func (p *parser) prescan() error {
+	saveLex := *p.lex
+	for p.lex.tok.kind != tEOF {
+		if p.lex.tok.kind == tIdent && p.lex.tok.text == "func" {
+			p.lex.advance()
+			if p.lex.tok.kind != tGlobal {
+				return p.errf("expected function name after func")
+			}
+			name := p.lex.tok.text
+			p.lex.advance()
+			params, ret, err := p.parseSig()
+			if err != nil {
+				return err
+			}
+			p.mod.AddFunc(name, ret, params...)
+		} else {
+			p.lex.advance()
+		}
+	}
+	*p.lex = saveLex
+	return nil
+}
+
+func (p *parser) parseSig() ([]*Param, *Type, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, nil, err
+	}
+	var params []*Param
+	for !(p.lex.tok.kind == tPunct && p.lex.tok.text == ")") {
+		if len(params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, nil, err
+			}
+		}
+		if p.lex.tok.kind != tLocal {
+			return nil, nil, p.errf("expected parameter name, got %q", p.lex.tok.text)
+		}
+		name := p.lex.tok.text
+		p.lex.advance()
+		if err := p.expectPunct(":"); err != nil {
+			return nil, nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, nil, err
+		}
+		params = append(params, &Param{Name: name, Typ: t})
+	}
+	p.lex.advance() // ")"
+	if err := p.expectPunct("->"); err != nil {
+		return nil, nil, err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	return params, ret, nil
+}
+
+func (p *parser) parseType() (*Type, error) {
+	tok := p.lex.tok
+	switch {
+	case tok.kind == tIdent:
+		p.lex.advance()
+		switch tok.text {
+		case "void":
+			return Void, nil
+		case "i1":
+			return I1, nil
+		case "i8":
+			return I8, nil
+		case "i16":
+			return I16, nil
+		case "i32":
+			return I32, nil
+		case "i64":
+			return I64, nil
+		case "f64":
+			return F64, nil
+		case "ptr":
+			return Ptr, nil
+		}
+		return nil, p.errf("unknown type %q", tok.text)
+	case tok.kind == tPunct && tok.text == "[":
+		p.lex.advance()
+		if p.lex.tok.kind != tNum {
+			return nil, p.errf("expected array length")
+		}
+		n, err := strconv.Atoi(p.lex.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		p.lex.advance()
+		if err := p.expectIdent("x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return ArrayOf(elem, n), nil
+	case tok.kind == tPunct && tok.text == "{":
+		p.lex.advance()
+		var fields []*Type
+		for !(p.lex.tok.kind == tPunct && p.lex.tok.text == "}") {
+			if len(fields) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			f, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		}
+		p.lex.advance()
+		return StructOf(fields...), nil
+	}
+	return nil, p.errf("expected type, got %q", tok.text)
+}
+
+func (p *parser) parseGlobal() error {
+	p.lex.advance() // "global"
+	if p.lex.tok.kind != tGlobal {
+		return p.errf("expected global name")
+	}
+	name := p.lex.tok.text
+	p.lex.advance()
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	elem, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	g := p.mod.AddGlobal(name, elem)
+	if p.lex.tok.kind == tPunct && p.lex.tok.text == "=" {
+		p.lex.advance()
+		if p.lex.tok.kind != tHex {
+			return p.errf("expected #hex initializer")
+		}
+		b, err := hex.DecodeString(p.lex.tok.text)
+		if err != nil {
+			return err
+		}
+		g.Init = b
+		p.lex.advance()
+	}
+	if p.lex.tok.kind == tIdent && p.lex.tok.text == "ptrs" {
+		p.lex.advance()
+		if err := p.expectPunct("["); err != nil {
+			return err
+		}
+		for !(p.lex.tok.kind == tPunct && p.lex.tok.text == "]") {
+			if len(g.PtrInit) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+			}
+			if p.lex.tok.kind != tNum {
+				return p.errf("expected pointer offset")
+			}
+			off, err := strconv.ParseInt(p.lex.tok.text, 10, 64)
+			if err != nil {
+				return err
+			}
+			g.PtrInit = append(g.PtrInit, off)
+			p.lex.advance()
+		}
+		p.lex.advance()
+	}
+	return nil
+}
+
+func (p *parser) parseFunc() error {
+	p.lex.advance() // "func"
+	if p.lex.tok.kind != tGlobal {
+		return p.errf("expected function name")
+	}
+	name := p.lex.tok.text
+	p.lex.advance()
+	if _, _, err := p.parseSig(); err != nil { // signature already prescanned
+		return err
+	}
+	fn := p.mod.Func(name)
+	p.fn = fn
+	if !(p.lex.tok.kind == tPunct && p.lex.tok.text == "{") {
+		return nil // declaration only
+	}
+	p.lex.advance()
+
+	p.locals = make(map[string]Value)
+	p.fixups = nil
+	for _, prm := range fn.Params {
+		p.locals[prm.Name] = prm
+	}
+
+	// Collect block labels first so branches can be forward.
+	blocks := make(map[string]*Block)
+	var order []*Block // blocks in source (label) order
+	var cur *Block
+	for !(p.lex.tok.kind == tPunct && p.lex.tok.text == "}") {
+		if p.lex.tok.kind == tEOF {
+			return p.errf("unexpected EOF in function body")
+		}
+		// Label line: ident ":"
+		if p.lex.tok.kind == tIdent && p.lex.peek().kind == tPunct && p.lex.peek().text == ":" {
+			lbl := p.lex.tok.text
+			p.lex.advance()
+			p.lex.advance()
+			b, ok := blocks[lbl]
+			if !ok {
+				b = fn.NewBlock(lbl)
+				b.Name = lbl
+				blocks[lbl] = b
+			}
+			order = append(order, b)
+			cur = b
+			continue
+		}
+		if cur == nil {
+			return p.errf("instruction before first block label")
+		}
+		in, err := p.parseInstr(blocks)
+		if err != nil {
+			return err
+		}
+		cur.Append(in)
+		if in.Name != "" {
+			p.locals[in.Name] = in
+		}
+	}
+	p.lex.advance() // "}"
+
+	if len(order) != len(fn.Blocks) {
+		return p.errf("branch to undefined label in @%s", fn.Name)
+	}
+	fn.Blocks = order // restore source order
+
+	// Resolve fixups (forward value references, e.g. in phis).
+	for _, fx := range p.fixups {
+		v, ok := p.locals[fx.name]
+		if !ok {
+			return p.errf("undefined value %%%s in @%s", fx.name, fn.Name)
+		}
+		fx.instr.Args[fx.arg] = v
+	}
+	return nil
+}
+
+// blockRef returns (creating if needed) the block with the given label.
+func (p *parser) blockRef(blocks map[string]*Block, name string) *Block {
+	if b, ok := blocks[name]; ok {
+		return b
+	}
+	b := p.fn.NewBlock(name)
+	b.Name = name
+	blocks[name] = b
+	return b
+}
+
+// operand parses a value reference in a context expecting type t. Unknown
+// local names produce a fixup resolved at end of function.
+func (p *parser) operand(in *Instr, argIdx int, t *Type) (Value, error) {
+	tok := p.lex.tok
+	switch tok.kind {
+	case tLocal:
+		p.lex.advance()
+		if v, ok := p.locals[tok.text]; ok {
+			return v, nil
+		}
+		p.fixups = append(p.fixups, fixup{instr: in, arg: argIdx, name: tok.text})
+		return placeholder{t}, nil
+	case tGlobal:
+		p.lex.advance()
+		if g := p.mod.Global(tok.text); g != nil {
+			return g, nil
+		}
+		if f := p.mod.Func(tok.text); f != nil {
+			return f, nil
+		}
+		return nil, p.errf("undefined global @%s", tok.text)
+	case tNum:
+		p.lex.advance()
+		if t.IsFloat() {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return ConstFloat(f), nil
+		}
+		n, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		if t.IsPtr() {
+			return &Const{Typ: Ptr, Int: n}, nil
+		}
+		return ConstInt(t, n), nil
+	case tIdent:
+		if tok.text == "null" {
+			p.lex.advance()
+			return ConstNull(), nil
+		}
+		if strings.HasPrefix(tok.text, "ptr") {
+			// ptr:0x... form
+		}
+	}
+	return nil, p.errf("expected operand, got %q", tok.text)
+}
+
+// placeholder stands in for a forward-referenced value until fixup.
+type placeholder struct{ t *Type }
+
+func (ph placeholder) Type() *Type { return ph.t }
+func (ph placeholder) Ref() string { return "%?" }
+
+func (p *parser) parseInstr(blocks map[string]*Block) (*Instr, error) {
+	var name string
+	if p.lex.tok.kind == tLocal {
+		name = p.lex.tok.text
+		p.lex.advance()
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+	}
+	if p.lex.tok.kind != tIdent {
+		return nil, p.errf("expected opcode, got %q", p.lex.tok.text)
+	}
+	opName := p.lex.tok.text
+	op, ok := opByName[opName]
+	if !ok {
+		return nil, p.errf("unknown opcode %q", opName)
+	}
+	p.lex.advance()
+	in := &Instr{Op: op, Name: name}
+
+	switch {
+	case op.IsBinary():
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = t
+		in.Args = make([]Value, 2)
+		if in.Args[0], err = p.operand(in, 0, t); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[1], err = p.operand(in, 1, t); err != nil {
+			return nil, err
+		}
+
+	case op == OpICmp || op == OpFCmp:
+		if p.lex.tok.kind != tIdent {
+			return nil, p.errf("expected predicate")
+		}
+		var pr Pred
+		found := false
+		for k, v := range predNames {
+			if v == p.lex.tok.text {
+				pr, found = k, true
+				break
+			}
+		}
+		if !found {
+			return nil, p.errf("unknown predicate %q", p.lex.tok.text)
+		}
+		p.lex.advance()
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Pred = pr
+		in.Typ = I1
+		in.Args = make([]Value, 2)
+		if in.Args[0], err = p.operand(in, 0, t); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[1], err = p.operand(in, 1, t); err != nil {
+			return nil, err
+		}
+
+	case op.IsCast():
+		from, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = make([]Value, 1)
+		if in.Args[0], err = p.operand(in, 0, from); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("to"); err != nil {
+			return nil, err
+		}
+		to, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = to
+
+	case op == OpAlloca:
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		in.Elem, in.Typ = elem, Ptr
+		in.Args = make([]Value, 1)
+		if in.Args[0], err = p.operand(in, 0, I64); err != nil {
+			return nil, err
+		}
+
+	case op == OpLoad:
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		in.Elem, in.Typ = elem, elem
+		in.Args = make([]Value, 1)
+		if in.Args[0], err = p.operand(in, 0, Ptr); err != nil {
+			return nil, err
+		}
+
+	case op == OpStore:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = Void
+		in.Args = make([]Value, 2)
+		if in.Args[0], err = p.operand(in, 0, t); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[1], err = p.operand(in, 1, Ptr); err != nil {
+			return nil, err
+		}
+
+	case op == OpGEP:
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		in.Elem, in.Typ = elem, Ptr
+		in.Args = make([]Value, 1, 3)
+		if in.Args[0], err = p.operand(in, 0, Ptr); err != nil {
+			return nil, err
+		}
+		for p.lex.tok.kind == tPunct && p.lex.tok.text == "," {
+			p.lex.advance()
+			in.Args = append(in.Args, nil)
+			idx := len(in.Args) - 1
+			if in.Args[idx], err = p.operand(in, idx, I64); err != nil {
+				return nil, err
+			}
+		}
+
+	case op == OpPhi:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = t
+		for {
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			idx := len(in.Args) - 1
+			if in.Args[idx], err = p.operand(in, idx, t); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			if p.lex.tok.kind != tLabel {
+				return nil, p.errf("expected block label in phi")
+			}
+			in.Preds = append(in.Preds, p.blockRef(blocks, p.lex.tok.text))
+			p.lex.advance()
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if !(p.lex.tok.kind == tPunct && p.lex.tok.text == ",") {
+				break
+			}
+			p.lex.advance()
+		}
+
+	case op == OpSelect:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = t
+		in.Args = make([]Value, 3)
+		if in.Args[0], err = p.operand(in, 0, I1); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[1], err = p.operand(in, 1, t); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[2], err = p.operand(in, 2, t); err != nil {
+			return nil, err
+		}
+
+	case op == OpCall:
+		ret, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Typ = ret
+		if p.lex.tok.kind != tGlobal {
+			return nil, p.errf("expected callee")
+		}
+		callee := p.mod.Func(p.lex.tok.text)
+		if callee == nil {
+			return nil, p.errf("undefined function @%s", p.lex.tok.text)
+		}
+		in.Callee = callee
+		p.lex.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for !(p.lex.tok.kind == tPunct && p.lex.tok.text == ")") {
+			if len(in.Args) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			idx := len(in.Args) - 1
+			if in.Args[idx], err = p.operand(in, idx, t); err != nil {
+				return nil, err
+			}
+		}
+		p.lex.advance()
+
+	case op == OpBr:
+		in.Typ = Void
+		if p.lex.tok.kind != tLabel {
+			return nil, p.errf("expected branch target")
+		}
+		in.Succs = []*Block{p.blockRef(blocks, p.lex.tok.text)}
+		p.lex.advance()
+
+	case op == OpCondBr:
+		in.Typ = Void
+		in.Args = make([]Value, 1)
+		var err error
+		if in.Args[0], err = p.operand(in, 0, I1); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind != tLabel {
+			return nil, p.errf("expected then target")
+		}
+		then := p.blockRef(blocks, p.lex.tok.text)
+		p.lex.advance()
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind != tLabel {
+			return nil, p.errf("expected else target")
+		}
+		els := p.blockRef(blocks, p.lex.tok.text)
+		p.lex.advance()
+		in.Succs = []*Block{then, els}
+
+	case op == OpRet:
+		in.Typ = Void
+		if p.lex.tok.kind == tIdent && p.lex.tok.text == "void" {
+			p.lex.advance()
+			break
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = make([]Value, 1)
+		if in.Args[0], err = p.operand(in, 0, t); err != nil {
+			return nil, err
+		}
+
+	case op == OpUnreachable:
+		in.Typ = Void
+
+	case op == OpGuard:
+		in.Typ = Void
+		if p.lex.tok.kind != tIdent {
+			return nil, p.errf("expected guard kind")
+		}
+		var k GuardKind
+		found := false
+		for gk, s := range guardKindNames {
+			if s == p.lex.tok.text {
+				k, found = gk, true
+				break
+			}
+		}
+		if !found {
+			return nil, p.errf("unknown guard kind %q", p.lex.tok.text)
+		}
+		in.Kind = k
+		p.lex.advance()
+		in.Args = make([]Value, 2)
+		var err error
+		if in.Args[0], err = p.operand(in, 0, Ptr); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if in.Args[1], err = p.operand(in, 1, I64); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, p.errf("unhandled opcode %q", opName)
+	}
+	return in, nil
+}

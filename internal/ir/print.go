@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// String renders the module in its textual syntax. The output parses back
+// to an equivalent module (see Parse).
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %q\n", m.Name)
+	for _, g := range m.Globals {
+		sb.WriteString("\n")
+		sb.WriteString(g.String())
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// String renders the global's definition line.
+func (g *Global) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "global @%s : %s", g.Name, g.Elem)
+	if len(g.Init) > 0 {
+		fmt.Fprintf(&sb, " = #%s", hex.EncodeToString(g.Init))
+	}
+	if len(g.PtrInit) > 0 {
+		sb.WriteString(" ptrs [")
+		for i, off := range g.PtrInit {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%d", off)
+		}
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// String renders the function definition or declaration.
+func (f *Func) String() string {
+	var sb strings.Builder
+	sb.WriteString("func @")
+	sb.WriteString(f.Name)
+	sb.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%%%s: %s", p.Name, p.Typ)
+	}
+	fmt.Fprintf(&sb, ") -> %s", f.RetTyp)
+	if f.IsDecl() {
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// String renders one instruction in its textual syntax.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Op.HasResult() && in.Typ != Void {
+		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+	}
+	switch {
+	case in.Op.IsBinary():
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Typ, in.Args[0].Ref(), in.Args[1].Ref())
+	case in.Op == OpICmp || in.Op == OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s %s, %s", in.Op, in.Pred, in.Args[0].Type(), in.Args[0].Ref(), in.Args[1].Ref())
+	case in.Op.IsCast():
+		fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ref(), in.Typ)
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %s", in.Elem, in.Args[0].Ref())
+	case in.Op == OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Elem, in.Args[0].Ref())
+	case in.Op == OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s", in.Args[0].Type(), in.Args[0].Ref(), in.Args[1].Ref())
+	case in.Op == OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s", in.Elem, in.Args[0].Ref())
+		for _, idx := range in.Args[1:] {
+			fmt.Fprintf(&sb, ", %s", idx.Ref())
+		}
+	case in.Op == OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		for i := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, ^%s]", in.Args[i].Ref(), in.Preds[i].Name)
+		}
+	case in.Op == OpSelect:
+		fmt.Fprintf(&sb, "select %s %s, %s, %s", in.Typ, in.Args[0].Ref(), in.Args[1].Ref(), in.Args[2].Ref())
+	case in.Op == OpCall:
+		fmt.Fprintf(&sb, "call %s @%s(", in.Typ, in.Callee.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", a.Type(), a.Ref())
+		}
+		sb.WriteString(")")
+	case in.Op == OpBr:
+		fmt.Fprintf(&sb, "br ^%s", in.Succs[0].Name)
+	case in.Op == OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, ^%s, ^%s", in.Args[0].Ref(), in.Succs[0].Name, in.Succs[1].Name)
+	case in.Op == OpRet:
+		if len(in.Args) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Args[0].Type(), in.Args[0].Ref())
+		}
+	case in.Op == OpUnreachable:
+		sb.WriteString("unreachable")
+	case in.Op == OpGuard:
+		fmt.Fprintf(&sb, "guard %s %s, %s", in.Kind, in.Args[0].Ref(), in.Args[1].Ref())
+	default:
+		fmt.Fprintf(&sb, "%s ???", in.Op)
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// globals, function parameters, functions, and instructions themselves.
+type Value interface {
+	// Type returns the type of the value.
+	Type() *Type
+	// Ref returns the value's operand syntax, e.g. "%3", "@g", "42".
+	Ref() string
+}
+
+// Const is a compile-time constant of integer, float, or pointer type.
+// Pointer constants are restricted to null (Int == 0) and the special
+// non-canonical poison addresses used by the kernel to make pages
+// unavailable.
+type Const struct {
+	Typ   *Type
+	Int   int64   // value when Typ is integer or pointer
+	Float float64 // value when Typ is f64
+}
+
+// ConstInt returns an integer constant of type t.
+func ConstInt(t *Type, v int64) *Const {
+	if !t.IsInt() {
+		panic("ir: ConstInt with non-integer type")
+	}
+	return &Const{Typ: t, Int: v}
+}
+
+// ConstFloat returns an f64 constant.
+func ConstFloat(v float64) *Const { return &Const{Typ: F64, Float: v} }
+
+// ConstNull returns the null pointer constant.
+func ConstNull() *Const { return &Const{Typ: Ptr} }
+
+// Type implements Value.
+func (c *Const) Type() *Type { return c.Typ }
+
+// Ref implements Value.
+func (c *Const) Ref() string {
+	switch {
+	case c.Typ.IsFloat():
+		if c.Float == math.Trunc(c.Float) && math.Abs(c.Float) < 1e15 {
+			return strconv.FormatFloat(c.Float, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(c.Float, 'g', -1, 64)
+	case c.Typ.IsPtr():
+		if c.Int == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("ptr:%#x", uint64(c.Int))
+	default:
+		return strconv.FormatInt(c.Int, 10)
+	}
+}
+
+// IsZero reports whether c is a zero constant (0, 0.0, or null).
+func (c *Const) IsZero() bool { return c.Int == 0 && c.Float == 0 }
+
+// Global is a module-level variable (the IR analogue of data/bss). Its
+// value, when used as an operand, is the address of its storage, so the
+// operand type is always ptr.
+type Global struct {
+	Name    string
+	Elem    *Type   // type of the pointed-to storage
+	Init    []byte  // initial contents; nil means zero-fill (bss)
+	Mutable bool    // false for constant data
+	Addr    uint64  // physical address assigned at load time by the kernel
+	PtrInit []int64 // byte offsets within the storage that hold pointers
+}
+
+// Type implements Value: a global evaluates to its address.
+func (g *Global) Type() *Type { return Ptr }
+
+// Ref implements Value.
+func (g *Global) Ref() string { return "@" + g.Name }
+
+// Size returns the size in bytes of the global's storage.
+func (g *Global) Size() int64 { return g.Elem.Size() }
+
+// Param is a formal parameter of a function.
+type Param struct {
+	Name string
+	Typ  *Type
+	Idx  int
+}
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Typ }
+
+// Ref implements Value.
+func (p *Param) Ref() string { return "%" + p.Name }

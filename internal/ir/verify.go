@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Verify checks structural and type well-formedness of the module:
+// terminated blocks, operand/def dominance is NOT checked (the VM tolerates
+// non-SSA uses produced by simple builders), phi/pred consistency, operand
+// type agreement, and callee signature agreement. It returns the first
+// problem found, or nil.
+func (m *Module) Verify() error {
+	names := make(map[string]bool)
+	for _, g := range m.Globals {
+		if names["@"+g.Name] {
+			return fmt.Errorf("ir: duplicate global @%s", g.Name)
+		}
+		names["@"+g.Name] = true
+		if g.Elem == nil || g.Elem == Void {
+			return fmt.Errorf("ir: global @%s has invalid element type", g.Name)
+		}
+		if g.Init != nil && int64(len(g.Init)) > g.Elem.Size() {
+			return fmt.Errorf("ir: global @%s initializer larger than storage", g.Name)
+		}
+	}
+	for _, f := range m.Funcs {
+		if names["@"+f.Name] {
+			return fmt.Errorf("ir: duplicate symbol @%s", f.Name)
+		}
+		names["@"+f.Name] = true
+		if err := verifyFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if f.IsDecl() {
+		return nil
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	preds := predecessors(f)
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			return fmt.Errorf("ir: @%s/^%s: block not terminated", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("ir: @%s/^%s: terminator %s not last", f.Name, b.Name, in.Op)
+			}
+			if in.Op == OpPhi && i > 0 && b.Instrs[i-1].Op != OpPhi {
+				return fmt.Errorf("ir: @%s/^%s: phi after non-phi", f.Name, b.Name)
+			}
+			if err := verifyInstr(f, b, in, blockSet, preds); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// predecessors computes the predecessor sets of every block in f.
+func predecessors(f *Func) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr, blockSet map[*Block]bool, preds map[*Block][]*Block) error {
+	where := func() string { return fmt.Sprintf("ir: @%s/^%s: %s", f.Name, b.Name, in) }
+	for _, a := range in.Args {
+		if a == nil {
+			return fmt.Errorf("%s: nil operand", where())
+		}
+		if _, isPH := a.(placeholder); isPH {
+			return fmt.Errorf("%s: unresolved operand", where())
+		}
+	}
+	for _, s := range in.Succs {
+		if !blockSet[s] {
+			return fmt.Errorf("%s: successor ^%s not in function", where(), s.Name)
+		}
+	}
+	switch {
+	case in.Op.IsBinary():
+		if len(in.Args) != 2 {
+			return fmt.Errorf("%s: want 2 operands", where())
+		}
+		wantFloat := in.Op >= OpFAdd && in.Op <= OpFDiv
+		for _, a := range in.Args {
+			if wantFloat && !a.Type().IsFloat() {
+				return fmt.Errorf("%s: float op with non-float operand", where())
+			}
+			if !wantFloat && !a.Type().IsInt() {
+				return fmt.Errorf("%s: int op with non-int operand", where())
+			}
+		}
+		if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+			return fmt.Errorf("%s: operand type mismatch", where())
+		}
+	case in.Op == OpICmp:
+		if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+			return fmt.Errorf("%s: icmp operand mismatch", where())
+		}
+		if !in.Args[0].Type().IsInt() && !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("%s: icmp on non-integer", where())
+		}
+	case in.Op == OpFCmp:
+		if !in.Args[0].Type().IsFloat() || !in.Args[1].Type().IsFloat() {
+			return fmt.Errorf("%s: fcmp on non-float", where())
+		}
+	case in.Op == OpLoad:
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("%s: load from non-pointer", where())
+		}
+	case in.Op == OpStore:
+		if !in.Args[1].Type().IsPtr() {
+			return fmt.Errorf("%s: store to non-pointer", where())
+		}
+	case in.Op == OpGEP:
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("%s: gep base not a pointer", where())
+		}
+		for _, idx := range in.Args[1:] {
+			if !idx.Type().IsInt() {
+				return fmt.Errorf("%s: gep index not an integer", where())
+			}
+		}
+	case in.Op == OpPhi:
+		if len(in.Args) != len(in.Preds) {
+			return fmt.Errorf("%s: phi args/preds mismatch", where())
+		}
+		want := preds[b]
+		if len(in.Args) != len(want) {
+			return fmt.Errorf("%s: phi has %d incoming, block has %d preds", where(), len(in.Args), len(want))
+		}
+		for _, pb := range in.Preds {
+			found := false
+			for _, w := range want {
+				if w == pb {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: phi incoming ^%s is not a predecessor", where(), pb.Name)
+			}
+		}
+		for _, a := range in.Args {
+			if !a.Type().Equal(in.Typ) {
+				return fmt.Errorf("%s: phi incoming type mismatch", where())
+			}
+		}
+	case in.Op == OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("%s: call without callee", where())
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("%s: call to @%s with %d args, want %d",
+				where(), in.Callee.Name, len(in.Args), len(in.Callee.Params))
+		}
+		for i, a := range in.Args {
+			if !a.Type().Equal(in.Callee.Params[i].Typ) {
+				return fmt.Errorf("%s: arg %d type mismatch calling @%s", where(), i, in.Callee.Name)
+			}
+		}
+		if !in.Typ.Equal(in.Callee.RetTyp) {
+			return fmt.Errorf("%s: result type does not match @%s return", where(), in.Callee.Name)
+		}
+	case in.Op == OpCondBr:
+		if !in.Args[0].Type().Equal(I1) {
+			return fmt.Errorf("%s: condbr condition not i1", where())
+		}
+		if len(in.Succs) != 2 {
+			return fmt.Errorf("%s: condbr needs 2 successors", where())
+		}
+	case in.Op == OpBr:
+		if len(in.Succs) != 1 {
+			return fmt.Errorf("%s: br needs 1 successor", where())
+		}
+	case in.Op == OpRet:
+		if f.RetTyp == Void {
+			if len(in.Args) != 0 {
+				return fmt.Errorf("%s: ret with value in void function", where())
+			}
+		} else {
+			if len(in.Args) != 1 || !in.Args[0].Type().Equal(f.RetTyp) {
+				return fmt.Errorf("%s: ret type mismatch", where())
+			}
+		}
+	case in.Op == OpGuard:
+		if len(in.Args) != 2 {
+			return fmt.Errorf("%s: guard wants (addr, size)", where())
+		}
+		if !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("%s: guard address not a pointer", where())
+		}
+		if !in.Args[1].Type().IsInt() {
+			return fmt.Errorf("%s: guard size not an integer", where())
+		}
+	case in.Op == OpSelect:
+		if !in.Args[0].Type().Equal(I1) {
+			return fmt.Errorf("%s: select condition not i1", where())
+		}
+		if !in.Args[1].Type().Equal(in.Args[2].Type()) {
+			return fmt.Errorf("%s: select arm type mismatch", where())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"fmt"
+)
+
+// PageAllocator hands out physical page frames. It supports contiguous
+// multi-page allocation with a first-fit scan over a bitmap, which is all
+// the CARAT kernel needs: region-sized contiguous grants for code, data,
+// stack, and heap, plus single-page allocations for demand paging.
+type PageAllocator struct {
+	bitmap  []uint64 // 1 = in use
+	pages   uint64
+	free    uint64
+	scanPos uint64 // next-fit hint
+}
+
+// NewPageAllocator manages n pages; page 0 is permanently reserved so that
+// physical address 0 (null) is never handed out.
+func NewPageAllocator(n uint64) *PageAllocator {
+	a := &PageAllocator{
+		bitmap: make([]uint64, (n+63)/64),
+		pages:  n,
+		free:   n,
+	}
+	a.mark(0, true)
+	a.free--
+	return a
+}
+
+// FreePages returns the number of currently free page frames.
+func (a *PageAllocator) FreePages() uint64 { return a.free }
+
+// TotalPages returns the managed page count.
+func (a *PageAllocator) TotalPages() uint64 { return a.pages }
+
+func (a *PageAllocator) inUse(p uint64) bool { return a.bitmap[p/64]&(1<<(p%64)) != 0 }
+
+func (a *PageAllocator) mark(p uint64, used bool) {
+	if used {
+		a.bitmap[p/64] |= 1 << (p % 64)
+	} else {
+		a.bitmap[p/64] &^= 1 << (p % 64)
+	}
+}
+
+// Alloc grabs n contiguous page frames and returns the physical address of
+// the first.
+func (a *PageAllocator) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("kernel: zero-page allocation")
+	}
+	if n > a.free {
+		return 0, fmt.Errorf("kernel: out of memory (%d pages requested, %d free)", n, a.free)
+	}
+	try := func(from, to uint64) (uint64, bool) {
+		if to > a.pages {
+			to = a.pages
+		}
+		var run, start uint64
+		for p := from; p < to; p++ {
+			if a.inUse(p) {
+				run = 0
+				continue
+			}
+			if run == 0 {
+				start = p
+			}
+			run++
+			if run == n {
+				return start, true
+			}
+		}
+		return 0, false
+	}
+	start, ok := try(a.scanPos, a.pages)
+	if !ok {
+		start, ok = try(1, a.scanPos+n)
+	}
+	if !ok {
+		return 0, fmt.Errorf("kernel: no contiguous run of %d pages", n)
+	}
+	for p := start; p < start+n; p++ {
+		a.mark(p, true)
+	}
+	a.free -= n
+	a.scanPos = start + n
+	return start * PageSize, nil
+}
+
+// Free releases n contiguous page frames starting at physical address addr
+// (which must be page-aligned).
+func (a *PageAllocator) Free(addr, n uint64) error {
+	if addr%PageSize != 0 {
+		return fmt.Errorf("kernel: free of unaligned address %#x", addr)
+	}
+	start := addr / PageSize
+	if start+n > a.pages {
+		return fmt.Errorf("kernel: free beyond memory end")
+	}
+	for p := start; p < start+n; p++ {
+		if !a.inUse(p) {
+			return fmt.Errorf("kernel: double free of page %d", p)
+		}
+	}
+	for p := start; p < start+n; p++ {
+		a.mark(p, false)
+	}
+	a.free += n
+	return nil
+}
+
+// Reserved reports whether the page containing addr is allocated.
+func (a *PageAllocator) Reserved(addr uint64) bool {
+	p := addr / PageSize
+	return p < a.pages && a.inUse(p)
+}

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"fmt"
+
+	"carat/internal/guard"
+)
+
+// Kernel owns physical memory and page frames, and manages CARAT processes:
+// it grants regions, accepts change requests, and coordinates moves with
+// the process's runtime through the MoveHandler upcall interface
+// (the kernel module of paper §4.3).
+type Kernel struct {
+	Mem   *PhysMem
+	Alloc *PageAllocator
+	Stats Stats
+}
+
+// Stats counts kernel-side events.
+type Stats struct {
+	PageAllocs  uint64 // page frames handed out
+	PageFrees   uint64
+	PageMoves   uint64 // page-move change requests executed
+	ProtChanges uint64 // protection change requests executed
+	MoveVetoes  uint64 // moves vetoed during negotiation
+}
+
+// New creates a kernel with the given physical memory size in bytes.
+func New(memBytes uint64) *Kernel {
+	mem := NewPhysMem(memBytes)
+	return &Kernel{
+		Mem:   mem,
+		Alloc: NewPageAllocator(mem.Pages()),
+	}
+}
+
+// NonCanonical is the base of the poison address range used to mark
+// unavailable pages (§2.2): patching a pointer into this range guarantees
+// a fault on use, and the low bits encode why the page is unavailable.
+const NonCanonical = uint64(0xFFFF_8000_0000_0000)
+
+// PoisonKind encodes conditions in the non-canonical address space.
+type PoisonKind uint64
+
+// Poison kinds.
+const (
+	PoisonSwapped PoisonKind = iota + 1
+	PoisonDemand
+	PoisonNull
+)
+
+// Poison returns the non-canonical address encoding kind.
+func Poison(kind PoisonKind) uint64 { return NonCanonical | uint64(kind)<<32 }
+
+// IsPoison reports whether addr lies in the non-canonical range.
+func IsPoison(addr uint64) bool { return addr >= NonCanonical }
+
+// MoveHandler is the upcall interface the CARAT runtime registers with the
+// kernel module. The kernel invokes it to execute steps 2-12 of Figure 8;
+// the handler stops the world, negotiates the final range, patches escapes
+// and registers, moves the data, and reports the realized move.
+type MoveHandler interface {
+	// HandleMove is invoked with the kernel's proposed source range and
+	// the negotiated destination. It returns the realized source range
+	// (possibly expanded so no allocation straddles its boundary).
+	HandleMove(req *MoveRequest) (MoveResult, error)
+	// HandleProtect is invoked for a protection change: the handler stops
+	// the world so the next guard observes the new region set.
+	HandleProtect(apply func() error) error
+}
+
+// MoveRequest is a kernel-initiated page move (step 1 of Figure 8).
+type MoveRequest struct {
+	Src    uint64 // page-aligned source base
+	Pages  uint64 // number of pages requested
+	kernel *Kernel
+	proc   *Process
+}
+
+// MoveResult reports what the runtime actually moved.
+type MoveResult struct {
+	Src   uint64 // realized (possibly expanded) source base
+	Dst   uint64
+	Pages uint64
+}
+
+// Process is a loaded CARAT process: its region set and its registered
+// runtime handler. The region set lives, conceptually, in the runtime's
+// landing zone; the kernel is its only writer (§4.2 "Protection").
+type Process struct {
+	K       *Kernel
+	Regions *guard.RegionSet
+	Handler MoveHandler
+
+	// notifiers receive MMU-notifier-style paging events (see notifier.go).
+	notifiers []MMUNotifier
+}
+
+// NewProcess registers a process with an empty region set.
+func (k *Kernel) NewProcess() *Process {
+	return &Process{K: k, Regions: guard.NewRegionSet()}
+}
+
+// GrantRegion allocates sizeBytes of contiguous physical memory (rounded
+// up to pages), adds it to the process's region set with permission p, and
+// returns its base address.
+func (p *Process) GrantRegion(sizeBytes uint64, perm guard.Perm) (uint64, error) {
+	pages := (sizeBytes + PageSize - 1) / PageSize
+	base, err := p.K.Alloc.Alloc(pages)
+	if err != nil {
+		return 0, err
+	}
+	p.K.Stats.PageAllocs += pages
+	if err := p.K.Mem.Zero(base, pages*PageSize); err != nil {
+		return 0, err
+	}
+	if err := p.Regions.Add(guard.Region{Base: base, Len: pages * PageSize, Perm: perm}); err != nil {
+		return 0, err
+	}
+	p.notify(MMUEvent{Kind: EventAllocate, Base: base, Len: pages * PageSize})
+	return base, nil
+}
+
+// ReleaseRegion removes [base, base+len) from the region set and frees its
+// page frames. base and len must be page-aligned.
+func (p *Process) ReleaseRegion(base, length uint64) error {
+	if base%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("kernel: unaligned region release")
+	}
+	p.Regions.Remove(base, length)
+	if err := p.K.Alloc.Free(base, length/PageSize); err != nil {
+		return err
+	}
+	p.K.Stats.PageFrees += length / PageSize
+	p.notify(MMUEvent{Kind: EventInvalidateRange, Base: base, Len: length})
+	return nil
+}
+
+// RequestProtect executes a protection change request through the runtime's
+// world-stop protocol: a simpler variant of a move with no patching (§4.4).
+func (p *Process) RequestProtect(base, length uint64, perm guard.Perm) error {
+	apply := func() error { return p.Regions.SetPerm(base, length, perm) }
+	if p.Handler == nil {
+		if err := apply(); err != nil {
+			return err
+		}
+	} else if err := p.Handler.HandleProtect(apply); err != nil {
+		return err
+	}
+	p.K.Stats.ProtChanges++
+	p.notify(MMUEvent{Kind: EventInvalidateRange, Base: base, Len: length})
+	return nil
+}
+
+// RequestMove asks the process to vacate the page range starting at src
+// (step 1 of Figure 8). The runtime may expand the range during
+// negotiation. The kernel allocates the destination, the runtime patches
+// and moves, and the kernel retires the source frames.
+func (p *Process) RequestMove(src uint64, pages uint64) (MoveResult, error) {
+	if p.Handler == nil {
+		return MoveResult{}, fmt.Errorf("kernel: process has no registered runtime")
+	}
+	if src%PageSize != 0 {
+		return MoveResult{}, fmt.Errorf("kernel: unaligned move source %#x", src)
+	}
+	req := &MoveRequest{Src: src, Pages: pages, kernel: p.K, proc: p}
+	res, err := p.Handler.HandleMove(req)
+	if err != nil {
+		return MoveResult{}, err
+	}
+	p.K.Stats.PageMoves += res.Pages
+	p.notify(MMUEvent{Kind: EventPTEChange, Base: res.Src, Len: res.Pages * PageSize, NewPA: res.Dst})
+	return res, nil
+}
+
+// NegotiateDst is called by the runtime during step 5 of Figure 8 once the
+// final (possibly expanded) source range is known: the kernel allocates a
+// destination range of equal size and installs it in the region set with
+// the same permissions as the source.
+func (r *MoveRequest) NegotiateDst(src uint64, pages uint64) (uint64, error) {
+	reg, ok := r.proc.Regions.Find(src)
+	if !ok {
+		return 0, fmt.Errorf("kernel: move source %#x not in any region", src)
+	}
+	dst, err := r.kernel.Alloc.Alloc(pages)
+	if err != nil {
+		return 0, err
+	}
+	r.kernel.Stats.PageAllocs += pages
+	if err := r.proc.Regions.Add(guard.Region{Base: dst, Len: pages * PageSize, Perm: reg.Perm}); err != nil {
+		_ = r.kernel.Alloc.Free(dst, pages)
+		return 0, err
+	}
+	return dst, nil
+}
+
+// RetireSrc is called by the runtime after the data movement (step 10):
+// the kernel removes the vacated range from the region set and frees its
+// frames.
+func (r *MoveRequest) RetireSrc(src uint64, pages uint64) error {
+	return r.proc.ReleaseRegion(src, pages*PageSize)
+}
+
+// Veto aborts a move during negotiation (§4.3: "The kernel module can then
+// veto or approve the move"), releasing nothing.
+func (r *MoveRequest) Veto() {
+	r.kernel.Stats.MoveVetoes++
+}

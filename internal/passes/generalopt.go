@@ -1,0 +1,456 @@
+package passes
+
+import (
+	"fmt"
+
+	"carat/internal/analysis"
+	"carat/internal/ir"
+)
+
+// ConstFold folds instructions whose operands are all constants, and
+// simplifies algebraic identities (x+0, x*1, x*0).
+type ConstFold struct{}
+
+// Name implements Pass.
+func (*ConstFold) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (*ConstFold) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		for {
+			folded := 0
+			for _, b := range f.Blocks {
+				for i := 0; i < len(b.Instrs); i++ {
+					in := b.Instrs[i]
+					if c := foldInstr(in); c != nil {
+						replaceUses(f, in, c)
+						b.Remove(in)
+						i--
+						folded++
+					}
+				}
+			}
+			stats.Folded += folded
+			if folded == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// foldInstr returns the constant an instruction folds to, or nil.
+func foldInstr(in *ir.Instr) *ir.Const {
+	if in.Op.IsBinary() && in.Typ.IsInt() {
+		a, okA := in.Args[0].(*ir.Const)
+		b, okB := in.Args[1].(*ir.Const)
+		if okA && okB {
+			if v, ok := evalIntBinop(in.Op, a.Int, b.Int); ok {
+				return ir.ConstInt(in.Typ, truncToWidth(v, in.Typ.Bits))
+			}
+		}
+		// Identities.
+		if okB {
+			switch {
+			case b.Int == 0 && (in.Op == ir.OpAdd || in.Op == ir.OpSub || in.Op == ir.OpOr ||
+				in.Op == ir.OpXor || in.Op == ir.OpShl || in.Op == ir.OpLShr || in.Op == ir.OpAShr):
+				if c, ok := in.Args[0].(*ir.Const); ok {
+					return c
+				}
+			case b.Int == 1 && (in.Op == ir.OpMul || in.Op == ir.OpSDiv || in.Op == ir.OpUDiv):
+				if c, ok := in.Args[0].(*ir.Const); ok {
+					return c
+				}
+			case b.Int == 0 && in.Op == ir.OpMul:
+				return ir.ConstInt(in.Typ, 0)
+			case b.Int == 0 && in.Op == ir.OpAnd:
+				return ir.ConstInt(in.Typ, 0)
+			}
+		}
+	}
+	if in.Op == ir.OpICmp {
+		a, okA := in.Args[0].(*ir.Const)
+		b, okB := in.Args[1].(*ir.Const)
+		if okA && okB && a.Typ.IsInt() {
+			return ir.ConstInt(ir.I1, boolToInt(evalICmp(in.Pred, a.Int, b.Int)))
+		}
+	}
+	if in.Op.IsBinary() && in.Typ.IsFloat() {
+		a, okA := in.Args[0].(*ir.Const)
+		b, okB := in.Args[1].(*ir.Const)
+		if okA && okB {
+			switch in.Op {
+			case ir.OpFAdd:
+				return ir.ConstFloat(a.Float + b.Float)
+			case ir.OpFSub:
+				return ir.ConstFloat(a.Float - b.Float)
+			case ir.OpFMul:
+				return ir.ConstFloat(a.Float * b.Float)
+			case ir.OpFDiv:
+				if b.Float != 0 {
+					return ir.ConstFloat(a.Float / b.Float)
+				}
+			}
+		}
+	}
+	if in.Op.IsCast() {
+		if a, ok := in.Args[0].(*ir.Const); ok {
+			switch in.Op {
+			case ir.OpTrunc:
+				return ir.ConstInt(in.Typ, truncToWidth(a.Int, in.Typ.Bits))
+			case ir.OpZExt:
+				src := a.Typ.Bits
+				masked := uint64(a.Int)
+				if src < 64 {
+					masked &= 1<<uint(src) - 1
+				}
+				return ir.ConstInt(in.Typ, truncToWidth(int64(masked), in.Typ.Bits))
+			case ir.OpSExt:
+				return ir.ConstInt(in.Typ, a.Int)
+			case ir.OpSIToFP:
+				return ir.ConstFloat(float64(a.Int))
+			case ir.OpFPToSI:
+				return ir.ConstInt(in.Typ, int64(a.Float))
+			}
+		}
+	}
+	return nil
+}
+
+func evalIntBinop(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpSDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpSRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpUDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return int64(uint64(a) / uint64(b)), true
+	case ir.OpURem:
+		if b == 0 {
+			return 0, false
+		}
+		return int64(uint64(a) % uint64(b)), true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpLShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case ir.OpAShr:
+		return a >> (uint64(b) & 63), true
+	}
+	return 0, false
+}
+
+func evalICmp(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	case ir.PredULT:
+		return uint64(a) < uint64(b)
+	case ir.PredULE:
+		return uint64(a) <= uint64(b)
+	case ir.PredUGT:
+		return uint64(a) > uint64(b)
+	case ir.PredUGE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+func truncToWidth(v int64, bits int) int64 {
+	if bits >= 64 {
+		return v
+	}
+	mask := int64(1)<<uint(bits) - 1
+	v &= mask
+	// sign-extend back for signed interpretation consistency
+	if v&(1<<uint(bits-1)) != 0 {
+		v |= ^mask
+	}
+	if bits == 1 {
+		v &= 1
+	}
+	return v
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DCE removes instructions whose results are unused and that have no side
+// effects, iterating to a fixed point.
+type DCE struct{}
+
+// Name implements Pass.
+func (*DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (*DCE) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		for {
+			used := make(map[ir.Value]bool)
+			f.ForEachInstr(func(in *ir.Instr) {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			})
+			removed := 0
+			for _, b := range f.Blocks {
+				for i := len(b.Instrs) - 1; i >= 0; i-- {
+					in := b.Instrs[i]
+					if sideEffectFree(in) && !used[in] {
+						b.Remove(in)
+						removed++
+					}
+				}
+			}
+			stats.DCEd += removed
+			if removed == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// sideEffectFree reports whether removing in cannot change behaviour
+// (assuming its result is unused).
+func sideEffectFree(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall, ir.OpBr, ir.OpCondBr, ir.OpRet,
+		ir.OpUnreachable, ir.OpGuard, ir.OpAlloca:
+		return false
+	case ir.OpSDiv, ir.OpSRem, ir.OpUDiv, ir.OpURem:
+		// May trap on zero divisors; keep unless divisor is a nonzero const.
+		c, ok := in.Args[1].(*ir.Const)
+		return ok && c.Int != 0
+	case ir.OpLoad:
+		// A load is observable under CARAT only through its guard, which
+		// is separate; the load itself is removable when unused.
+		return true
+	}
+	return true
+}
+
+// CSE performs dominance-based common subexpression elimination on pure
+// instructions.
+type CSE struct{}
+
+// Name implements Pass.
+func (*CSE) Name() string { return "cse" }
+
+// Run implements Pass.
+func (*CSE) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		cfg := analysis.NewCFG(f)
+		dom := analysis.NewDomTree(cfg)
+		table := make(map[string][]*ir.Instr)
+		for _, b := range cfg.RPO {
+			for i := 0; i < len(b.Instrs); i++ {
+				in := b.Instrs[i]
+				if !pureValueOp(in) {
+					continue
+				}
+				key := exprKey(in)
+				replaced := false
+				for _, prev := range table[key] {
+					if dom.InstrDominates(prev, in) {
+						replaceUses(f, in, prev)
+						b.Remove(in)
+						i--
+						stats.CSEd++
+						replaced = true
+						break
+					}
+				}
+				if !replaced {
+					table[key] = append(table[key], in)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pureValueOp reports whether in computes a pure value eligible for CSE.
+func pureValueOp(in *ir.Instr) bool {
+	if in.Op.IsBinary() || in.Op.IsCast() {
+		return true
+	}
+	switch in.Op {
+	case ir.OpICmp, ir.OpFCmp, ir.OpGEP, ir.OpSelect:
+		return true
+	}
+	return false
+}
+
+// exprKey builds a structural key for an instruction's computation.
+func exprKey(in *ir.Instr) string {
+	key := fmt.Sprintf("%d/%d/%s", in.Op, in.Pred, in.Typ)
+	if in.Elem != nil {
+		key += "/" + in.Elem.String()
+	}
+	for _, a := range in.Args {
+		key += "|" + opdKey(a)
+	}
+	return key
+}
+
+func opdKey(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Const:
+		return "c" + x.Ref() + x.Typ.String()
+	case *ir.Global:
+		return "@" + x.Name
+	case *ir.Param:
+		return fmt.Sprintf("p%d", x.Idx)
+	case *ir.Func:
+		return "f" + x.Name
+	case *ir.Instr:
+		return fmt.Sprintf("i%p", x)
+	}
+	return "?"
+}
+
+// LICM hoists loop-invariant pure computations to loop preheaders. Loads
+// are hoisted only when the alias chain proves no in-loop store clobbers
+// them and the load is guaranteed to execute (its block dominates every
+// latch).
+type LICM struct{}
+
+// Name implements Pass.
+func (*LICM) Name() string { return "licm" }
+
+// Run implements Pass.
+func (*LICM) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		cfg := analysis.NewCFG(f)
+		dom := analysis.NewDomTree(cfg)
+		loops := analysis.FindLoops(cfg, dom)
+		aa := analysis.NewChain(f)
+		// Innermost-first so hoisted code can cascade outward on later runs.
+		all := loops.All()
+		for i := len(all) - 1; i >= 0; i-- {
+			l := all[i]
+			ph := l.Preheader(cfg)
+			if ph == nil {
+				continue
+			}
+			inv := analysis.NewInvariance(l, aa)
+			latches := l.Latches(cfg)
+			for b := range l.Blocks {
+				for j := 0; j < len(b.Instrs); j++ {
+					in := b.Instrs[j]
+					if !hoistable(in) {
+						continue
+					}
+					if in.Op == ir.OpLoad && !dominatesAll(dom, b, latches) {
+						continue
+					}
+					if !invariantInstr(inv, in) {
+						continue
+					}
+					// Operands must be available at the preheader.
+					if !operandsAvailable(dom, l, in, ph) {
+						continue
+					}
+					b.Remove(in)
+					ph.InsertBefore(in, ph.Term())
+					stats.LICMMoved++
+					j--
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hoistable(in *ir.Instr) bool {
+	if in.Op.IsBinary() || in.Op.IsCast() {
+		return true
+	}
+	switch in.Op {
+	case ir.OpICmp, ir.OpFCmp, ir.OpGEP, ir.OpSelect, ir.OpLoad:
+		return true
+	}
+	return false
+}
+
+// invariantInstr checks the instruction itself (not just a Value use).
+func invariantInstr(inv *analysis.Invariance, in *ir.Instr) bool {
+	if in.Op == ir.OpLoad {
+		return inv.Invariant(in)
+	}
+	for _, a := range in.Args {
+		if !inv.Invariant(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// operandsAvailable reports whether every operand of in is defined outside
+// the loop (so it dominates the preheader) or is a non-instruction value.
+func operandsAvailable(dom *analysis.DomTree, l *analysis.Loop, in *ir.Instr, ph *ir.Block) bool {
+	for _, a := range in.Args {
+		ai, ok := a.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		if l.Contains(ai.Block) {
+			return false
+		}
+		if !dom.Dominates(ai.Block, ph) {
+			return false
+		}
+	}
+	return true
+}
+
+func dominatesAll(dom *analysis.DomTree, b *ir.Block, targets []*ir.Block) bool {
+	for _, t := range targets {
+		if !dom.Dominates(b, t) {
+			return false
+		}
+	}
+	return true
+}

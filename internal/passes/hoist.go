@@ -1,0 +1,94 @@
+package passes
+
+import (
+	"carat/internal/analysis"
+	"carat/internal/ir"
+)
+
+// HoistGuards is Optimization 1 (§4.1.1): a guard whose address is
+// loop-invariant is moved into the loop preheader, so it executes once per
+// loop entry instead of once per iteration. Call guards are hoisted out of
+// loops that perform no stack allocation. The pass applies itself
+// recursively: after an inner loop's guards move to its preheader, a later
+// iteration can move them out of the enclosing loop.
+type HoistGuards struct{}
+
+// Name implements Pass.
+func (*HoistGuards) Name() string { return "carat-hoist" }
+
+// Run implements Pass.
+func (*HoistGuards) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for {
+			if hoistFunc(f, stats) == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// hoistFunc performs one innermost-to-outermost hoisting sweep and returns
+// how many guards moved. Stats.Attribute ensures each original guard counts
+// at most once toward the Opt 1 statistics even when hoisted through
+// several loop levels.
+func hoistFunc(f *ir.Func, stats *Stats) int {
+	cfg := analysis.NewCFG(f)
+	dom := analysis.NewDomTree(cfg)
+	loops := analysis.FindLoops(cfg, dom)
+	aa := analysis.NewChain(f)
+	moved := 0
+	all := loops.All()
+	for i := len(all) - 1; i >= 0; i-- { // innermost first
+		l := all[i]
+		ph := l.Preheader(cfg)
+		if ph == nil {
+			continue
+		}
+		inv := analysis.NewInvariance(l, aa)
+		latches := l.Latches(cfg)
+		stackFree := inv.StackAllocFree()
+		for b := range l.Blocks {
+			for j := 0; j < len(b.Instrs); j++ {
+				in := b.Instrs[j]
+				if in.Op != ir.OpGuard {
+					continue
+				}
+				// The guarded path must run every iteration; otherwise
+				// hoisting would guard an access that may never happen,
+				// turning a legal run into a fault.
+				if !dominatesAll(dom, b, latches) {
+					continue
+				}
+				ok := false
+				switch in.Kind {
+				case ir.GuardCall:
+					// Safe when the loop allocates no stack: the footprint
+					// check result cannot change across iterations.
+					ok = stackFree
+				case ir.GuardLoad, ir.GuardStore, ir.GuardRange, ir.GuardRangeStore:
+					ok = inv.Invariant(in.Args[0]) && inv.Invariant(in.Args[1]) &&
+						operandsAvailable(dom, l, in, ph)
+				}
+				if !ok {
+					continue
+				}
+				b.Remove(in)
+				ph.InsertBefore(in, ph.Term())
+				// Range guards belong to Opt 2's statistics; each guard
+				// is attributed to one optimization only.
+				if in.Kind != ir.GuardRange && in.Kind != ir.GuardRangeStore {
+					if stats.Attribute(in) {
+						stats.Hoisted++
+					}
+				}
+				moved++
+				j--
+			}
+		}
+	}
+	return moved
+}

@@ -1,0 +1,269 @@
+package passes
+
+import (
+	"carat/internal/analysis"
+	"carat/internal/ir"
+)
+
+// MergeGuards is Optimization 2 (§4.1.1): when a loop walks an affine
+// address sequence base + start + k*step for k in [0, trips), the
+// per-iteration guards are replaced by a single range guard in the
+// preheader checking the lowest and highest address the loop will touch.
+// The range extent is computed at run time from the loop bound; the VM
+// treats a non-positive extent as a trivially passing guard (the loop body
+// never runs).
+//
+// A second merging rule uses the value-range analysis (the paper combines
+// SCEV with a value range analysis): a guard whose index is not affine but
+// provably bounded — rnd & (N-1), x urem N — merges into a constant range
+// guard over the index's whole addressable window. This is what lets the
+// random-access benchmarks (canneal, deepsjeng, xz) amortize their guards.
+type MergeGuards struct{}
+
+// Name implements Pass.
+func (*MergeGuards) Name() string { return "carat-scev-merge" }
+
+// Run implements Pass.
+func (*MergeGuards) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		mergeFunc(f, stats)
+	}
+	return nil
+}
+
+func mergeFunc(f *ir.Func, stats *Stats) {
+	cfg := analysis.NewCFG(f)
+	dom := analysis.NewDomTree(cfg)
+	loops := analysis.FindLoops(cfg, dom)
+	aa := analysis.NewChain(f)
+	all := loops.All()
+	for i := len(all) - 1; i >= 0; i-- { // innermost first
+		l := all[i]
+		ph := l.Preheader(cfg)
+		if ph == nil {
+			continue
+		}
+		inv := analysis.NewInvariance(l, aa)
+		scev := analysis.NewSCEV(cfg, l, inv)
+		latches := l.Latches(cfg)
+
+		// Collect mergeable guards grouped by (base, kind irrelevant):
+		// every affine guard over the same base and bound merges into one
+		// range check covering the union of the per-guard ranges.
+		type cand struct {
+			g   *ir.Instr
+			acc *analysis.AffineAccess
+			sz  int64
+		}
+		ranges := analysis.NewRanges()
+		var cands []cand
+		var bounded []boundedCand
+		for b := range l.Blocks {
+			if !dominatesAll(dom, b, latches) {
+				continue // conditional accesses cannot be over-guarded
+			}
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpGuard || (in.Kind != ir.GuardLoad && in.Kind != ir.GuardStore) {
+					continue
+				}
+				szc, ok := in.Args[1].(*ir.Const)
+				if !ok {
+					continue
+				}
+				if acc, ok := scev.AffineAccessOf(in.Args[0]); ok {
+					// The base pointer, bound, and IV start must be
+					// available at the preheader.
+					if bi, isInstr := acc.Base.(*ir.Instr); isInstr {
+						if l.Contains(bi.Block) || !dom.Dominates(bi.Block, ph) {
+							continue
+						}
+					}
+					if valueAvailableAt(dom, l, acc.Bound.Bound, ph) &&
+						valueAvailableAt(dom, l, acc.Lin.IV.Start, ph) {
+						cands = append(cands, cand{g: in, acc: acc, sz: szc.Int})
+						continue
+					}
+				}
+				if bc, ok := boundedAccessOf(ranges, dom, l, ph, in, szc.Int); ok {
+					bounded = append(bounded, bc)
+				}
+			}
+		}
+		for _, c := range cands {
+			kind := ir.GuardRange
+			if c.g.Kind == ir.GuardStore {
+				kind = ir.GuardRangeStore
+			}
+			lastAdj := c.acc.Bound.LastIVAdjust(l, c.g.Block)
+			emitRangeGuard(f, ph, c.acc, c.sz, lastAdj, kind)
+			c.g.Block.Remove(c.g)
+			if stats.Attribute(c.g) {
+				stats.Merged++
+			}
+			stats.RangeNew++
+		}
+		// Bounded-index guards over the same (base, window, kind) share
+		// one constant range guard in the preheader.
+		type key struct {
+			base    ir.Value
+			lo, sp  int64
+			isStore bool
+		}
+		emitted := map[key]bool{}
+		for _, bc := range bounded {
+			k := key{bc.base, bc.loOff, bc.span, bc.isStore}
+			if !emitted[k] {
+				emitted[k] = true
+				kind := ir.GuardRange
+				if bc.isStore {
+					kind = ir.GuardRangeStore
+				}
+				emitConstRangeGuard(f, ph, bc.base, bc.loOff, bc.span, kind)
+				stats.RangeNew++
+			}
+			bc.g.Block.Remove(bc.g)
+			if stats.Attribute(bc.g) {
+				stats.Merged++
+			}
+		}
+	}
+}
+
+// boundedCand is a guard mergeable by the bounded-index rule.
+type boundedCand struct {
+	g       *ir.Instr
+	base    ir.Value
+	loOff   int64 // constant byte offset of the lowest address
+	span    int64 // constant byte extent
+	isStore bool
+}
+
+// boundedAccessOf recognizes a guard whose address is gep(base, idx) with
+// a loop-invariant, preheader-available base and an index whose unsigned
+// value range is bounded: the guard merges into a constant range guard
+// over [base + lo*elem, base + hi*elem + size).
+func boundedAccessOf(ranges *analysis.Ranges, dom *analysis.DomTree, l *analysis.Loop,
+	ph *ir.Block, g *ir.Instr, size int64) (bc boundedCand, ok bool) {
+	gep, isGep := g.Args[0].(*ir.Instr)
+	if !isGep || gep.Op != ir.OpGEP || len(gep.Args) != 2 {
+		return bc, false
+	}
+	base := gep.Args[0]
+	if bi, isInstr := base.(*ir.Instr); isInstr {
+		if l.Contains(bi.Block) || !dom.Dominates(bi.Block, ph) {
+			return bc, false
+		}
+	}
+	iv := ranges.Of(gep.Args[1])
+	if iv.IsFull() {
+		return bc, false
+	}
+	elem := gep.Elem.Size()
+	// Keep spans sane: a window above 1 GiB is no longer a useful merge.
+	const maxSpan = int64(1) << 30
+	if iv.Hi > uint64(maxSpan)/uint64(elem) {
+		return bc, false
+	}
+	lo := int64(iv.Lo) * elem
+	hi := int64(iv.Hi)*elem + size
+	bc.g = g
+	bc.base = base
+	bc.loOff = lo
+	bc.span = hi - lo
+	bc.isStore = g.Kind == ir.GuardStore
+	return bc, true
+}
+
+// emitConstRangeGuard inserts, before ph's terminator, a range guard over
+// [base+loOff, base+loOff+span).
+func emitConstRangeGuard(f *ir.Func, ph *ir.Block, base ir.Value, loOff, span int64, kind ir.GuardKind) {
+	term := ph.Term()
+	lo := &ir.Instr{Op: ir.OpGEP, Name: freshName(f, "rg"), Typ: ir.Ptr, Elem: ir.I8,
+		Args: []ir.Value{base, ir.ConstInt(ir.I64, loOff)}}
+	ph.InsertBefore(lo, term)
+	gu := &ir.Instr{Op: ir.OpGuard, Typ: ir.Void, Kind: kind,
+		Args: []ir.Value{lo, ir.ConstInt(ir.I64, span)}}
+	ph.InsertBefore(gu, term)
+}
+
+// valueAvailableAt reports whether v is usable at block ph.
+func valueAvailableAt(dom *analysis.DomTree, l *analysis.Loop, v ir.Value, ph *ir.Block) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	return !l.Contains(in.Block) && dom.Dominates(in.Block, ph)
+}
+
+// emitRangeGuard inserts, before ph's terminator:
+//
+//	lowOff  = K*start + C
+//	lo      = gep i8 base, lowOff
+//	span    = K*(bound+lastAdj) + C + size - lowOff
+//	guard range lo, span
+//
+// where bound+lastAdj is the maximum induction value the guarded access
+// observes (see TripBound.LastIVAdjust). All arithmetic is i64; the VM
+// treats a non-positive span as a trivially passing guard.
+func emitRangeGuard(f *ir.Func, ph *ir.Block, acc *analysis.AffineAccess, size, lastAdj int64, kind ir.GuardKind) {
+	term := ph.Term()
+	ins := func(in *ir.Instr) *ir.Instr {
+		ph.InsertBefore(in, term)
+		return in
+	}
+	newv := func(op ir.Op, a, b ir.Value) *ir.Instr {
+		return ins(&ir.Instr{Op: op, Name: freshName(f, "rg"), Typ: ir.I64, Args: []ir.Value{a, b}})
+	}
+	k := ir.ConstInt(ir.I64, acc.Lin.K)
+	cOff := ir.ConstInt(ir.I64, acc.Lin.C)
+
+	start := widenToI64(f, ph, term, acc.Lin.IV.Start)
+	bound := widenToI64(f, ph, term, acc.Bound.Bound)
+
+	lowOff := newv(ir.OpAdd, newv(ir.OpMul, k, start), cOff)
+	lo := ins(&ir.Instr{Op: ir.OpGEP, Name: freshName(f, "rg"), Typ: ir.Ptr, Elem: ir.I8,
+		Args: []ir.Value{acc.Base, lowOff}})
+
+	hiConst := acc.Lin.K*lastAdj + acc.Lin.C + size
+	hiOff := newv(ir.OpAdd, newv(ir.OpMul, k, bound), ir.ConstInt(ir.I64, hiConst))
+	span := newv(ir.OpSub, hiOff, lowOff)
+	ins(&ir.Instr{Op: ir.OpGuard, Typ: ir.Void, Kind: kind, Args: []ir.Value{lo, span}})
+}
+
+// widenToI64 sign-extends v to i64 at the insertion point if needed.
+func widenToI64(f *ir.Func, ph *ir.Block, term *ir.Instr, v ir.Value) ir.Value {
+	if v.Type().Equal(ir.I64) {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok {
+		return ir.ConstInt(ir.I64, c.Int)
+	}
+	in := &ir.Instr{Op: ir.OpSExt, Name: freshName(f, "rgw"), Typ: ir.I64, Args: []ir.Value{v}}
+	ph.InsertBefore(in, term)
+	return in
+}
+
+var freshCounter int
+
+// freshName returns a function-unique SSA name with the given prefix.
+func freshName(f *ir.Func, prefix string) string {
+	freshCounter++
+	return prefix + "." + itoa(freshCounter)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

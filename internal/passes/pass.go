@@ -1,0 +1,185 @@
+// Package passes implements the CARAT compiler's middle end (paper §4.1):
+// guard injection, the three CARAT-specific guard optimizations (hoisting,
+// SCEV range merging, AC/DC redundant-guard elimination), allocation and
+// escape tracking injection, and a set of "readily available" general
+// optimizations (constant folding, DCE, CSE, LICM) used as the Figure 3(a)
+// baseline.
+package passes
+
+import (
+	"fmt"
+
+	"carat/internal/ir"
+)
+
+// Pass transforms a module in place.
+type Pass interface {
+	// Name identifies the pass in statistics and logs.
+	Name() string
+	// Run applies the pass, recording anything of interest in stats.
+	Run(m *ir.Module, stats *Stats) error
+}
+
+// Stats accumulates per-module compilation statistics; the guard counters
+// regenerate Table 1.
+type Stats struct {
+	// GuardsInjected is the number of guards inserted by guard injection,
+	// by kind.
+	GuardsInjected int
+	LoadGuards     int
+	StoreGuards    int
+	CallGuards     int
+
+	// Guard optimization accounting. Each originally injected guard is
+	// attributed to at most one optimization, mirroring Table 1's columns.
+	Hoisted   int // Opt 1: moved to a preheader
+	Merged    int // Opt 2: folded into a range guard
+	Removed   int // Opt 3: eliminated as redundant
+	RangeNew  int // range guards created by Opt 2
+	Untouched int // computed by FinishGuardStats
+
+	// GuardsRemaining is the static guard count after all optimizations.
+	GuardsRemaining int
+
+	// Tracking instrumentation counts.
+	AllocCallbacks  int
+	FreeCallbacks   int
+	EscapeCallbacks int
+
+	// General optimization counts.
+	Folded    int
+	DCEd      int
+	CSEd      int
+	LICMMoved int
+
+	// attributed tracks which guards have already been credited to one of
+	// the optimizations, so a guard that is hoisted and later merged
+	// counts once (Table 1 attributes each guard to one column).
+	attributed map[*ir.Instr]bool
+}
+
+// Attribute credits guard g to an optimization, returning false when the
+// guard was already credited (the caller must then not bump its counter).
+func (s *Stats) Attribute(g *ir.Instr) bool {
+	if s.attributed == nil {
+		s.attributed = make(map[*ir.Instr]bool)
+	}
+	if s.attributed[g] {
+		return false
+	}
+	s.attributed[g] = true
+	return true
+}
+
+// FinishGuardStats derives the Table 1 row fields after all passes ran.
+func (s *Stats) FinishGuardStats(m *ir.Module) {
+	remaining := 0
+	for _, f := range m.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op == ir.OpGuard {
+				remaining++
+			}
+		})
+	}
+	s.GuardsRemaining = remaining
+	s.Untouched = s.GuardsInjected - s.Hoisted - s.Merged - s.Removed
+	if s.Untouched < 0 {
+		s.Untouched = 0
+	}
+}
+
+// Fraction helpers for Table 1, all relative to the injected guard count.
+
+// FracRemaining returns GuardsRemaining / GuardsInjected ("Opt. Guards").
+func (s *Stats) FracRemaining() float64 { return s.frac(s.GuardsRemaining) }
+
+// FracUntouched returns the fraction of guards untouched by any opt.
+func (s *Stats) FracUntouched() float64 { return s.frac(s.Untouched) }
+
+// FracHoisted returns the fraction of guards optimized by hoisting (Opt 1).
+func (s *Stats) FracHoisted() float64 { return s.frac(s.Hoisted) }
+
+// FracMerged returns the fraction optimized by scalar evolution (Opt 2).
+func (s *Stats) FracMerged() float64 { return s.frac(s.Merged) }
+
+// FracRemoved returns the fraction eliminated as redundant (Opt 3).
+func (s *Stats) FracRemoved() float64 { return s.frac(s.Removed) }
+
+func (s *Stats) frac(n int) float64 {
+	if s.GuardsInjected == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.GuardsInjected)
+}
+
+// Pipeline is an ordered list of passes with shared statistics.
+type Pipeline struct {
+	Passes []Pass
+	Stats  Stats
+}
+
+// Run applies every pass in order, verifying the module after each one.
+func (p *Pipeline) Run(m *ir.Module) error {
+	for _, ps := range p.Passes {
+		if err := ps.Run(m, &p.Stats); err != nil {
+			return fmt.Errorf("passes: %s: %w", ps.Name(), err)
+		}
+		if err := m.Verify(); err != nil {
+			return fmt.Errorf("passes: after %s: %w", ps.Name(), err)
+		}
+	}
+	p.Stats.FinishGuardStats(m)
+	return nil
+}
+
+// Level selects how much of the CARAT pipeline to run.
+type Level int
+
+// Pipeline levels.
+const (
+	// LevelNone runs only general optimizations (the uninstrumented
+	// baseline of Figures 3, 6, 7, 9).
+	LevelNone Level = iota
+	// LevelGuardsOnly adds guard injection with general optimizations
+	// only (Figure 3a).
+	LevelGuardsOnly
+	// LevelGuardsOpt adds the CARAT-specific guard optimizations
+	// (Figure 3b, Table 1).
+	LevelGuardsOpt
+	// LevelTracking is guards + optimizations + allocation/escape
+	// tracking: the full CARAT build (Figures 5-7, 9; Tables 2-3).
+	LevelTracking
+	// LevelTrackingOnly is tracking without guards, used to isolate
+	// tracking overhead exactly as Figure 7 does.
+	LevelTrackingOnly
+)
+
+// Build returns the standard pipeline for a level.
+func Build(level Level) *Pipeline {
+	p := &Pipeline{}
+	add := func(ps ...Pass) { p.Passes = append(p.Passes, ps...) }
+	add(&ConstFold{}, &CSE{}, &LICM{}, &DCE{})
+	switch level {
+	case LevelNone:
+	case LevelGuardsOnly:
+		add(&GuardInject{})
+	case LevelGuardsOpt:
+		add(&GuardInject{}, &HoistGuards{}, &MergeGuards{}, &RedundantGuards{})
+	case LevelTracking:
+		add(&GuardInject{}, &HoistGuards{}, &MergeGuards{}, &RedundantGuards{}, &TrackingInject{})
+	case LevelTrackingOnly:
+		add(&TrackingInject{})
+	}
+	return p
+}
+
+// replaceUses rewrites every use of old as new throughout the function.
+func replaceUses(f *ir.Func, old, new ir.Value) {
+	f.ForEachInstr(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			if a == old {
+				in.Args[i] = new
+			}
+		}
+	})
+}

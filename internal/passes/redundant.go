@@ -1,0 +1,139 @@
+package passes
+
+import (
+	"carat/internal/analysis"
+	"carat/internal/ir"
+)
+
+// RedundantGuards is Optimization 3, the paper's AC/DC analysis ("Address
+// Checking for Data Custody", §4.1.1): a guard is removed when the same
+// (address, at-least-as-large size) has already been checked on every path
+// reaching it. The analysis is the available-expressions dataflow over
+// pointer definitions: GEN is the guard's (addr, size) fact; nothing kills
+// a fact because SSA values are never redefined and kernel-initiated
+// mapping changes patch pointers so that a previously validated pointer
+// stays valid (§2.2).
+type RedundantGuards struct{}
+
+// Name implements Pass.
+func (*RedundantGuards) Name() string { return "carat-acdc" }
+
+// guardFact identifies what a guard established.
+type guardFact struct {
+	addr ir.Value
+	kind ir.GuardKind // call guards only subsume call guards
+}
+
+// Run implements Pass.
+func (*RedundantGuards) Run(m *ir.Module, stats *Stats) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		acdcFunc(f, stats)
+	}
+	return nil
+}
+
+func acdcFunc(f *ir.Func, stats *Stats) {
+	// Build the fact universe: one fact per distinct (addr value, kind),
+	// carrying the maximum size guaranteed when the fact holds. To stay
+	// conservative the fact's size is the MINIMUM of the generating
+	// guards' sizes, since availability only promises the smallest check
+	// seen on some path... strictly, per-path sizes could differ; we track
+	// facts per exact (addr, size) when sizes are constants, which avoids
+	// the issue entirely: a guard only subsumes guards with size <= its own
+	// generated size facts.
+	type factInfo struct {
+		id   int
+		size int64 // constant size of this fact
+	}
+	facts := map[guardFact][]factInfo{} // (addr,kind) -> facts by size
+	var nFacts int
+	factOf := map[*ir.Instr]int{}
+
+	f.ForEachInstr(func(in *ir.Instr) {
+		if in.Op != ir.OpGuard {
+			return
+		}
+		szc, ok := in.Args[1].(*ir.Const)
+		if !ok {
+			return // dynamic sizes participate only as consumers
+		}
+		key := guardFact{addr: in.Args[0], kind: normKind(in.Kind)}
+		for _, fi := range facts[key] {
+			if fi.size == szc.Int {
+				factOf[in] = fi.id
+				return
+			}
+		}
+		fi := factInfo{id: nFacts, size: szc.Int}
+		nFacts++
+		facts[key] = append(facts[key], fi)
+		factOf[in] = fi.id
+	})
+	if nFacts == 0 {
+		return
+	}
+
+	cfg := analysis.NewCFG(f)
+	ins := analysis.ForwardMust(cfg, nFacts, func(b *ir.Block, in analysis.Bits) analysis.Bits {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpGuard {
+				if id, ok := factOf[i]; ok {
+					in.Set(id)
+				}
+			}
+		}
+		return in
+	})
+
+	// subsumes returns whether an available fact set covers guard g.
+	subsumes := func(avail analysis.Bits, g *ir.Instr) bool {
+		szc, ok := g.Args[1].(*ir.Const)
+		if !ok {
+			return false
+		}
+		key := guardFact{addr: g.Args[0], kind: normKind(g.Kind)}
+		for _, fi := range facts[key] {
+			if fi.size >= szc.Int && avail.Has(fi.id) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range cfg.RPO {
+		avail := ins[b].Copy()
+		for i := 0; i < len(b.Instrs); i++ {
+			g := b.Instrs[i]
+			if g.Op != ir.OpGuard {
+				continue
+			}
+			if subsumes(avail, g) {
+				b.Remove(g)
+				if stats.Attribute(g) {
+					stats.Removed++
+				}
+				i--
+				continue
+			}
+			if id, ok := factOf[g]; ok {
+				avail.Set(id)
+			}
+		}
+	}
+}
+
+// normKind maps guard kinds onto the permission they establish, so that
+// subsumption stays sound: read guards subsume only read guards, write
+// guards only write guards, call guards only call guards.
+func normKind(k ir.GuardKind) ir.GuardKind {
+	switch k {
+	case ir.GuardRange:
+		return ir.GuardLoad
+	case ir.GuardRangeStore:
+		return ir.GuardStore
+	}
+	return k
+}

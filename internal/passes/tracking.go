@@ -1,0 +1,110 @@
+package passes
+
+import (
+	"carat/internal/ir"
+)
+
+// TrackingInject inserts the CARAT runtime callbacks (§4.1.2):
+//
+//   - after every call to an allocation function: carat.alloc(ptr, size)
+//   - before every call to a deallocation function: carat.free(ptr)
+//   - after every alloca: carat.alloc(ptr, size) — stack allocations are
+//     allocations too in the CARAT model
+//   - after every store of a pointer-typed value: carat.escape(loc, value)
+//
+// Static allocations (globals) are recorded by the loader at program load
+// time, not by instrumentation.
+type TrackingInject struct{}
+
+// Name implements Pass.
+func (*TrackingInject) Name() string { return "carat-tracking" }
+
+// Run implements Pass.
+func (*TrackingInject) Run(m *ir.Module, stats *Stats) error {
+	allocCB := m.DeclareFunc(ir.FnTrackAlloc, ir.Void, ir.Ptr, ir.I64)
+	freeCB := m.DeclareFunc(ir.FnTrackFree, ir.Void, ir.Ptr)
+	escCB := m.DeclareFunc(ir.FnTrackEscape, ir.Void, ir.Ptr, ir.Ptr)
+
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for _, b := range f.Blocks {
+			// Iterate over a snapshot: insertions must not be revisited.
+			snapshot := append([]*ir.Instr(nil), b.Instrs...)
+			for _, in := range snapshot {
+				switch {
+				case in.Op == ir.OpCall && in.Callee != nil && ir.IsAllocFn(in.Callee.Name):
+					size := allocSizeValue(f, b, in)
+					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: allocCB,
+						Args: []ir.Value{in, size}}
+					insertAfter(b, cb, in)
+					stats.AllocCallbacks++
+
+				case in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == ir.FnFree:
+					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: freeCB,
+						Args: []ir.Value{in.Args[0]}}
+					b.InsertBefore(cb, in)
+					stats.FreeCallbacks++
+
+				case in.Op == ir.OpAlloca:
+					size := allocaSizeValue(f, b, in)
+					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: allocCB,
+						Args: []ir.Value{in, size}}
+					insertAfter(b, cb, in)
+					stats.AllocCallbacks++
+
+				case in.Op == ir.OpStore && in.Args[0].Type().IsPtr():
+					// A pointer was copied into memory: an escape (§2.2).
+					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: escCB,
+						Args: []ir.Value{in.Args[1], in.Args[0]}}
+					insertAfter(b, cb, in)
+					stats.EscapeCallbacks++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// insertAfter places in immediately after pos within b. If pos is the
+// block terminator (it never is for the cases above), this panics via
+// InsertBefore's invariants.
+func insertAfter(b *ir.Block, in, pos *ir.Instr) {
+	for i, x := range b.Instrs {
+		if x == pos {
+			if i+1 == len(b.Instrs) {
+				b.Append(in)
+			} else {
+				b.InsertBefore(in, b.Instrs[i+1])
+			}
+			return
+		}
+	}
+	panic("passes: insertAfter: position not in block")
+}
+
+// allocSizeValue returns the byte size of a malloc/calloc result as a
+// Value, inserting a multiply before the call for calloc.
+func allocSizeValue(f *ir.Func, b *ir.Block, call *ir.Instr) ir.Value {
+	if call.Callee.Name == ir.FnMalloc {
+		return call.Args[0]
+	}
+	// calloc(n, size)
+	mul := &ir.Instr{Op: ir.OpMul, Name: freshName(f, "tk"), Typ: ir.I64,
+		Args: []ir.Value{call.Args[0], call.Args[1]}}
+	b.InsertBefore(mul, call)
+	return mul
+}
+
+// allocaSizeValue returns the byte size of an alloca as a Value.
+func allocaSizeValue(f *ir.Func, b *ir.Block, al *ir.Instr) ir.Value {
+	elem := al.Elem.Size()
+	if c, ok := al.Args[0].(*ir.Const); ok {
+		return ir.ConstInt(ir.I64, c.Int*elem)
+	}
+	mul := &ir.Instr{Op: ir.OpMul, Name: freshName(f, "tk"), Typ: ir.I64,
+		Args: []ir.Value{al.Args[0], ir.ConstInt(ir.I64, elem)}}
+	b.InsertBefore(mul, al)
+	return mul
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+
+	"carat/internal/kernel"
+)
+
+// MoveBreakdown is the per-move cost decomposition of Table 3, in modeled
+// cycles, plus the raw event counts behind each column.
+type MoveBreakdown struct {
+	ExpandCycles uint64 // "Page Expand": find + expand affected allocations
+	PatchCycles  uint64 // "Patch Gen. & Exec.": escape patching
+	RegCycles    uint64 // "Register Patch"
+	MoveCycles   uint64 // "Allocation & Mem. Movement"
+
+	AllocsMoved    int
+	EscapesPatched int
+	RegsPatched    int
+	PagesMoved     uint64
+}
+
+// PrototypeCycles is ExpandCycles+PatchCycles+RegCycles: the prototype's
+// cost excluding the data movement (Table 3 "Prototype Cost").
+func (b *MoveBreakdown) PrototypeCycles() uint64 {
+	return b.ExpandCycles + b.PatchCycles + b.RegCycles
+}
+
+// TotalCycles includes the movement ("Total Cost").
+func (b *MoveBreakdown) TotalCycles() uint64 {
+	return b.PrototypeCycles() + b.MoveCycles
+}
+
+// Modeled per-operation costs on the move path. Table lookups walk the
+// red/black tree (cache-unfriendly); escape patches are a hash probe plus
+// a read-modify-write of program memory.
+const (
+	cycTableLookup  = 130 // one Covering/Overlapping probe
+	cycPerAllocScan = 60  // per affected allocation bookkeeping
+	cycEscapePatch  = 55  // locate + rewrite one escape
+	cycRegScan      = 2   // inspect one saved register
+	cycRegPatch     = 9   // rewrite one saved register
+	cycPageAlloc    = 900 // kernel page grant amortized per page
+	cycPerByteMove  = 1   // data copy, bytes per cycle (DRAM bandwidth-ish)
+	cycBarrier      = 400 // world-stop + resume round trip
+)
+
+// HandleProtect implements kernel.MoveHandler: stop the world, let the
+// kernel flip the region set, resume. The next guard sees the change
+// (§2.2).
+func (r *Runtime) HandleProtect(apply func() error) error {
+	r.world.StopTheWorld()
+	defer r.world.ResumeTheWorld()
+	r.mu.Lock()
+	r.flushLocked()
+	r.mu.Unlock()
+	return apply()
+}
+
+// HandleMove implements kernel.MoveHandler, executing steps 2-12 of
+// Figure 8:
+//
+//	2-4.  stop the world; threads dump registers (World.StopTheWorld)
+//	5.    negotiate: expand the page range until no allocation straddles
+//	      its boundary, then get a destination from the kernel
+//	6.    determine affected allocations
+//	7-8.  compute and execute patches on every escape of every affected
+//	      allocation, and on saved registers
+//	9-10. move the data, free the source
+//	11-12. resume; report completion
+func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error) {
+	regs := r.world.StopTheWorld()
+	defer r.world.ResumeTheWorld()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+
+	var bd MoveBreakdown
+	bd.ExpandCycles += cycBarrier
+
+	// Step 5/6: expand [src, src+len) until its boundaries split no
+	// allocation (allocations must move in their entirety, §4.3).
+	src := req.Src
+	length := req.Pages * kernel.PageSize
+	var affected []*Allocation
+	for {
+		bd.ExpandCycles += cycTableLookup
+		affected = r.Table.Overlapping(src, src+length)
+		bd.ExpandCycles += uint64(len(affected)) * cycPerAllocScan
+		grew := false
+		if len(affected) > 0 {
+			if first := affected[0]; first.Base < src {
+				delta := src - alignDown(first.Base)
+				src -= delta
+				length += delta
+				grew = true
+			}
+			if last := affected[len(affected)-1]; last.End() > src+length {
+				length = alignUp(last.End()) - src
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	pages := length / kernel.PageSize
+
+	// Step 5: the kernel allocates and maps the destination.
+	dst, err := req.NegotiateDst(src, pages)
+	if err != nil {
+		req.Veto()
+		return kernel.MoveResult{}, fmt.Errorf("runtime: move negotiation failed: %w", err)
+	}
+	bd.MoveCycles += pages * cycPageAlloc
+
+	// Steps 7-8: patch every escape of every affected allocation so each
+	// pointer names the address its target will have after the move.
+	for _, a := range affected {
+		bd.AllocsMoved++
+		for loc := range a.Escapes {
+			bd.PatchCycles += cycEscapePatch
+			val := r.mem.Load64(loc)
+			if val >= src && val < src+length {
+				r.mem.Store64(loc, val-src+dst)
+				bd.EscapesPatched++
+			}
+		}
+	}
+	// Registers (in-register pointers were dumped by the world stop).
+	for _, rs := range regs {
+		vals := rs.Regs()
+		for i, v := range vals {
+			bd.RegCycles += cycRegScan
+			if v >= src && v < src+length {
+				rs.SetReg(i, v-src+dst)
+				bd.RegCycles += cycRegPatch
+				bd.RegsPatched++
+			}
+		}
+	}
+
+	// Table maintenance: rebase moved allocations and any escape
+	// locations that themselves live in the moved range.
+	for _, a := range affected {
+		r.Table.Rebase(a, a.Base-src+dst)
+	}
+	moved := r.Table.RebaseEscapeLocs(src, src+length, dst)
+	bd.PatchCycles += uint64(moved) * cycEscapePatch
+	r.rebaseSwapLocs(src, dst, length)
+
+	// Steps 9-10: move the data and retire the source.
+	if err := r.mem.Move(dst, src, length); err != nil {
+		return kernel.MoveResult{}, fmt.Errorf("runtime: data move failed: %w", err)
+	}
+	bd.MoveCycles += length * cycPerByteMove
+	bd.PagesMoved = pages
+	if err := req.RetireSrc(src, pages); err != nil {
+		return kernel.MoveResult{}, fmt.Errorf("runtime: source retire failed: %w", err)
+	}
+
+	r.MoveStats = append(r.MoveStats, bd)
+	for _, fn := range r.moveListeners {
+		fn(src, dst, length)
+	}
+	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, nil
+}
+
+// WorstCasePage returns the page-aligned base of the page overlapping the
+// allocation with the most escapes — the page the Figure 9 experiment
+// repeatedly moves ("the runtime selects a page that overlaps the
+// allocation with the most pointer escapes").
+func (r *Runtime) WorstCasePage() (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	var best *Allocation
+	r.Table.ForEach(func(a *Allocation) bool {
+		if best == nil || len(a.Escapes) > len(best.Escapes) {
+			best = a
+		}
+		return true
+	})
+	if best == nil {
+		return 0, false
+	}
+	return alignDown(best.Base), true
+}
+
+func alignDown(a uint64) uint64 { return a &^ (kernel.PageSize - 1) }
+func alignUp(a uint64) uint64   { return (a + kernel.PageSize - 1) &^ (kernel.PageSize - 1) }

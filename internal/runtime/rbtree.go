@@ -1,0 +1,437 @@
+// Package runtime implements the CARAT runtime (paper §4.2): the Allocation
+// Table (a red/black tree keyed by allocation base address), the Allocation
+// to Escape Map, batched escape tracking, and the patch engine that executes
+// kernel-initiated protection and mapping changes via the world-stop
+// protocol of Figure 8.
+package runtime
+
+// The red/black tree below is written from scratch (no stdlib container
+// fits): an ordered map from uint64 keys to *Allocation supporting
+// predecessor queries ("find the allocation covering this address") and
+// in-order range iteration ("find all allocations overlapping this page
+// range"), both needed on the move path.
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type rbNode struct {
+	key                 uint64
+	val                 *Allocation
+	left, right, parent *rbNode
+	col                 color
+}
+
+// rbTree is a left-leaning-free classic red-black tree.
+type rbTree struct {
+	root *rbNode
+	size int
+}
+
+// Len returns the number of entries.
+func (t *rbTree) Len() int { return t.size }
+
+// Get returns the value stored at key, or nil.
+func (t *rbTree) Get(key uint64) *Allocation {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val
+		}
+	}
+	return nil
+}
+
+// Floor returns the entry with the largest key <= key, or nil.
+func (t *rbTree) Floor(key uint64) (uint64, *Allocation, bool) {
+	var best *rbNode
+	n := t.root
+	for n != nil {
+		if n.key == key {
+			return n.key, n.val, true
+		}
+		if n.key < key {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return 0, nil, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceiling returns the entry with the smallest key >= key, or nil.
+func (t *rbTree) Ceiling(key uint64) (uint64, *Allocation, bool) {
+	var best *rbNode
+	n := t.root
+	for n != nil {
+		if n.key == key {
+			return n.key, n.val, true
+		}
+		if n.key > key {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, nil, false
+	}
+	return best.key, best.val, true
+}
+
+// Ascend calls fn for every entry with lo <= key < hi in key order; fn
+// returning false stops the walk.
+func (t *rbTree) Ascend(lo, hi uint64, fn func(key uint64, val *Allocation) bool) {
+	var walk func(n *rbNode) bool
+	walk = func(n *rbNode) bool {
+		if n == nil {
+			return true
+		}
+		if n.key >= lo {
+			if !walk(n.left) {
+				return false
+			}
+			if n.key < hi {
+				if !fn(n.key, n.val) {
+					return false
+				}
+			}
+		}
+		if n.key < hi {
+			return walk(n.right)
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// AscendAll walks the whole tree in key order.
+func (t *rbTree) AscendAll(fn func(key uint64, val *Allocation) bool) {
+	t.Ascend(0, ^uint64(0), fn)
+}
+
+func (t *rbTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *rbTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Insert adds or replaces the entry for key. It returns true when a new
+// node was created (false for replacement).
+func (t *rbTree) Insert(key uint64, val *Allocation) bool {
+	var parent *rbNode
+	n := t.root
+	for n != nil {
+		parent = n
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			n.val = val
+			return false
+		}
+	}
+	node := &rbNode{key: key, val: val, col: red, parent: parent}
+	switch {
+	case parent == nil:
+		t.root = node
+	case key < parent.key:
+		parent.left = node
+	default:
+		parent.right = node
+	}
+	t.size++
+	t.insertFixup(node)
+	return true
+}
+
+func (t *rbTree) insertFixup(z *rbNode) {
+	for z.parent != nil && z.parent.col == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.col == red {
+				z.parent.col = black
+				u.col = black
+				gp.col = red
+				z = gp
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.col = black
+				gp.col = red
+				t.rotateRight(gp)
+			}
+		} else {
+			u := gp.left
+			if u != nil && u.col == red {
+				z.parent.col = black
+				u.col = black
+				gp.col = red
+				z = gp
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.col = black
+				gp.col = red
+				t.rotateLeft(gp)
+			}
+		}
+	}
+	t.root.col = black
+}
+
+// Delete removes key and returns whether it was present.
+func (t *rbTree) Delete(key uint64) bool {
+	z := t.root
+	for z != nil && z.key != key {
+		if key < z.key {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == nil {
+		return false
+	}
+	t.size--
+
+	y := z
+	yOrig := y.col
+	var x *rbNode
+	var xParent *rbNode
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = z.right
+		for y.left != nil {
+			y = y.left
+		}
+		yOrig = y.col
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.col = z.col
+	}
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+	return true
+}
+
+func (t *rbTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *rbTree) deleteFixup(x *rbNode, parent *rbNode) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w != nil && w.col == red {
+				w.col = black
+				parent.col = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.col = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.right) {
+					if w.left != nil {
+						w.left.col = black
+					}
+					w.col = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.col = parent.col
+				parent.col = black
+				if w.right != nil {
+					w.right.col = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if w != nil && w.col == red {
+				w.col = black
+				parent.col = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.right) && isBlack(w.left) {
+				w.col = red
+				x = parent
+				parent = x.parent
+			} else {
+				if isBlack(w.left) {
+					if w.right != nil {
+						w.right.col = black
+					}
+					w.col = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.col = parent.col
+				parent.col = black
+				if w.left != nil {
+					w.left.col = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.col = black
+	}
+}
+
+func isBlack(n *rbNode) bool { return n == nil || n.col == black }
+
+// checkInvariants validates the red-black properties; used by tests.
+func (t *rbTree) checkInvariants() error {
+	if t.root != nil && t.root.col != black {
+		return errRBRootRed
+	}
+	_, err := checkNode(t.root)
+	return err
+}
+
+var (
+	errRBRootRed   = rbError("root is red")
+	errRBRedRed    = rbError("red node with red child")
+	errRBBlackPath = rbError("unequal black heights")
+	errRBOrder     = rbError("BST order violated")
+)
+
+type rbError string
+
+func (e rbError) Error() string { return "rbtree: " + string(e) }
+
+func checkNode(n *rbNode) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.col == red {
+		if !isBlack(n.left) || !isBlack(n.right) {
+			return 0, errRBRedRed
+		}
+	}
+	if n.left != nil && n.left.key >= n.key {
+		return 0, errRBOrder
+	}
+	if n.right != nil && n.right.key <= n.key {
+		return 0, errRBOrder
+	}
+	lh, err := checkNode(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkNode(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errRBBlackPath
+	}
+	if n.col == black {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"carat/internal/kernel"
+)
+
+// World is how the runtime reaches the program's threads. The VM
+// implements it: StopTheWorld forces every thread to a safepoint — the
+// moral equivalent of the signal handlers in Figure 8 dumping register
+// state on their stacks — and returns the threads' register snapshots for
+// patching. ResumeTheWorld releases the barrier.
+type World interface {
+	StopTheWorld() []RegSet
+	ResumeTheWorld()
+}
+
+// RegSet exposes one stopped thread's pointer-bearing registers.
+type RegSet interface {
+	// Regs returns the register values.
+	Regs() []uint64
+	// SetReg patches register i.
+	SetReg(i int, v uint64)
+}
+
+// noWorld is used when the runtime runs without live threads (unit tests,
+// offline table manipulation).
+type noWorld struct{}
+
+func (noWorld) StopTheWorld() []RegSet { return nil }
+func (noWorld) ResumeTheWorld()        {}
+
+// Stats accumulates runtime-side tracking statistics (Figures 5-7).
+type Stats struct {
+	Allocs        uint64 // carat.alloc callbacks
+	Frees         uint64 // carat.free callbacks
+	EscapeEvents  uint64 // carat.escape callbacks (pre-batching)
+	EscapesLive   uint64 // escapes currently tracked
+	BatchFlushes  uint64
+	UntrackedEsc  uint64 // escapes whose target was not a tracked allocation
+	TrackingCycle uint64 // modeled cycles spent in tracking callbacks
+	SwapOuts      uint64
+	SwapIns       uint64
+}
+
+// Modeled per-operation tracking costs in cycles. An allocation insert is
+// a red/black tree insert (pointer chasing, ~L2 latencies); an escape is
+// an amortized batched hash insert. These constants put the tracking
+// overhead in the low single-digit percent range the paper measures
+// (Figure 7: geomean 1.9%).
+const (
+	cycAllocInsert = 40
+	cycFree        = 30
+	cycEscapeEnq   = 2  // append to batch buffer
+	cycEscapeProc  = 10 // table lookup + set insert at flush time
+)
+
+// Runtime is the CARAT runtime linked into the program (§4.2). It keeps
+// the Allocation Table and escape map current via the injected callbacks,
+// and executes the kernel's protection and mapping change requests.
+type Runtime struct {
+	Table *AllocationTable
+	Stats Stats
+
+	mem   *kernel.PhysMem
+	world World
+
+	mu sync.Mutex
+
+	// Escape batching (§4.2: "The Allocation Map changes slowly, while the
+	// Allocation to Escape Map changes quickly. By batching the latter, we
+	// can mitigate redundant/outdated work.")
+	batch     []escapeEvent
+	batchMax  int
+	MoveStats []MoveBreakdown
+
+	// moveListeners are notified, world still stopped, after a move has
+	// patched memory and registers; the VM uses this to rebase its own
+	// non-program bookkeeping (heap break, stack bases, global addresses).
+	moveListeners []func(src, dst, length uint64)
+
+	// swapSlots holds evicted allocations (see swap.go); a nil entry is a
+	// slot that has been swapped back in.
+	swapSlots []*swapRecord
+}
+
+// AddMoveListener registers fn to run after every completed move, while
+// the world is still stopped.
+func (r *Runtime) AddMoveListener(fn func(src, dst, length uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.moveListeners = append(r.moveListeners, fn)
+}
+
+type escapeEvent struct {
+	loc, val uint64
+}
+
+// DefaultBatchSize is the escape batch flush threshold.
+const DefaultBatchSize = 1024
+
+// New creates a runtime over the given physical memory. world may be nil
+// when no threads exist yet.
+func New(mem *kernel.PhysMem, world World) *Runtime {
+	if world == nil {
+		world = noWorld{}
+	}
+	return &Runtime{
+		Table:    NewAllocationTable(),
+		mem:      mem,
+		world:    world,
+		batchMax: DefaultBatchSize,
+	}
+}
+
+// SetWorld installs the thread controller (the VM does this at startup).
+func (r *Runtime) SetWorld(w World) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.world = w
+}
+
+// TrackAlloc is the carat.alloc callback: a new allocation [base,
+// base+length) exists.
+func (r *Runtime) TrackAlloc(base, length uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trackAllocLocked(base, length, false)
+}
+
+// TrackStatic records a load-time (static) allocation: a global, the
+// stack, or program code.
+func (r *Runtime) TrackStatic(base, length uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trackAllocLocked(base, length, true)
+}
+
+func (r *Runtime) trackAllocLocked(base, length uint64, static bool) error {
+	if _, err := r.Table.Insert(base, length, static); err != nil {
+		return err
+	}
+	r.Stats.Allocs++
+	r.Stats.TrackingCycle += cycAllocInsert
+	return nil
+}
+
+// TrackFree is the carat.free callback.
+func (r *Runtime) TrackFree(base uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Pending escapes may reference the dying allocation: flush first so
+	// stale batch entries cannot resurrect it.
+	r.flushLocked()
+	a := r.Table.Remove(base)
+	if a == nil {
+		return fmt.Errorf("runtime: free of untracked allocation %#x", base)
+	}
+	if a.Static {
+		// Reinsert: freeing a static allocation is a program bug, and the
+		// table must stay consistent.
+		_, _ = r.Table.Insert(a.Base, a.Len, true)
+		return fmt.Errorf("runtime: free of static allocation %#x", base)
+	}
+	r.Stats.Frees++
+	r.Stats.TrackingCycle += cycFree
+	return nil
+}
+
+// TrackEscape is the carat.escape callback: memory location loc now holds
+// the pointer value val. Events are batched; the batch drains at the flush
+// threshold, at world stops, and at queries.
+func (r *Runtime) TrackEscape(loc, val uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Stats.EscapeEvents++
+	r.Stats.TrackingCycle += cycEscapeEnq
+	r.batch = append(r.batch, escapeEvent{loc, val})
+	if len(r.batch) >= r.batchMax {
+		r.flushLocked()
+	}
+}
+
+// Flush drains the escape batch into the table.
+func (r *Runtime) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+}
+
+func (r *Runtime) flushLocked() {
+	if len(r.batch) == 0 {
+		return
+	}
+	// Within a batch only the last write to a location matters: dedupe so
+	// outdated work is dropped (the batching win the paper describes).
+	last := make(map[uint64]uint64, len(r.batch))
+	order := make([]uint64, 0, len(r.batch))
+	for _, e := range r.batch {
+		if _, seen := last[e.loc]; !seen {
+			order = append(order, e.loc)
+		}
+		last[e.loc] = e.val
+	}
+	for _, loc := range order {
+		val := last[loc]
+		if kernel.IsPoison(val) || val == 0 {
+			r.Table.RemoveEscape(loc)
+			continue
+		}
+		if !r.Table.AddEscape(loc, val) {
+			r.Stats.UntrackedEsc++
+		}
+		r.Stats.TrackingCycle += cycEscapeProc
+	}
+	r.batch = r.batch[:0]
+	r.Stats.BatchFlushes++
+	r.Stats.EscapesLive = uint64(r.Table.EscapeCount())
+}
+
+// UntrackStackRange drops every non-static allocation fully inside
+// [lo, hi): the runtime's handling of stack-frame destruction. The VM
+// calls it when a function activation returns, destroying its allocas
+// (§4.1.2: "The runtime handles static and stack allocations as well").
+func (r *Runtime) UntrackStackRange(lo, hi uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	var dead []uint64
+	for _, a := range r.Table.Overlapping(lo, hi) {
+		if !a.Static && a.Base >= lo && a.End() <= hi {
+			dead = append(dead, a.Base)
+		}
+	}
+	for _, base := range dead {
+		r.Table.Remove(base)
+	}
+}
+
+// tombstoneBytes is the record the prototype retains per freed allocation
+// (allocation history kept for diagnostics and move auditing). This
+// retention is what makes allocation-churn benchmarks like swaptions the
+// memory-overhead outlier in Figure 6.
+const tombstoneBytes = 48
+
+// MemoryOverheadBytes reports the tracking structures' footprint
+// (Figure 6): live table + escape map, the batch buffer, and the retained
+// tombstones of freed allocations.
+func (r *Runtime) MemoryOverheadBytes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Table.MemoryFootprint() + uint64(cap(r.batch))*16 + r.Stats.Frees*tombstoneBytes
+}
+
+// EscapeHistogram returns, for each tracked allocation, its escape count —
+// the raw data behind Figure 5.
+func (r *Runtime) EscapeHistogram() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	var out []int
+	r.Table.ForEach(func(a *Allocation) bool {
+		out = append(out, len(a.Escapes))
+		return true
+	})
+	return out
+}

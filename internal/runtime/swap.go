@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"fmt"
+
+	"carat/internal/kernel"
+)
+
+// Swap support (§2.2): "To make a page unavailable, we patch its affected
+// pointers to a physical address that will cause a fault. ... the specific
+// non-canonical address can be used to encode different conditions (e.g.,
+// swapped, demand-page, 'null pointer', etc)."
+//
+// SwapOut evicts one allocation: its bytes move to a swap slot and every
+// escaped pointer (and in-register pointer) is patched to a non-canonical
+// poison address encoding (slot, offset). The next guard on such a pointer
+// faults; the fault handler calls SwapIn, which restores the data at a new
+// physical location and patches every poisoned pointer forward.
+
+// maxSwapLen bounds a swappable allocation so the offset fits the poison
+// encoding's 16 offset bits.
+const maxSwapLen = 1 << 16
+
+type swapRecord struct {
+	data    []byte
+	length  uint64
+	escapes map[uint64]uint64 // escape location -> offset within the allocation
+	static  bool
+}
+
+// swapPoison encodes (slot, offset) into the non-canonical range.
+func swapPoison(slot, off uint64) uint64 {
+	return kernel.Poison(kernel.PoisonSwapped) | slot<<16 | off
+}
+
+// DecodeSwapPoison splits a poison address into (slot, offset). The second
+// return is false if addr is not a swapped-pointer poison.
+func DecodeSwapPoison(addr uint64) (slot, off uint64, ok bool) {
+	if !kernel.IsPoison(addr) {
+		return 0, 0, false
+	}
+	// Mask out the non-canonical prefix (bit 47 of the upper half) before
+	// reading the kind field.
+	if kernel.PoisonKind(addr>>32&0x7FFF) != kernel.PoisonSwapped {
+		return 0, 0, false
+	}
+	return addr >> 16 & 0xFFFF, addr & 0xFFFF, true
+}
+
+// SwapOut evicts the allocation based at base into a swap slot, patching
+// all of its escapes and in-register pointers to poison addresses. The
+// vacated bytes are zeroed (the kernel is free to reuse the frames).
+func (r *Runtime) SwapOut(base uint64) (uint64, error) {
+	regs := r.world.StopTheWorld()
+	defer r.world.ResumeTheWorld()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+
+	a := r.Table.Covering(base)
+	if a == nil || a.Base != base {
+		return 0, fmt.Errorf("runtime: swap-out of untracked allocation %#x", base)
+	}
+	if a.Len > maxSwapLen {
+		return 0, fmt.Errorf("runtime: allocation too large to swap (%d bytes)", a.Len)
+	}
+	slot := uint64(len(r.swapSlots))
+	if slot >= 1<<16 {
+		return 0, fmt.Errorf("runtime: out of swap slots")
+	}
+
+	rec := &swapRecord{length: a.Len, escapes: make(map[uint64]uint64), static: a.Static}
+	data, err := r.mem.ReadAt(base, a.Len)
+	if err != nil {
+		return 0, err
+	}
+	rec.data = data
+
+	// Patch escapes to poison and remember their offsets.
+	for loc := range a.Escapes {
+		val := r.mem.Load64(loc)
+		if val >= base && val < base+a.Len {
+			off := val - base
+			r.mem.Store64(loc, swapPoison(slot, off))
+			rec.escapes[loc] = off
+		}
+	}
+	// Patch registers.
+	for _, rs := range regs {
+		vals := rs.Regs()
+		for i, v := range vals {
+			if v >= base && v < base+a.Len {
+				rs.SetReg(i, swapPoison(slot, v-base))
+			}
+		}
+	}
+	r.Table.Remove(base)
+	if err := r.mem.Zero(base, a.Len); err != nil {
+		return 0, err
+	}
+	r.swapSlots = append(r.swapSlots, rec)
+	r.Stats.SwapOuts++
+	return slot, nil
+}
+
+// SwappedLen returns the byte length of the allocation in a swap slot.
+func (r *Runtime) SwappedLen(slot uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot >= uint64(len(r.swapSlots)) || r.swapSlots[slot] == nil {
+		return 0, fmt.Errorf("runtime: bad swap slot %d", slot)
+	}
+	return r.swapSlots[slot].length, nil
+}
+
+// SwapIn restores swap slot's allocation at newBase (caller-allocated, at
+// least SwappedLen bytes) and patches every poisoned pointer — in memory
+// and in registers — forward to the new location.
+func (r *Runtime) SwapIn(slot, newBase uint64) error {
+	regs := r.world.StopTheWorld()
+	defer r.world.ResumeTheWorld()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+
+	if slot >= uint64(len(r.swapSlots)) || r.swapSlots[slot] == nil {
+		return fmt.Errorf("runtime: swap-in of bad slot %d", slot)
+	}
+	rec := r.swapSlots[slot]
+	if err := r.mem.WriteAt(newBase, rec.data); err != nil {
+		return err
+	}
+	a, err := r.Table.Insert(newBase, rec.length, rec.static)
+	if err != nil {
+		return fmt.Errorf("runtime: swap-in: %w", err)
+	}
+	for loc, off := range rec.escapes {
+		r.mem.Store64(loc, newBase+off)
+		r.Table.relinkEscape(loc, a)
+	}
+	for _, rs := range regs {
+		vals := rs.Regs()
+		for i, v := range vals {
+			if s, off, ok := DecodeSwapPoison(v); ok && s == slot {
+				rs.SetReg(i, newBase+off)
+			}
+		}
+	}
+	r.swapSlots[slot] = nil
+	r.Stats.SwapIns++
+	return nil
+}
+
+// rebaseSwapLocs keeps swap-record escape locations valid across page and
+// allocation moves: a location inside a moved range is itself relocated.
+func (r *Runtime) rebaseSwapLocs(src, dst, length uint64) {
+	for _, rec := range r.swapSlots {
+		if rec == nil {
+			continue
+		}
+		var moved [][2]uint64
+		for loc, off := range rec.escapes {
+			if loc >= src && loc < src+length {
+				moved = append(moved, [2]uint64{loc, off})
+			}
+		}
+		for _, m := range moved {
+			delete(rec.escapes, m[0])
+			rec.escapes[m[0]-src+dst] = m[1]
+		}
+	}
+}

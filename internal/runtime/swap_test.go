@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"testing"
+
+	"carat/internal/guard"
+	"carat/internal/kernel"
+)
+
+func TestSwapOutPatchesEscapesAndRegisters(t *testing.T) {
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(4*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := base + 128
+	if err := rt.TrackAlloc(alloc, 512); err != nil {
+		t.Fatal(err)
+	}
+	loc := base + 2*kernel.PageSize
+	k.Mem.Store64(loc, alloc+40)
+	rt.TrackEscape(loc, alloc+40)
+	rt.Flush()
+
+	world := &fakeWorld{regs: []*fakeRegs{{vals: []uint64{alloc + 64, 777}}}}
+	rt.SetWorld(world)
+
+	slot, err := rt.SwapOut(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Escape and register became decodable poison.
+	pv := k.Mem.Load64(loc)
+	s, off, ok := DecodeSwapPoison(pv)
+	if !ok || s != slot || off != 40 {
+		t.Fatalf("escape poison = %#x (slot %d off %d ok %v)", pv, s, off, ok)
+	}
+	if s, off, ok := DecodeSwapPoison(world.regs[0].vals[0]); !ok || s != slot || off != 64 {
+		t.Fatalf("register poison wrong: %#x", world.regs[0].vals[0])
+	}
+	if world.regs[0].vals[1] != 777 {
+		t.Error("unrelated register clobbered")
+	}
+	// Allocation gone from the table; data zeroed.
+	if rt.Table.Covering(alloc) != nil {
+		t.Error("swapped-out allocation still tracked")
+	}
+	if got := k.Mem.Load64(alloc + 40); got != 0 {
+		t.Error("swapped-out bytes not reclaimed")
+	}
+
+	// Swap back in at a new location.
+	newBase := base + 3*kernel.PageSize
+	if err := rt.SwapIn(slot, newBase); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Mem.Load64(loc); got != newBase+40 {
+		t.Errorf("escape after swap-in = %#x, want %#x", got, newBase+40)
+	}
+	if got := world.regs[0].vals[0]; got != newBase+64 {
+		t.Errorf("register after swap-in = %#x, want %#x", got, newBase+64)
+	}
+	if a := rt.Table.Covering(newBase + 10); a == nil || len(a.Escapes) != 1 {
+		t.Error("allocation not reconstructed with its escapes")
+	}
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Double swap-in must fail.
+	if err := rt.SwapIn(slot, newBase); err == nil {
+		t.Error("swap-in of consumed slot succeeded")
+	}
+}
+
+func TestSwapInterleavedWithPageMove(t *testing.T) {
+	// The poisoned escape LOCATION itself lives on a page the kernel then
+	// moves; swap-in afterwards must patch the relocated location.
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(6*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := base + 64 // allocation to swap out
+	if err := rt.TrackAlloc(victim, 256); err != nil {
+		t.Fatal(err)
+	}
+	// holder: a tracked allocation on another page holding the pointer.
+	holderPage := base + 3*kernel.PageSize
+	if err := rt.TrackAlloc(holderPage, 1024); err != nil {
+		t.Fatal(err)
+	}
+	loc := holderPage + 16
+	k.Mem.Store64(loc, victim+8)
+	rt.TrackEscape(loc, victim+8)
+	rt.Flush()
+
+	slot, err := rt.SwapOut(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kernel moves the holder's page while the victim is swapped out.
+	res, err := p.RequestMove(holderPage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedLoc := loc - res.Src + res.Dst
+	if s, _, ok := DecodeSwapPoison(k.Mem.Load64(movedLoc)); !ok || s != slot {
+		t.Fatalf("moved location lost its poison: %#x", k.Mem.Load64(movedLoc))
+	}
+
+	// Swap back in: the RELOCATED location must be patched.
+	newBase := base + 5*kernel.PageSize
+	if err := rt.SwapIn(slot, newBase); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Mem.Load64(movedLoc); got != newBase+8 {
+		t.Errorf("relocated escape after swap-in = %#x, want %#x", got, newBase+8)
+	}
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapOutRejectsOversizedAndUntracked(t *testing.T) {
+	_, _, rt := newTestRuntime(t)
+	if _, err := rt.SwapOut(0x9999); err == nil {
+		t.Error("swap-out of untracked address succeeded")
+	}
+	if err := rt.TrackAlloc(0x40000, maxSwapLen+16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SwapOut(0x40000); err == nil {
+		t.Error("swap-out of oversized allocation succeeded")
+	}
+	if _, err := rt.SwappedLen(99); err == nil {
+		t.Error("SwappedLen of bad slot succeeded")
+	}
+	if err := rt.SwapIn(99, 0x50000); err == nil {
+		t.Error("SwapIn of bad slot succeeded")
+	}
+}
+
+func TestMoveVetoOnImpossibleDestination(t *testing.T) {
+	// When the kernel cannot grant a destination (memory exhausted), the
+	// negotiation is vetoed and the world resumes consistently.
+	k := kernel.New(1 << 16) // 16 pages only
+	p := k.NewProcess()
+	rt := New(k.Mem, nil)
+	p.Handler = rt
+	base, err := p.GrantRegion(15*kernel.PageSize, guard.PermRW) // all 15 usable pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.TrackAlloc(base+8, 64); err != nil {
+		t.Fatal(err)
+	}
+	// No free page remains: the move must fail cleanly.
+	if _, err := p.RequestMove(base, 1); err == nil {
+		t.Fatal("move succeeded with no free destination")
+	}
+	if k.Stats.MoveVetoes != 1 {
+		t.Errorf("vetoes = %d, want 1", k.Stats.MoveVetoes)
+	}
+	// The source must still be intact and accessible.
+	if !p.Regions.Check(base, 8, guard.PermRead) {
+		t.Error("vetoed move lost the source region")
+	}
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

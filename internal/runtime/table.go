@@ -1,0 +1,258 @@
+package runtime
+
+import (
+	"fmt"
+)
+
+// Allocation is one tracked memory block: a static allocation (global,
+// stack region) or a dynamic one (malloc, alloca). Escapes is the
+// Allocation to Escape Map entry: the set of memory addresses that hold a
+// pointer into this allocation (§4.2 "Tracking").
+type Allocation struct {
+	Base uint64
+	Len  uint64
+	// Escapes holds the addresses of memory locations containing a
+	// pointer into [Base, Base+Len). Implemented as the Go analogue of
+	// the paper's C++ unordered_set.
+	Escapes map[uint64]struct{}
+	// Static marks load-time allocations (globals, stacks) that free()
+	// must never release.
+	Static bool
+}
+
+// End returns one past the allocation's last byte.
+func (a *Allocation) End() uint64 { return a.Base + a.Len }
+
+// Covers reports whether addr falls inside the allocation.
+func (a *Allocation) Covers(addr uint64) bool { return addr >= a.Base && addr < a.End() }
+
+// AllocationTable is the runtime's hard-state structure: a red/black tree
+// keyed by allocation base address (§4.2), answering point queries
+// ("which allocation covers this address?") and range queries ("which
+// allocations overlap this page range?").
+type AllocationTable struct {
+	tree rbTree
+	// locToAlloc maps an escape location to the allocation its stored
+	// pointer targets, so that overwriting a pointer retargets the escape.
+	locToAlloc map[uint64]*Allocation
+
+	// escapeCount tracks the total escapes across all allocations.
+	escapeCount int
+}
+
+// NewAllocationTable returns an empty table.
+func NewAllocationTable() *AllocationTable {
+	return &AllocationTable{locToAlloc: make(map[uint64]*Allocation)}
+}
+
+// Len returns the number of tracked allocations.
+func (t *AllocationTable) Len() int { return t.tree.Len() }
+
+// EscapeCount returns the total number of tracked escapes.
+func (t *AllocationTable) EscapeCount() int { return t.escapeCount }
+
+// Insert records a new allocation. Overlapping an existing allocation is
+// an error: the tracked program produced inconsistent callbacks.
+func (t *AllocationTable) Insert(base, length uint64, static bool) (*Allocation, error) {
+	if length == 0 {
+		return nil, fmt.Errorf("runtime: zero-length allocation at %#x", base)
+	}
+	if a := t.Covering(base); a != nil {
+		return nil, fmt.Errorf("runtime: allocation [%#x,%#x) overlaps existing [%#x,%#x)",
+			base, base+length, a.Base, a.End())
+	}
+	if _, next, ok := t.tree.Ceiling(base); ok && next.Base < base+length {
+		return nil, fmt.Errorf("runtime: allocation [%#x,%#x) overlaps following [%#x,%#x)",
+			base, base+length, next.Base, next.End())
+	}
+	a := &Allocation{Base: base, Len: length, Escapes: make(map[uint64]struct{}), Static: static}
+	t.tree.Insert(base, a)
+	return a, nil
+}
+
+// Remove drops the allocation based exactly at base, unlinking all of its
+// escapes. It returns the removed allocation, or nil if none was tracked.
+func (t *AllocationTable) Remove(base uint64) *Allocation {
+	a := t.tree.Get(base)
+	if a == nil {
+		return nil
+	}
+	for loc := range a.Escapes {
+		delete(t.locToAlloc, loc)
+	}
+	t.escapeCount -= len(a.Escapes)
+	t.tree.Delete(base)
+	return a
+}
+
+// Covering returns the allocation containing addr, or nil. This is the
+// core query of both escape resolution and move negotiation.
+func (t *AllocationTable) Covering(addr uint64) *Allocation {
+	_, a, ok := t.tree.Floor(addr)
+	if !ok || !a.Covers(addr) {
+		return nil
+	}
+	return a
+}
+
+// Overlapping returns the allocations intersecting [lo, hi), in address
+// order.
+func (t *AllocationTable) Overlapping(lo, hi uint64) []*Allocation {
+	var out []*Allocation
+	// An allocation with base < lo can still overlap: check the floor.
+	if _, a, ok := t.tree.Floor(lo); ok && a.End() > lo && a.Base < hi {
+		out = append(out, a)
+	}
+	t.tree.Ascend(lo, hi, func(_ uint64, a *Allocation) bool {
+		if len(out) > 0 && out[len(out)-1] == a {
+			return true
+		}
+		if a.Base >= hi {
+			return false
+		}
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// AddEscape records that memory location loc holds a pointer into the
+// allocation covering target. If loc previously escaped a different
+// allocation, that stale escape is removed first (the location was
+// overwritten). It reports whether the target was a tracked allocation.
+func (t *AllocationTable) AddEscape(loc, target uint64) bool {
+	if prev, ok := t.locToAlloc[loc]; ok {
+		delete(prev.Escapes, loc)
+		delete(t.locToAlloc, loc)
+		t.escapeCount--
+	}
+	a := t.Covering(target)
+	if a == nil {
+		return false
+	}
+	a.Escapes[loc] = struct{}{}
+	t.locToAlloc[loc] = a
+	t.escapeCount++
+	return true
+}
+
+// RemoveEscape forgets the escape at loc (the location was overwritten
+// with a non-pointer or destroyed).
+func (t *AllocationTable) RemoveEscape(loc uint64) {
+	if prev, ok := t.locToAlloc[loc]; ok {
+		delete(prev.Escapes, loc)
+		delete(t.locToAlloc, loc)
+		t.escapeCount--
+	}
+}
+
+// EscapeTarget returns the allocation the escape at loc points into, if
+// tracked.
+func (t *AllocationTable) EscapeTarget(loc uint64) (*Allocation, bool) {
+	a, ok := t.locToAlloc[loc]
+	return a, ok
+}
+
+// relinkEscape records that loc escapes into allocation a, maintaining the
+// reverse index and counts; used when swap-in reconstructs an allocation's
+// escape set.
+func (t *AllocationTable) relinkEscape(loc uint64, a *Allocation) {
+	if prev, ok := t.locToAlloc[loc]; ok {
+		if prev == a {
+			return
+		}
+		delete(prev.Escapes, loc)
+		t.escapeCount--
+	}
+	a.Escapes[loc] = struct{}{}
+	t.locToAlloc[loc] = a
+	t.escapeCount++
+}
+
+// Rebase moves allocation a (which must be tracked) so its base becomes
+// newBase, keeping escape sets attached. Escape locations are NOT
+// rewritten here; the move engine handles location rebasing since it knows
+// the moved byte range.
+func (t *AllocationTable) Rebase(a *Allocation, newBase uint64) {
+	t.tree.Delete(a.Base)
+	a.Base = newBase
+	t.tree.Insert(a.Base, a)
+}
+
+// RebaseEscapeLocs rewrites every tracked escape location within
+// [lo, hi) to location-lo+newLo, in both the per-allocation escape sets
+// and the reverse index. It returns how many locations moved. The move
+// engine calls this when the moved byte range itself contained pointers.
+func (t *AllocationTable) RebaseEscapeLocs(lo, hi, newLo uint64) int {
+	type moved struct {
+		oldLoc, newLoc uint64
+		a              *Allocation
+	}
+	var ms []moved
+	for loc, a := range t.locToAlloc {
+		if loc >= lo && loc < hi {
+			ms = append(ms, moved{loc, loc - lo + newLo, a})
+		}
+	}
+	for _, m := range ms {
+		delete(m.a.Escapes, m.oldLoc)
+		delete(t.locToAlloc, m.oldLoc)
+		m.a.Escapes[m.newLoc] = struct{}{}
+		t.locToAlloc[m.newLoc] = m.a
+	}
+	return len(ms)
+}
+
+// ForEach visits all allocations in address order.
+func (t *AllocationTable) ForEach(fn func(*Allocation) bool) {
+	t.tree.AscendAll(func(_ uint64, a *Allocation) bool { return fn(a) })
+}
+
+// MemoryFootprint estimates the bytes the table's data structures occupy,
+// for the Figure 6 tracking-memory-overhead experiment: tree nodes plus
+// escape-set and reverse-index entries.
+func (t *AllocationTable) MemoryFootprint() uint64 {
+	const (
+		nodeBytes  = 64 // rb node + Allocation header
+		entryBytes = 48 // one escape: set entry + reverse-map entry
+	)
+	return uint64(t.tree.Len())*nodeBytes + uint64(t.escapeCount)*entryBytes
+}
+
+// CheckInvariants verifies the red-black tree shape, that allocations do
+// not overlap, and that the reverse escape index is consistent. Tests and
+// the property suite call this after mutation storms.
+func (t *AllocationTable) CheckInvariants() error {
+	if err := t.tree.checkInvariants(); err != nil {
+		return err
+	}
+	var prev *Allocation
+	var bad error
+	count := 0
+	t.tree.AscendAll(func(_ uint64, a *Allocation) bool {
+		if prev != nil && prev.End() > a.Base {
+			bad = fmt.Errorf("runtime: allocations overlap: [%#x,%#x) then [%#x,%#x)",
+				prev.Base, prev.End(), a.Base, a.End())
+			return false
+		}
+		count += len(a.Escapes)
+		for loc := range a.Escapes {
+			if t.locToAlloc[loc] != a {
+				bad = fmt.Errorf("runtime: reverse index missing escape %#x", loc)
+				return false
+			}
+		}
+		prev = a
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if count != t.escapeCount {
+		return fmt.Errorf("runtime: escape count %d != tracked %d", count, t.escapeCount)
+	}
+	if count != len(t.locToAlloc) {
+		return fmt.Errorf("runtime: reverse index size %d != escapes %d", len(t.locToAlloc), count)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package signing
+
+import (
+	"math/rand"
+	"testing"
+
+	"carat/internal/ir"
+)
+
+// detRand is a deterministic entropy source for tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newTC(t *testing.T, name string, seed int64) *Toolchain {
+	tc, err := NewToolchain(name, detRand{rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func testModule() *ir.Module {
+	m := ir.NewModule("signed")
+	f := m.AddFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Ret(b.I64(7))
+	return m
+}
+
+func TestSignAndVerify(t *testing.T) {
+	tc := newTC(t, "carat-llvm", 1)
+	m := testModule()
+	sm := tc.Sign(m)
+
+	ts := NewTrustStore()
+	ts.Trust(tc.Name, tc.Public())
+	if err := ts.Verify(sm); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestUntrustedToolchainRejected(t *testing.T) {
+	tc := newTC(t, "evil-cc", 2)
+	sm := tc.Sign(testModule())
+	ts := NewTrustStore()
+	if err := ts.Verify(sm); err == nil {
+		t.Error("unknown toolchain accepted")
+	}
+	// Trusting a DIFFERENT key under the same name must also fail.
+	other := newTC(t, "evil-cc", 3)
+	ts.Trust("evil-cc", other.Public())
+	if err := ts.Verify(sm); err == nil {
+		t.Error("signature from wrong key accepted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tc := newTC(t, "carat-llvm", 4)
+	m := testModule()
+	sm := tc.Sign(m)
+	ts := NewTrustStore()
+	ts.Trust(tc.Name, tc.Public())
+
+	// Modify the module after signing: inject an extra instruction.
+	f := m.Func("main")
+	b := ir.NewBuilder(f)
+	b.Blk.InsertBefore(&ir.Instr{Op: ir.OpAdd, Name: "evil", Typ: ir.I64,
+		Args: []ir.Value{ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2)}}, f.Entry().Term())
+	if err := ts.Verify(sm); err == nil {
+		t.Error("tampered module accepted")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	tc := newTC(t, "x", 5)
+	f1 := Fingerprint(tc.Public())
+	f2 := Fingerprint(tc.Public())
+	if f1 != f2 || len(f1) != 16 {
+		t.Errorf("fingerprint unstable or wrong length: %q %q", f1, f2)
+	}
+}

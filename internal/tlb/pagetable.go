@@ -1,0 +1,102 @@
+package tlb
+
+import "fmt"
+
+// PageTable is an x64-style four-level radix page table (PML4 → PDPT → PD
+// → PT), 9 bits per level. It maps virtual page numbers to physical page
+// numbers. The pagewalker traverses it on TLB misses, and the levels it
+// touches drive the walk-cycle model.
+type PageTable struct {
+	root *ptNode
+	// Mapped counts valid leaf entries.
+	Mapped uint64
+}
+
+type ptNode struct {
+	children [512]*ptNode
+	// leaf level: valid + ppn per slot
+	ppns  [512]uint64
+	valid [512]bool
+	leaf  bool
+}
+
+// Levels is the radix tree depth.
+const Levels = 4
+
+func levelIndex(vpn uint64, level int) int {
+	// level 0 is the root (PML4); 9 bits per level, leaf uses the low 9.
+	shift := uint(9 * (Levels - 1 - level))
+	return int((vpn >> shift) & 0x1FF)
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{root: &ptNode{}}
+}
+
+// Map installs the translation vpn → ppn, creating intermediate nodes.
+func (pt *PageTable) Map(vpn, ppn uint64) {
+	n := pt.root
+	for level := 0; level < Levels-1; level++ {
+		idx := levelIndex(vpn, level)
+		if n.children[idx] == nil {
+			n.children[idx] = &ptNode{leaf: level == Levels-2}
+		}
+		n = n.children[idx]
+	}
+	idx := levelIndex(vpn, Levels-1)
+	if !n.valid[idx] {
+		pt.Mapped++
+	}
+	n.ppns[idx] = ppn
+	n.valid[idx] = true
+}
+
+// Unmap removes the translation for vpn, reporting whether it existed.
+func (pt *PageTable) Unmap(vpn uint64) bool {
+	n := pt.root
+	for level := 0; level < Levels-1; level++ {
+		n = n.children[levelIndex(vpn, level)]
+		if n == nil {
+			return false
+		}
+	}
+	idx := levelIndex(vpn, Levels-1)
+	if !n.valid[idx] {
+		return false
+	}
+	n.valid[idx] = false
+	pt.Mapped--
+	return true
+}
+
+// Walk resolves vpn, returning the ppn and the number of node accesses the
+// walk performed (always Levels for a successful x64 walk; fewer when an
+// upper level is missing).
+func (pt *PageTable) Walk(vpn uint64) (ppn uint64, accesses int, err error) {
+	n := pt.root
+	for level := 0; level < Levels-1; level++ {
+		accesses++
+		n = n.children[levelIndex(vpn, level)]
+		if n == nil {
+			return 0, accesses, fmt.Errorf("tlb: page fault at vpn %#x (level %d)", vpn, level)
+		}
+	}
+	accesses++
+	idx := levelIndex(vpn, Levels-1)
+	if !n.valid[idx] {
+		return 0, accesses, fmt.Errorf("tlb: page fault at vpn %#x (leaf)", vpn)
+	}
+	return n.ppns[idx], accesses, nil
+}
+
+// IdentityMap installs vpn→vpn mappings for npages pages starting at the
+// page containing base. The VM uses this to model a kernel running the
+// benchmark with all of its memory mapped (the steady state Table 2
+// observes).
+func (pt *PageTable) IdentityMap(base uint64, npages uint64) {
+	vpn := base >> PageShift
+	for i := uint64(0); i < npages; i++ {
+		pt.Map(vpn+i, vpn+i)
+	}
+}

@@ -1,0 +1,109 @@
+// Package tlb implements the traditional address-translation model that
+// CARAT is compared against (paper §2.1, Figure 2): set-associative L1 DTLB
+// and L2 STLB models with LRU replacement, a four-level radix page table,
+// and a pagewalker with a paging-structure (walk) cache. The VM drives it
+// in "traditional" mode to account translation costs and DTLB miss rates.
+package tlb
+
+// PageShift is log2 of the page size (4 KB pages).
+const PageShift = 12
+
+// PageSize is the translation granularity.
+const PageSize = 1 << PageShift
+
+// TLB is one set-associative translation lookaside buffer with LRU
+// replacement.
+type TLB struct {
+	sets  [][]entry
+	ways  int
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type entry struct {
+	vpn   uint64
+	ppn   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewTLB builds a TLB with the given total entry count and associativity.
+// entries must be a multiple of ways.
+func NewTLB(entries, ways int) *TLB {
+	if entries%ways != 0 {
+		panic("tlb: entries not a multiple of ways")
+	}
+	nsets := entries / ways
+	t := &TLB{sets: make([][]entry, nsets), ways: ways}
+	for i := range t.sets {
+		t.sets[i] = make([]entry, ways)
+	}
+	return t
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.sets) * t.ways }
+
+func (t *TLB) set(vpn uint64) []entry { return t.sets[vpn%uint64(len(t.sets))] }
+
+// Lookup translates vpn, returning (ppn, true) on a hit.
+func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
+	t.clock++
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lru = t.clock
+			t.Hits++
+			return set[i].ppn, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert fills the translation vpn→ppn, evicting the LRU way.
+func (t *TLB) Insert(vpn, ppn uint64) {
+	t.clock++
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, ppn: ppn, valid: true, lru: t.clock}
+}
+
+// Invalidate drops the translation for vpn if present (a TLB shootdown).
+func (t *TLB) Invalidate(vpn uint64) {
+	for i := range t.set(vpn) {
+		set := t.set(vpn)
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+// InvalidateAll flushes the TLB (a full shootdown / CR3 write).
+func (t *TLB) InvalidateAll() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// MPKI returns misses per thousand lookups scaled by the given instruction
+// count (misses per 1000 instructions when insns is the retired count).
+func (t *TLB) MPKI(insns uint64) float64 {
+	if insns == 0 {
+		return 0
+	}
+	return float64(t.Misses) * 1000 / float64(insns)
+}

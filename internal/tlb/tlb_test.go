@@ -1,0 +1,203 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tb := NewTLB(64, 4)
+	if _, hit := tb.Lookup(5); hit {
+		t.Fatal("empty TLB hit")
+	}
+	tb.Insert(5, 99)
+	ppn, hit := tb.Lookup(5)
+	if !hit || ppn != 99 {
+		t.Fatalf("lookup = (%d,%v)", ppn, hit)
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tb := NewTLB(8, 4) // 2 sets, 4 ways
+	// These vpns all map to set 0 (even numbers).
+	vpns := []uint64{0, 2, 4, 6}
+	for _, v := range vpns {
+		tb.Insert(v, v+100)
+	}
+	// Touch 0 so it is MRU; insert 8 (same set) → evicts LRU = 2.
+	tb.Lookup(0)
+	tb.Insert(8, 108)
+	if _, hit := tb.Lookup(0); !hit {
+		t.Error("MRU entry evicted")
+	}
+	if _, hit := tb.Lookup(2); hit {
+		t.Error("LRU entry not evicted")
+	}
+	if _, hit := tb.Lookup(8); !hit {
+		t.Error("new entry missing")
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tb := NewTLB(64, 4)
+	tb.Insert(7, 70)
+	tb.Invalidate(7)
+	if _, hit := tb.Lookup(7); hit {
+		t.Error("invalidated entry still hits")
+	}
+	tb.Insert(9, 90)
+	tb.InvalidateAll()
+	if _, hit := tb.Lookup(9); hit {
+		t.Error("InvalidateAll left an entry")
+	}
+}
+
+func TestPageTableMapWalk(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x12345, 0x777)
+	ppn, accesses, err := pt.Walk(0x12345)
+	if err != nil || ppn != 0x777 {
+		t.Fatalf("walk = (%#x, %v)", ppn, err)
+	}
+	if accesses != Levels {
+		t.Errorf("walk accesses = %d, want %d", accesses, Levels)
+	}
+	if _, _, err := pt.Walk(0x99999); err == nil {
+		t.Error("walk of unmapped vpn succeeded")
+	}
+	if pt.Mapped != 1 {
+		t.Errorf("mapped = %d", pt.Mapped)
+	}
+}
+
+func TestPageTableUnmap(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(42, 43)
+	if !pt.Unmap(42) {
+		t.Fatal("unmap failed")
+	}
+	if pt.Unmap(42) {
+		t.Fatal("double unmap succeeded")
+	}
+	if _, _, err := pt.Walk(42); err == nil {
+		t.Error("walk after unmap succeeded")
+	}
+}
+
+func TestQuickPageTableMatchesMap(t *testing.T) {
+	f := func(pairs []uint32) bool {
+		pt := NewPageTable()
+		ref := map[uint64]uint64{}
+		for i, p := range pairs {
+			vpn := uint64(p) & 0xFFFFF
+			ppn := uint64(i) + 1
+			pt.Map(vpn, ppn)
+			ref[vpn] = ppn
+		}
+		if pt.Mapped != uint64(len(ref)) {
+			return false
+		}
+		for vpn, want := range ref {
+			got, _, err := pt.Walk(vpn)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyRefill(t *testing.T) {
+	pt := NewPageTable()
+	pt.IdentityMap(0, 1024)
+	h := NewHierarchy(pt)
+
+	// First access: L1 miss, L2 miss, walk.
+	pa, cyc, ok := h.Translate(5 * PageSize)
+	if !ok || pa != 5*PageSize {
+		t.Fatalf("translate = (%#x, %v)", pa, ok)
+	}
+	if cyc == 0 {
+		t.Error("cold miss should cost cycles")
+	}
+	// Second access: L1 hit, free.
+	_, cyc2, _ := h.Translate(5*PageSize + 64)
+	if cyc2 != 0 {
+		t.Errorf("warm hit cost %d cycles", cyc2)
+	}
+	if h.Stats.Walks != 1 {
+		t.Errorf("walks = %d, want 1", h.Stats.Walks)
+	}
+}
+
+func TestHierarchyFault(t *testing.T) {
+	h := NewHierarchy(NewPageTable())
+	if _, _, ok := h.Translate(0x5000); ok {
+		t.Error("translation of unmapped address succeeded")
+	}
+	if h.Stats.Faults != 1 {
+		t.Errorf("faults = %d", h.Stats.Faults)
+	}
+}
+
+func TestHierarchyLocalityBeatsRandom(t *testing.T) {
+	// Figure 2's driving effect: random accesses over a large footprint
+	// incur vastly more L1 DTLB misses than sequential ones.
+	mkHier := func() *Hierarchy {
+		pt := NewPageTable()
+		pt.IdentityMap(0, 1<<16) // 256 MB mapped
+		return NewHierarchy(pt)
+	}
+	const accesses = 200000
+	seq := mkHier()
+	for i := 0; i < accesses; i++ {
+		seq.Translate(uint64(i) * 8)
+	}
+	rnd := mkHier()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < accesses; i++ {
+		rnd.Translate(uint64(rng.Intn(1<<16)) * PageSize)
+	}
+	seqMPKI := seq.DTLBMPKI(accesses)
+	rndMPKI := rnd.DTLBMPKI(accesses)
+	if seqMPKI*20 > rndMPKI {
+		t.Errorf("sequential MPKI %.2f not far below random %.2f", seqMPKI, rndMPKI)
+	}
+}
+
+func TestWalkCacheReducesCost(t *testing.T) {
+	pt := NewPageTable()
+	pt.IdentityMap(0, 1<<14)
+	h := NewHierarchy(pt)
+	// Touch many pages within the same PD region: walk cache should make
+	// later walks cheaper than 4 levels.
+	for i := uint64(0); i < 1<<14; i++ {
+		h.Translate(i * PageSize)
+	}
+	if h.AvgWalkCycles() >= Levels*cycPerWalkLevel {
+		t.Errorf("avg walk %.1f cycles: walk cache ineffective", h.AvgWalkCycles())
+	}
+	if h.AvgWalkCycles() < cycPerWalkLevel {
+		t.Errorf("avg walk %.1f cycles: below single-level floor", h.AvgWalkCycles())
+	}
+}
+
+func TestMPKIMath(t *testing.T) {
+	tb := NewTLB(64, 4)
+	tb.Lookup(1) // miss
+	tb.Insert(1, 1)
+	tb.Lookup(1) // hit
+	if got := tb.MPKI(1000); got != 1 {
+		t.Errorf("MPKI = %f, want 1", got)
+	}
+	if got := tb.MPKI(0); got != 0 {
+		t.Errorf("MPKI(0) = %f", got)
+	}
+}

@@ -1,0 +1,113 @@
+package vm
+
+import "fmt"
+
+// heap is the process's dynamic memory allocator: a bump allocator with
+// size-class free lists over the kernel-granted heap region. Its metadata
+// is address-based and therefore move-aware: rebase is called by the VM's
+// move listener whenever the kernel relocates pages.
+type heap struct {
+	base, end, brk uint64
+	// freeLists maps a size class to reusable block addresses.
+	freeLists map[uint64][]uint64
+	// sizeOf remembers each live block's allocation size for free().
+	sizeOf map[uint64]uint64
+}
+
+const heapAlign = 16
+
+func newHeap(base, size uint64) heap {
+	return heap{
+		base: base, end: base + size, brk: base,
+		freeLists: make(map[uint64][]uint64),
+		sizeOf:    make(map[uint64]uint64),
+	}
+}
+
+func sizeClass(n uint64) uint64 {
+	if n < heapAlign {
+		n = heapAlign
+	}
+	return (n + heapAlign - 1) &^ (heapAlign - 1)
+}
+
+// alloc returns the address of a block of at least n bytes, or 0 when the
+// heap is exhausted.
+func (h *heap) alloc(n uint64) uint64 {
+	cls := sizeClass(n)
+	if lst := h.freeLists[cls]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		h.freeLists[cls] = lst[:len(lst)-1]
+		h.sizeOf[addr] = cls
+		return addr
+	}
+	if h.brk+cls > h.end {
+		return 0
+	}
+	addr := h.brk
+	h.brk += cls
+	h.sizeOf[addr] = cls
+	return addr
+}
+
+// free returns a block to its size-class list.
+func (h *heap) free(addr uint64) error {
+	cls, ok := h.sizeOf[addr]
+	if !ok {
+		return fmt.Errorf("vm: free of unallocated address %#x", addr)
+	}
+	delete(h.sizeOf, addr)
+	h.freeLists[cls] = append(h.freeLists[cls], addr)
+	return nil
+}
+
+// donate registers a raw address range as a reusable block of class cls —
+// used when the allocation-granularity move engine vacates a heap block.
+func (h *heap) donate(addr, cls uint64) {
+	h.freeLists[cls] = append(h.freeLists[cls], addr)
+}
+
+// live reports whether addr is the base of a live block.
+func (h *heap) live(addr uint64) bool {
+	_, ok := h.sizeOf[addr]
+	return ok
+}
+
+// rebase rewrites all heap metadata addresses within the moved range
+// [src, src+length) to their new location at dst.
+func (h *heap) rebase(src, dst, length uint64) {
+	reb := func(a uint64) uint64 {
+		if a >= src && a < src+length {
+			return a - src + dst
+		}
+		return a
+	}
+	// The region boundaries only shift when the whole heap area moved;
+	// handle the common case of interior page moves by leaving base/end
+	// alone unless they fall inside the range.
+	h.base = reb(h.base)
+	h.end = reb(h.end)
+	// The bump pointer must NOT follow the moved data: the vacated range
+	// is no longer mapped, and the destination range is exactly sized for
+	// the data it received. Skip the hole and keep bumping above it.
+	if h.brk >= src && h.brk < src+length {
+		h.brk = src + length
+	}
+	for cls, lst := range h.freeLists {
+		for i, a := range lst {
+			lst[i] = reb(a)
+		}
+		h.freeLists[cls] = lst
+	}
+	moved := make(map[uint64]uint64)
+	for a, sz := range h.sizeOf {
+		if na := reb(a); na != a {
+			moved[a] = na
+			_ = sz
+		}
+	}
+	for a, na := range moved {
+		h.sizeOf[na] = h.sizeOf[a]
+		delete(h.sizeOf, a)
+	}
+}

@@ -1,0 +1,338 @@
+package vm
+
+import (
+	"fmt"
+
+	"carat/internal/guard"
+	"carat/internal/ir"
+	"carat/internal/runtime"
+)
+
+// The VM's thread model: every program thread runs on its own goroutine,
+// but a baton discipline ensures exactly one executes at a time, switching
+// at safepoints. This keeps execution deterministic (important for
+// differential testing of the guard optimizations and page moves) while
+// still exercising the full multi-thread world-stop protocol of Figure 8:
+// when a change request arrives, all other threads are by construction
+// parked at safepoints with their register state published.
+
+type threadState int
+
+const (
+	tReady threadState = iota
+	tRunning
+	tJoinWait
+	tDone
+)
+
+type thread struct {
+	id     int64
+	v      *VM
+	state  threadState
+	waitOn int64 // valid in tJoinWait
+
+	frames []*frame
+
+	stackBase uint64 // lowest address of the stack region
+	stackTop  uint64 // one past the highest
+	sp        uint64 // grows down
+	minSP     uint64 // stack high-water mark (lowest sp seen)
+
+	entry    *ir.Func
+	arg      uint64
+	result   uint64
+	err      error
+	resume   chan struct{}
+	yielded  chan struct{}
+	sliceEnd uint64 // instruction count at which to yield
+}
+
+// frame is one activation record: the function's SSA "registers" plus the
+// stack-pointer save for alloca unwinding.
+type frame struct {
+	fn     *ir.Func
+	fi     *funcInfo
+	regs   []uint64
+	spSave uint64
+}
+
+// scheduler round-robins threads and implements runtime.World.
+type scheduler struct {
+	v       *VM
+	threads []*thread
+	nextID  int64
+	quantum uint64
+}
+
+func newScheduler(v *VM) *scheduler {
+	return &scheduler{v: v, quantum: 10_000}
+}
+
+// newThread allocates a stack region and creates a parked thread.
+func (s *scheduler) newThread(entry *ir.Func, arg uint64) (*thread, error) {
+	stackBytes := s.v.cfg.StackBytes
+	if stackBytes == 0 {
+		stackBytes = DefaultConfig().StackBytes
+	}
+	// The stack region is granted (guards must admit it) but NOT
+	// registered as one big allocation: individual allocas are tracked by
+	// the instrumentation, and nesting allocations is not representable.
+	// In capsule mode stacks are carved from the heap instead — "additional
+	// stacks are allocated from the process heap" (§3).
+	var base uint64
+	if s.v.cfg.Capsule {
+		base = s.v.heap.alloc(stackBytes)
+		if base == 0 {
+			return nil, fmt.Errorf("vm: capsule heap exhausted allocating a stack")
+		}
+	} else {
+		var err error
+		base, err = s.v.proc.GrantRegion(stackBytes, guard.PermRW)
+		if err != nil {
+			return nil, fmt.Errorf("vm: stack region: %w", err)
+		}
+	}
+	s.nextID++
+	t := &thread{
+		id:        s.nextID,
+		v:         s.v,
+		state:     tReady,
+		stackBase: base,
+		stackTop:  base + stackBytes,
+		sp:        base + stackBytes,
+		minSP:     base + stackBytes,
+		entry:     entry,
+		arg:       arg,
+		resume:    make(chan struct{}),
+		yielded:   make(chan struct{}),
+	}
+	s.threads = append(s.threads, t)
+	go t.run()
+	return t, nil
+}
+
+// run is a thread goroutine: wait for the baton, execute, hand it back.
+func (t *thread) run() {
+	<-t.resume
+	args := []uint64{}
+	if len(t.entry.Params) == 1 {
+		args = []uint64{t.arg}
+	}
+	ret, err := t.v.callFunc(t, t.entry, args)
+	t.result, t.err = ret, err
+	t.state = tDone
+	t.yielded <- struct{}{}
+}
+
+// yield hands the baton back to the scheduler and waits to be resumed.
+// Called at safepoints when the time slice expires or when blocking.
+func (t *thread) yield() {
+	t.yielded <- struct{}{}
+	<-t.resume
+}
+
+// safepoint is called at block boundaries; it processes scheduler work:
+// time-slice expiry, injected page moves, and instruction limits.
+func (t *thread) safepoint() error {
+	v := t.v
+	if v.cfg.MaxInstrs > 0 && v.Instrs > v.cfg.MaxInstrs {
+		return fmt.Errorf("vm: instruction limit exceeded (%d)", v.cfg.MaxInstrs)
+	}
+	if v.movePolicy != nil && v.Instrs >= v.nextMoveAt {
+		v.nextMoveAt = v.Instrs + v.movePeriod
+		if err := v.movePolicy(); err != nil {
+			return err
+		}
+	}
+	if v.Instrs >= t.sliceEnd {
+		if t.v.sched.runnableOthers(t) {
+			t.state = tReady
+			t.yield()
+			t.state = tRunning
+		}
+		t.sliceEnd = v.Instrs + t.v.sched.quantum
+	}
+	return nil
+}
+
+// runnableOthers reports whether another thread could run.
+func (s *scheduler) runnableOthers(cur *thread) bool {
+	for _, t := range s.threads {
+		if t != cur && t.state == tReady {
+			return true
+		}
+	}
+	return false
+}
+
+// runMain creates the main thread and drives the round-robin until every
+// thread finishes. It returns main's result.
+func (s *scheduler) runMain(main *ir.Func) (int64, error) {
+	mt, err := s.newThread(main, 0)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := s.pick()
+		if t == nil {
+			break
+		}
+		t.state = tRunning
+		t.sliceEnd = s.v.Instrs + s.quantum
+		t.resume <- struct{}{}
+		<-t.yielded
+		if t.state == tRunning {
+			t.state = tReady
+		}
+		if t.state == tDone && t.err != nil {
+			return 0, t.err
+		}
+		// Wake joiners of finished threads.
+		for _, w := range s.threads {
+			if w.state == tJoinWait {
+				if tgt := s.byID(w.waitOn); tgt == nil || tgt.state == tDone {
+					w.state = tReady
+				}
+			}
+		}
+	}
+	if mt.err != nil {
+		return 0, mt.err
+	}
+	return int64(mt.result), nil
+}
+
+// pick returns the next ready thread, preferring round-robin fairness.
+func (s *scheduler) pick() *thread {
+	for _, t := range s.threads {
+		if t.state == tReady {
+			return t
+		}
+	}
+	// Deadlock check: joinwait threads with no runnable target.
+	for _, t := range s.threads {
+		if t.state == tJoinWait {
+			panic("vm: join deadlock")
+		}
+	}
+	return nil
+}
+
+func (s *scheduler) byID(id int64) *thread {
+	for _, t := range s.threads {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// StopTheWorld implements runtime.World. Under the baton discipline every
+// thread except (at most) the one triggering the change request is parked
+// at a safepoint, so the register state of all threads is already
+// published — the moral equivalent of the signal-handler register dump in
+// Figure 8. It returns one RegSet per live frame set.
+func (s *scheduler) StopTheWorld() []runtime.RegSet {
+	out := make([]runtime.RegSet, 0, len(s.threads))
+	for _, t := range s.threads {
+		if t.state == tDone {
+			continue
+		}
+		out = append(out, &threadRegs{t: t})
+	}
+	return out
+}
+
+// ResumeTheWorld implements runtime.World; with the baton discipline
+// nothing needs releasing.
+func (s *scheduler) ResumeTheWorld() {}
+
+// rebaseStacks relocates thread stack bookkeeping after a move of
+// [src, src+length) to dst. Only threads whose stack region actually
+// intersects the moved range are touched: sp and spSave are boundary
+// pointers (an empty stack's sp equals stackTop, which is numerically the
+// base of whatever the kernel placed just above the stack), so naively
+// rebasing them whenever their value falls inside a moved range would drag
+// them along with moves of adjacent, unrelated pages.
+func (s *scheduler) rebaseStacks(src, dst, length uint64) {
+	reb := func(a uint64) uint64 {
+		if a >= src && a < src+length {
+			return a - src + dst
+		}
+		return a
+	}
+	for _, t := range s.threads {
+		if t.stackBase >= src+length || src >= t.stackTop {
+			continue // this thread's stack did not move
+		}
+		oldTop := t.stackTop
+		t.stackBase = reb(t.stackBase)
+		t.stackTop = reb(t.stackTop-1) + 1 // one-past-end: rebase last byte
+		if t.sp == oldTop {
+			t.sp = t.stackTop // empty stack: sp tracks the top boundary
+		} else {
+			t.sp = reb(t.sp) // sp points at live alloca data
+		}
+		t.minSP = reb(t.minSP)
+		for _, fr := range t.frames {
+			if fr.spSave == oldTop {
+				fr.spSave = t.stackTop
+			} else {
+				fr.spSave = reb(fr.spSave)
+			}
+		}
+	}
+}
+
+// threadRegs exposes a thread's pointer-typed SSA slots across all frames
+// as one flat register file for patching.
+type threadRegs struct{ t *thread }
+
+// Regs implements runtime.RegSet.
+func (r *threadRegs) Regs() []uint64 {
+	var out []uint64
+	for _, fr := range r.t.frames {
+		for _, slot := range fr.fi.ptrSlots {
+			out = append(out, fr.regs[slot])
+		}
+	}
+	return out
+}
+
+// SetReg implements runtime.RegSet.
+func (r *threadRegs) SetReg(i int, v uint64) {
+	for _, fr := range r.t.frames {
+		n := len(fr.fi.ptrSlots)
+		if i < n {
+			fr.regs[fr.fi.ptrSlots[i]] = v
+			return
+		}
+		i -= n
+	}
+}
+
+// spawn implements the thread_spawn builtin: fnAddr must be a function
+// code address; the new thread receives arg. Returns the thread id.
+func (s *scheduler) spawn(fnAddr, arg uint64) (int64, error) {
+	fn, ok := s.v.funcAt[fnAddr]
+	if !ok {
+		return 0, fmt.Errorf("vm: thread_spawn of non-function address %#x", fnAddr)
+	}
+	t, err := s.newThread(fn, arg)
+	if err != nil {
+		return 0, err
+	}
+	return t.id, nil
+}
+
+// join implements the thread_join builtin from thread cur.
+func (s *scheduler) join(cur *thread, id int64) {
+	tgt := s.byID(id)
+	if tgt == nil || tgt.state == tDone {
+		return
+	}
+	cur.state = tJoinWait
+	cur.waitOn = id
+	cur.yield()
+	cur.state = tRunning
+}

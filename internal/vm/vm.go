@@ -1,0 +1,439 @@
+// Package vm executes CARAT IR directly against the simulated machine. It
+// plays the role of the hardware in the paper's evaluation: it runs the
+// compiled (and possibly instrumented) module, charges a cycle cost per
+// instruction, evaluates guards through the configured mechanism, invokes
+// the runtime callbacks, and — in "traditional" mode — routes every data
+// access through the TLB/pagewalker hierarchy instead.
+//
+// The VM intentionally does not model a data cache; the figures the
+// benchmark harness reproduces are relative overheads between executions
+// of identical instruction streams, which the paper's own methodology
+// (normalized overhead vs. baseline) also relies on.
+package vm
+
+import (
+	"fmt"
+
+	"carat/internal/guard"
+	"carat/internal/ir"
+	"carat/internal/kernel"
+	"carat/internal/runtime"
+	"carat/internal/tlb"
+)
+
+// Mode selects the address-translation model.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeCARAT runs with physical addressing: guards and tracking
+	// callbacks (if compiled in) are live; there is no TLB.
+	ModeCARAT Mode = iota
+	// ModeTraditional runs with paging: every data access is translated
+	// through the TLB hierarchy; guards must not be present.
+	ModeTraditional
+)
+
+// Config configures a VM instance.
+type Config struct {
+	Mode      Mode
+	GuardMech guard.Mechanism
+
+	// StackBytes and HeapBytes size the process's stack and heap regions.
+	StackBytes uint64
+	HeapBytes  uint64
+
+	// MemBytes sizes the machine's physical memory.
+	MemBytes uint64
+
+	// Paging, when set in traditional mode, receives page touches for the
+	// Table 2 demand-paging accounting.
+	Paging *kernel.PagingModel
+
+	// Capsule lays the whole process out as ONE contiguous region (the
+	// "dark capsule" linkage model of §3): code, globals, heap, and all
+	// stacks (thread stacks are carved from the heap, as the paper
+	// prescribes). Guards then always hit the single-region fast path.
+	// The tradeoff is a single rwx permission for the whole process.
+	Capsule bool
+
+	// MaxInstrs aborts runaway programs (0 = no limit).
+	MaxInstrs uint64
+}
+
+// DefaultConfig returns a reasonable configuration for running workloads.
+func DefaultConfig() Config {
+	return Config{
+		Mode:       ModeCARAT,
+		GuardMech:  guard.MechRange,
+		StackBytes: 1 << 20, // 1 MB
+		HeapBytes:  1 << 26, // 64 MB
+		MemBytes:   1 << 28, // 256 MB
+		MaxInstrs:  2_000_000_000,
+	}
+}
+
+// Fault is a protection violation: a guard rejected an access, or (in
+// traditional mode) translation failed.
+type Fault struct {
+	Addr uint64
+	Size uint64
+	Perm guard.Perm
+	Msg  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: protection fault: %s [%#x,+%d) %s", f.Msg, f.Addr, f.Size, f.Perm)
+}
+
+// VM is a loaded process ready to run.
+type VM struct {
+	cfg  Config
+	mod  *ir.Module
+	kern *kernel.Kernel
+	proc *kernel.Process
+	rt   *runtime.Runtime
+	hier *tlb.Hierarchy
+	eval *guard.Evaluator
+
+	// Layout.
+	codeBase    uint64
+	codeOf      map[*ir.Func]uint64
+	funcAt      map[uint64]*ir.Func
+	globalAddr  map[*ir.Global]uint64
+	globalsBase uint64
+	globalsLen  uint64
+
+	heap  heap
+	funcs map[*ir.Func]*funcInfo
+
+	// Threads.
+	sched *scheduler
+
+	// Statistics.
+	Instrs      uint64
+	Cycles      uint64
+	GuardChecks uint64
+	Output      []int64
+
+	trackStart uint64 // rt.Stats.TrackingCycle at launch
+
+	// Move injection (Figure 9): movePolicy runs at safepoints every
+	// movePeriod retired instructions.
+	movePolicy func() error
+	movePeriod uint64
+	nextMoveAt uint64
+}
+
+// SetMovePolicy arranges for fn to run at a safepoint every period retired
+// instructions — the Figure 9 page-move injector. Call before Run.
+func (v *VM) SetMovePolicy(period uint64, fn func() error) {
+	v.movePeriod = period
+	v.movePolicy = fn
+	v.nextMoveAt = period
+}
+
+// Kernel returns the VM's kernel, for experiment harnesses that inject
+// change requests.
+func (v *VM) Kernel() *kernel.Kernel { return v.kern }
+
+// Module returns the loaded module.
+func (v *VM) Module() *ir.Module { return v.mod }
+
+// Process returns the kernel process handle.
+func (v *VM) Process() *kernel.Process { return v.proc }
+
+// Runtime returns the CARAT runtime (nil only before Load).
+func (v *VM) Runtime() *runtime.Runtime { return v.rt }
+
+// Hierarchy returns the TLB hierarchy (traditional mode only).
+func (v *VM) Hierarchy() *tlb.Hierarchy { return v.hier }
+
+// GlobalAddr returns the physical address assigned to global g.
+func (v *VM) GlobalAddr(g *ir.Global) uint64 { return v.globalAddr[g] }
+
+// ProcessBaseBytes models the fixed per-process memory a real Linux
+// process carries regardless of the benchmark (loader image, libc data,
+// runtime stub) — the paper's "Initial Pages" are in the same spirit.
+const ProcessBaseBytes = 64 << 10
+
+// ProgramFootprintBytes returns the program's own memory high-water mark:
+// globals plus heap bytes ever bumped plus per-thread stack high-water
+// plus the fixed process baseline. Figure 6 compares this against the
+// runtime's tracking overhead.
+func (v *VM) ProgramFootprintBytes() uint64 {
+	total := uint64(ProcessBaseBytes) + v.globalsLen
+	total += v.heap.brk - v.heap.base
+	for _, t := range v.sched.threads {
+		total += t.stackTop - t.minSP
+	}
+	return total
+}
+
+// funcInfo is the per-function "register file" layout: every SSA value
+// gets a slot; pointer-typed slots are recorded so the move engine can
+// patch in-register pointers.
+type funcInfo struct {
+	slotOf   map[ir.Value]int
+	nSlots   int
+	ptrSlots []int
+}
+
+func buildFuncInfo(f *ir.Func) *funcInfo {
+	fi := &funcInfo{slotOf: make(map[ir.Value]int)}
+	add := func(v ir.Value, isPtr bool) {
+		fi.slotOf[v] = fi.nSlots
+		if isPtr {
+			fi.ptrSlots = append(fi.ptrSlots, fi.nSlots)
+		}
+		fi.nSlots++
+	}
+	for _, p := range f.Params {
+		add(p, p.Typ.IsPtr())
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasResult() && in.Typ != ir.Void {
+				add(in, in.Typ.IsPtr())
+			}
+		}
+	}
+	return fi
+}
+
+// Load places the module into a fresh simulated machine: code, globals
+// (data+bss), stack, and heap regions are granted by the kernel; globals'
+// initializers are copied; static allocations are registered with the
+// runtime; and the entry thread is created but not started. This mirrors
+// the load-time sequence of §2.2 ("Run-time").
+func Load(mod *ir.Module, cfg Config) (*VM, error) {
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("vm: load: %w", err)
+	}
+	k := kernel.New(cfg.MemBytes)
+	proc := k.NewProcess()
+	v := &VM{
+		cfg:        cfg,
+		mod:        mod,
+		kern:       k,
+		proc:       proc,
+		codeOf:     make(map[*ir.Func]uint64),
+		funcAt:     make(map[uint64]*ir.Func),
+		globalAddr: make(map[*ir.Global]uint64),
+		funcs:      make(map[*ir.Func]*funcInfo),
+	}
+	v.rt = runtime.New(k.Mem, nil)
+	proc.Handler = v.rt
+	v.rt.AddMoveListener(v.onMove)
+
+	for _, f := range mod.Funcs {
+		v.funcs[f] = buildFuncInfo(f)
+	}
+
+	// Layout sizes. Code is position-independent by construction (the
+	// kernel can relocate it; function "addresses" are just identifiers
+	// here); each function occupies a 64-byte slot.
+	codeLen := uint64(len(mod.Funcs)*64 + 64)
+	var globalsLen uint64
+	for _, g := range mod.Globals {
+		globalsLen += alignTo(uint64(g.Size()), 16)
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = DefaultConfig().HeapBytes
+		v.cfg.HeapBytes = cfg.HeapBytes
+	}
+
+	var codeBase, globalsBase, heapBase uint64
+	var err error
+	if cfg.Capsule {
+		// Dark-capsule layout (§3): one contiguous region holding code,
+		// globals, and the heap (thread stacks are carved from the heap).
+		total := alignTo(codeLen, 16) + globalsLen + cfg.HeapBytes
+		base, gerr := proc.GrantRegion(total, guard.PermRead|guard.PermWrite|guard.PermExec)
+		if gerr != nil {
+			return nil, fmt.Errorf("vm: capsule region: %w", gerr)
+		}
+		codeBase = base
+		globalsBase = base + alignTo(codeLen, 16)
+		heapBase = globalsBase + globalsLen
+	} else {
+		codeBase, err = proc.GrantRegion(codeLen, guard.PermRead|guard.PermExec)
+		if err != nil {
+			return nil, fmt.Errorf("vm: code region: %w", err)
+		}
+		if globalsLen > 0 {
+			globalsBase, err = proc.GrantRegion(globalsLen, guard.PermRW)
+			if err != nil {
+				return nil, fmt.Errorf("vm: globals region: %w", err)
+			}
+		}
+		heapBase, err = proc.GrantRegion(cfg.HeapBytes, guard.PermRW)
+		if err != nil {
+			return nil, fmt.Errorf("vm: heap region: %w", err)
+		}
+	}
+
+	v.codeBase = codeBase
+	for i, f := range mod.Funcs {
+		addr := codeBase + uint64(i+1)*64
+		v.codeOf[f] = addr
+		v.funcAt[addr] = f
+	}
+	if globalsLen > 0 {
+		v.globalsBase, v.globalsLen = globalsBase, globalsLen
+		off := globalsBase
+		for _, g := range mod.Globals {
+			v.globalAddr[g] = off
+			g.Addr = off
+			if len(g.Init) > 0 {
+				if err := k.Mem.WriteAt(off, g.Init); err != nil {
+					return nil, err
+				}
+			}
+			off += alignTo(uint64(g.Size()), 16)
+		}
+	}
+	v.heap = newHeap(heapBase, cfg.HeapBytes)
+
+	// Register static allocations with the runtime (load-time recording,
+	// §4.1.2): code and each global.
+	if err := v.rt.TrackStatic(codeBase, codeLen); err != nil {
+		return nil, err
+	}
+	for _, g := range mod.Globals {
+		if g.Size() > 0 {
+			if err := v.rt.TrackStatic(v.globalAddr[g], uint64(g.Size())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Initial escapes: global initializers that contain pointers (their
+	// offsets are declared in PtrInit). This is the load-time "patch of
+	// all global pointers" moment.
+	for _, g := range mod.Globals {
+		for _, po := range g.PtrInit {
+			loc := v.globalAddr[g] + uint64(po)
+			v.rt.TrackEscape(loc, k.Mem.Load64(loc))
+		}
+	}
+
+	// Traditional mode: build the paging hierarchy. Pages are mapped on
+	// demand (identity), feeding the Table 2 paging model when attached.
+	if cfg.Mode == ModeTraditional {
+		v.hier = tlb.NewHierarchy(tlb.NewPageTable())
+	}
+	v.eval = guard.NewEvaluator(cfg.GuardMech, proc.Regions)
+
+	v.sched = newScheduler(v)
+	v.rt.SetWorld(v.sched)
+	v.trackStart = v.rt.Stats.TrackingCycle
+	return v, nil
+}
+
+// onMove rebases the VM's own bookkeeping after the kernel moved
+// [src, src+length) to dst: heap metadata, global addresses, and the code
+// map. Thread register slots are patched separately through the World
+// interface.
+func (v *VM) onMove(src, dst, length uint64) {
+	reb := func(a uint64) uint64 {
+		if a >= src && a < src+length {
+			return a - src + dst
+		}
+		return a
+	}
+	v.heap.rebase(src, dst, length)
+	for g, a := range v.globalAddr {
+		if na := reb(a); na != a {
+			v.globalAddr[g] = na
+			g.Addr = na
+		}
+	}
+	if nb := reb(v.globalsBase); nb != v.globalsBase {
+		v.globalsBase = nb
+	}
+	if nc := reb(v.codeBase); nc != v.codeBase {
+		v.codeBase = nc
+		newAt := make(map[uint64]*ir.Func, len(v.funcAt))
+		for a, f := range v.funcAt {
+			na := reb(a)
+			newAt[na] = f
+			v.codeOf[f] = na
+		}
+		v.funcAt = newAt
+	}
+	v.sched.rebaseStacks(src, dst, length)
+}
+
+// Run executes @main to completion and returns its result (0 for void
+// mains). Tracking cycles accumulated by the runtime are folded into the
+// VM cycle count on return.
+func (v *VM) Run() (int64, error) {
+	main := v.mod.Func("main")
+	if main == nil || main.IsDecl() {
+		return 0, fmt.Errorf("vm: module has no @main")
+	}
+	ret, err := v.sched.runMain(main)
+	v.Cycles += v.rt.Stats.TrackingCycle - v.trackStart
+	v.Cycles += v.eval.Cycles
+	v.GuardChecks = v.eval.Checks
+	for _, bd := range v.rt.MoveStats {
+		v.Cycles += bd.TotalCycles()
+	}
+	return ret, err
+}
+
+// InjectWorstCaseMove performs one kernel-initiated move of the page
+// holding the most-escaped allocation (the Figure 9 workload), callable
+// from a MovePolicy hook while the program runs.
+func (v *VM) InjectWorstCaseMove() error {
+	page, ok := v.rt.WorstCasePage()
+	if !ok {
+		return fmt.Errorf("vm: no allocations to move")
+	}
+	_, err := v.proc.RequestMove(page, 1)
+	return err
+}
+
+// SwapOutAllocation evicts the heap allocation based at base into a swap
+// slot (§2.2's page-unavailability mechanism at allocation granularity):
+// its escaped pointers become non-canonical poison addresses, and the next
+// guarded use transparently swaps it back in. The vacated heap block is
+// returned to the allocator.
+func (v *VM) SwapOutAllocation(base uint64) (uint64, error) {
+	slot, err := v.rt.SwapOut(base)
+	if err != nil {
+		return 0, err
+	}
+	if v.heap.live(base) {
+		if err := v.heap.free(base); err != nil {
+			return 0, err
+		}
+	}
+	return slot, nil
+}
+
+// InjectWorstCaseAllocationMove relocates the most-escaped heap allocation
+// at allocation granularity (§6 "Allocation Granularity"): no page
+// expansion, no page-semantics negotiation — the ablation the paper
+// predicts removes ~95% of the move cost.
+func (v *VM) InjectWorstCaseAllocationMove() error {
+	base, length, ok := v.rt.WorstCaseHeapAllocation(v.heap.base, v.heap.end)
+	if !ok {
+		return fmt.Errorf("vm: no heap allocations to move")
+	}
+	cls := sizeClass(length)
+	dst := v.heap.alloc(length)
+	if dst == 0 {
+		return fmt.Errorf("vm: heap exhausted during allocation move")
+	}
+	if _, err := v.rt.MoveAllocationTo(base, dst); err != nil {
+		return err
+	}
+	// The move listener rebased the heap's metadata for base onto dst;
+	// the vacated block becomes reusable free space.
+	v.heap.donate(base, cls)
+	return nil
+}
+
+func alignTo(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,214 @@
+package workload
+
+import "carat/internal/ir"
+
+// The HPC benchmarks: Mantevo HPCCG and the NAS kernels CG, EP, FT, LU.
+// Their shared personality: large statically-allocated (global) arrays —
+// the paper notes their static footprint and total allocations are nearly
+// identical (Table 2) — with loop nests whose addresses are affine in the
+// induction variables, which is why Table 1 shows them dominated by the
+// hoisting and scalar-evolution optimizations.
+
+func init() {
+	register(&Workload{
+		Name: "HPCCG", Suite: "mantevo",
+		Desc:  "sparse CG solve: banded CSR matvec over global arrays",
+		Build: buildHPCCG,
+	})
+	register(&Workload{
+		Name: "CG", Suite: "nas",
+		Desc:  "conjugate gradient with wider random sparsity than HPCCG",
+		Build: buildCG,
+	})
+	register(&Workload{
+		Name: "EP", Suite: "nas",
+		Desc:  "embarrassingly parallel RNG kernel: tiny footprint, pure compute",
+		Build: buildEP,
+	})
+	register(&Workload{
+		Name: "FT", Suite: "nas",
+		Desc:  "FFT-style strided passes over large global (bss) arrays",
+		Build: buildFT,
+	})
+	register(&Workload{
+		Name: "LU", Suite: "nas",
+		Desc:  "blocked dense solver: unit-stride inner loops over globals",
+		Build: buildLU,
+	})
+}
+
+// buildHPCCG models a CG iteration on a banded sparse matrix in CSR-like
+// form: y[i] = sum_j vals[i*nz+j] * x[cols[i*nz+j]], cols within a band of
+// i, repeated for several solver iterations.
+func buildHPCCG(s Scale) *ir.Module {
+	rows := s.pick(1<<10, 1<<14, 1<<16)
+	const nz = 8
+	iters := s.pick(4, 8, 16)
+
+	p := newProg("HPCCG")
+	vals := p.farray("vals", rows*nz)
+	cols := p.array("cols", rows*nz)
+	x := p.farray("x", rows)
+	y := p.farray("y", rows)
+
+	// Init: band structure cols[i*nz+j] = clamp(i + j - nz/2).
+	p.Loop(p.I64(0), p.I64(rows), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(i), p.GEP(ir.F64, x, i))
+		p.Loop(p.I64(0), p.I64(nz), p.I64(1), func(j ir.Value) {
+			idx := p.Add(p.Mul(i, p.I64(nz)), j)
+			c := p.Add(i, j)
+			// clamp into [0, rows)
+			cm := p.URem(c, p.I64(rows))
+			p.storeIdx(cols, idx, cm)
+			p.Store(p.F64V(0.5), p.GEP(ir.F64, vals, idx))
+		})
+	})
+	// Solver iterations. The accumulator cell lives in the entry frame:
+	// allocas inside loops would grow the frame every iteration.
+	acc := p.Alloca(ir.F64, nil)
+	p.Loop(p.I64(0), p.I64(iters), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(rows), p.I64(1), func(i ir.Value) {
+			p.Store(p.F64V(0), acc)
+			p.Loop(p.I64(0), p.I64(nz), p.I64(1), func(j ir.Value) {
+				idx := p.Add(p.Mul(i, p.I64(nz)), j)
+				v := p.Load(ir.F64, p.GEP(ir.F64, vals, idx))
+				c := p.loadIdx(cols, idx)
+				xv := p.Load(ir.F64, p.GEP(ir.F64, x, c))
+				cur := p.Load(ir.F64, acc)
+				p.Store(p.FAdd(cur, p.FMul(v, xv)), acc)
+			})
+			p.Store(p.Load(ir.F64, acc), p.GEP(ir.F64, y, i))
+		})
+	})
+	r := p.Load(ir.F64, p.GEP(ir.F64, y, p.I64(1)))
+	return p.finish(p.FPToSI(r))
+}
+
+// SIToFP/FPToSI helpers keep builders terse.
+func (p *prog) SIToFP(v ir.Value) ir.Value { return p.Cast(ir.OpSIToFP, v, ir.F64) }
+func (p *prog) FPToSI(v ir.Value) ir.Value { return p.Cast(ir.OpFPToSI, v, ir.I64) }
+
+// buildCG is HPCCG with randomized (non-banded) column indices: the gather
+// x[cols[k]] jumps across the whole vector, raising TLB pressure.
+func buildCG(s Scale) *ir.Module {
+	rows := s.pick(1<<10, 1<<15, 1<<17)
+	const nz = 6
+	iters := s.pick(3, 6, 12)
+
+	p := newProg("CG")
+	vals := p.farray("vals", rows*nz)
+	cols := p.array("cols", rows*nz)
+	x := p.farray("x", rows)
+	y := p.farray("y", rows)
+
+	p.Loop(p.I64(0), p.I64(rows*nz), p.I64(1), func(k ir.Value) {
+		p.storeIdx(cols, k, p.randMod(rows))
+		p.Store(p.F64V(0.25), p.GEP(ir.F64, vals, k))
+	})
+	p.Loop(p.I64(0), p.I64(rows), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(i), p.GEP(ir.F64, x, i))
+	})
+	acc := p.Alloca(ir.F64, nil)
+	p.Loop(p.I64(0), p.I64(iters), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(rows), p.I64(1), func(i ir.Value) {
+			p.Store(p.F64V(0), acc)
+			p.Loop(p.I64(0), p.I64(nz), p.I64(1), func(j ir.Value) {
+				idx := p.Add(p.Mul(i, p.I64(nz)), j)
+				c := p.loadIdx(cols, idx)
+				xv := p.Load(ir.F64, p.GEP(ir.F64, x, c))
+				v := p.Load(ir.F64, p.GEP(ir.F64, vals, idx))
+				cur := p.Load(ir.F64, acc)
+				p.Store(p.FAdd(cur, p.FMul(v, xv)), acc)
+			})
+			p.Store(p.Load(ir.F64, acc), p.GEP(ir.F64, y, i))
+		})
+	})
+	r := p.Load(ir.F64, p.GEP(ir.F64, y, p.I64(2)))
+	return p.finish(p.FPToSI(r))
+}
+
+// buildEP models NAS EP: long RNG/compute chains with a tiny accumulator
+// table — essentially no memory pressure and (per Table 2) almost no page
+// allocations beyond the initial mapping.
+func buildEP(s Scale) *ir.Module {
+	pairs := s.pick(1<<13, 1<<17, 1<<20)
+
+	p := newProg("EP")
+	hist := p.array("hist", 16)
+	p.Loop(p.I64(0), p.I64(pairs), p.I64(1), func(_ ir.Value) {
+		a := p.rand()
+		b := p.rand()
+		x := p.SIToFP(p.And(a, p.I64(0xFFFF)))
+		y := p.SIToFP(p.And(b, p.I64(0xFFFF)))
+		t := p.FAdd(p.FMul(x, x), p.FMul(y, y))
+		bucket := p.And(p.FPToSI(p.FDiv(t, p.F64V(6.7108864e7))), p.I64(15))
+		cur := p.loadIdx(hist, bucket)
+		p.storeIdx(hist, bucket, p.Add(cur, p.I64(1)))
+	})
+	return p.finish(p.loadIdx(hist, p.I64(0)))
+}
+
+// buildFT models NAS FT: multi-pass strided sweeps over a large global
+// array (the bss-resident working set that dominates FT's static
+// footprint in Table 2). Strides of 1, 64, and 4096 elements model the
+// dimension-wise FFT passes.
+func buildFT(s Scale) *ir.Module {
+	n := s.pick(1<<14, 1<<20, 1<<22) // elements (i64)
+	passes := s.pick(2, 3, 4)
+
+	p := newProg("FT")
+	data := p.array("grid", n)
+	strides := []int64{1, 64, 4096}
+	p.Loop(p.I64(0), p.I64(passes), p.I64(1), func(_ ir.Value) {
+		for _, st := range strides {
+			if st >= n {
+				continue
+			}
+			// for base in [0, st): for i = base; i < n; i += st
+			p.Loop(p.I64(0), p.I64(st), p.I64(1), func(base ir.Value) {
+				p.Loop(base, p.I64(n), p.I64(st), func(i ir.Value) {
+					v := p.loadIdx(data, i)
+					tw := p.Add(p.Mul(v, p.I64(3)), p.I64(1))
+					p.storeIdx(data, i, tw)
+				})
+			})
+		}
+	})
+	return p.finish(p.loadIdx(data, p.I64(7)))
+}
+
+// buildLU models NAS LU: a blocked dense update C[i][j] -= A[i][k]*B[k][j]
+// with unit-stride inner loops over global matrices, the pattern Table 1
+// credits mostly to the scalar-evolution merge (Opt 2).
+func buildLU(s Scale) *ir.Module {
+	dim := s.pick(32, 96, 160) // matrix dimension
+	iters := s.pick(2, 4, 6)
+
+	p := newProg("LU")
+	a := p.farray("A", dim*dim)
+	b := p.farray("B", dim*dim)
+	c := p.farray("C", dim*dim)
+
+	p.Loop(p.I64(0), p.I64(dim*dim), p.I64(1), func(k ir.Value) {
+		f := p.SIToFP(p.And(k, p.I64(255)))
+		p.Store(f, p.GEP(ir.F64, a, k))
+		p.Store(p.FMul(f, p.F64V(0.5)), p.GEP(ir.F64, b, k))
+		p.Store(p.F64V(0), p.GEP(ir.F64, c, k))
+	})
+	p.Loop(p.I64(0), p.I64(iters), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(dim), p.I64(1), func(i ir.Value) {
+			p.Loop(p.I64(0), p.I64(dim), p.I64(1), func(k ir.Value) {
+				av := p.Load(ir.F64, p.GEP(ir.F64, a, p.Add(p.Mul(i, p.I64(dim)), k)))
+				p.Loop(p.I64(0), p.I64(dim), p.I64(1), func(j ir.Value) {
+					bi := p.Add(p.Mul(k, p.I64(dim)), j)
+					ci := p.Add(p.Mul(i, p.I64(dim)), j)
+					bv := p.Load(ir.F64, p.GEP(ir.F64, b, bi))
+					cv := p.Load(ir.F64, p.GEP(ir.F64, c, ci))
+					p.Store(p.FSub(cv, p.FMul(av, bv)), p.GEP(ir.F64, c, ci))
+				})
+			})
+		})
+	})
+	r := p.Load(ir.F64, p.GEP(ir.F64, c, p.I64(3)))
+	return p.finish(p.FPToSI(r))
+}

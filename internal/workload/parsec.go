@@ -1,0 +1,296 @@
+package workload
+
+import "carat/internal/ir"
+
+// The PARSEC benchmarks span the locality spectrum: blackscholes and
+// swaptions are compute-bound with tiny working sets; canneal is the
+// suite's TLB killer (random swaps over a huge netlist); freqmine builds
+// and chases a heap tree; streamcluster produces its escapes early then
+// goes quiet (§3); swaptions is Figure 6's tracking-memory outlier because
+// it allocates enormous numbers of short-lived blocks.
+
+func init() {
+	register(&Workload{Name: "blackscholes", Suite: "parsec",
+		Desc: "streaming option pricing: unit-stride, pure FP", Build: buildBlackscholes})
+	register(&Workload{Name: "bodytrack", Suite: "parsec",
+		Desc: "particle filter: medium arrays, mixed access", Build: buildBodytrack})
+	register(&Workload{Name: "canneal", Suite: "parsec",
+		Desc: "simulated annealing: random element swaps over a huge netlist", Build: buildCanneal})
+	register(&Workload{Name: "fluidanimate", Suite: "parsec",
+		Desc: "SPH fluid: grid with neighbor-cell access", Build: buildFluidanimate})
+	register(&Workload{Name: "freqmine", Suite: "parsec",
+		Desc: "FP-growth: heap-allocated tree build and chase", Build: buildFreqmine})
+	register(&Workload{Name: "streamcluster", Suite: "parsec",
+		Desc: "online clustering: early escapes, then pure distance compute", Build: buildStreamcluster})
+	register(&Workload{Name: "swaptions", Suite: "parsec",
+		Desc: "HJM Monte Carlo: huge number of short-lived allocations", Build: buildSwaptions})
+	register(&Workload{Name: "x264", Suite: "parsec",
+		Desc: "video encode: sequential macroblocks + motion search window", Build: buildX264Parsec})
+}
+
+func buildBlackscholes(s Scale) *ir.Module {
+	n := s.pick(1<<10, 1<<15, 1<<18)
+	iters := s.pick(8, 16, 32)
+
+	p := newProg("blackscholes")
+	spot := p.farray("spot", n)
+	strike := p.farray("strike", n)
+	out := p.farray("out", n)
+
+	p.Loop(p.I64(0), p.I64(n), p.I64(1), func(i ir.Value) {
+		f := p.SIToFP(p.And(i, p.I64(1023)))
+		p.Store(p.FAdd(f, p.F64V(10)), p.GEP(ir.F64, spot, i))
+		p.Store(p.FAdd(f, p.F64V(12)), p.GEP(ir.F64, strike, i))
+	})
+	p.Loop(p.I64(0), p.I64(iters), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(n), p.I64(1), func(i ir.Value) {
+			sp := p.Load(ir.F64, p.GEP(ir.F64, spot, i))
+			st := p.Load(ir.F64, p.GEP(ir.F64, strike, i))
+			// A chain of FP ops models the CNDF evaluation.
+			r := p.FDiv(sp, st)
+			r2 := p.FMul(r, r)
+			r3 := p.FAdd(r2, p.FMul(r, p.F64V(0.08)))
+			r4 := p.FSub(r3, p.FDiv(r2, p.F64V(3.0)))
+			r5 := p.FMul(r4, p.F64V(0.39894228))
+			p.Store(r5, p.GEP(ir.F64, out, i))
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, out, p.I64(5)))))
+}
+
+func buildBodytrack(s Scale) *ir.Module {
+	particles := s.pick(1<<8, 1<<11, 1<<13)
+	frames := s.pick(4, 10, 20)
+	edge := int64(1 << 12) // image rows
+
+	p := newProg("bodytrack")
+	img := p.array("image", edge*4)
+	weights := p.farray("weights", particles)
+	state := p.farray("state", particles*4)
+
+	p.Loop(p.I64(0), p.I64(edge*4), p.I64(1), func(i ir.Value) {
+		p.storeIdx(img, i, p.And(i, p.I64(255)))
+	})
+	p.Loop(p.I64(0), p.I64(frames), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(particles), p.I64(1), func(i ir.Value) {
+			// Each particle samples a few semi-random image rows.
+			r1 := p.randMod(edge * 4)
+			r2 := p.randMod(edge * 4)
+			v1 := p.loadIdx(img, r1)
+			v2 := p.loadIdx(img, r2)
+			w := p.SIToFP(p.Add(v1, v2))
+			p.Store(w, p.GEP(ir.F64, weights, i))
+			p.Loop(p.I64(0), p.I64(4), p.I64(1), func(d ir.Value) {
+				si := p.Add(p.Mul(i, p.I64(4)), d)
+				old := p.Load(ir.F64, p.GEP(ir.F64, state, si))
+				p.Store(p.FAdd(old, p.FMul(w, p.F64V(0.001))), p.GEP(ir.F64, state, si))
+			})
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, weights, p.I64(3)))))
+}
+
+func buildCanneal(s Scale) *ir.Module {
+	elems := s.pick(1<<12, 1<<21, 1<<22) // netlist elements (i64 each)
+	swaps := s.pick(1<<12, 1<<17, 1<<19)
+
+	p := newProg("canneal")
+	net := p.array("netlist", elems)
+
+	p.Loop(p.I64(0), p.I64(elems), p.I64(1), func(i ir.Value) {
+		p.storeIdx(net, i, i)
+	})
+	// Annealing: pick two random elements, compute "cost", swap.
+	p.Loop(p.I64(0), p.I64(swaps), p.I64(1), func(_ ir.Value) {
+		a := p.randMod(elems)
+		b := p.randMod(elems)
+		va := p.loadIdx(net, a)
+		vb := p.loadIdx(net, b)
+		cost := p.Sub(va, vb)
+		keep := p.ICmp(ir.PredLT, cost, p.I64(1<<40))
+		sa := p.Select(keep, vb, va)
+		sb := p.Select(keep, va, vb)
+		p.storeIdx(net, a, sa)
+		p.storeIdx(net, b, sb)
+	})
+	return p.finish(p.loadIdx(net, p.I64(9)))
+}
+
+func buildFluidanimate(s Scale) *ir.Module {
+	grid := s.pick(16, 48, 64) // grid edge; cells = grid^2
+	steps := s.pick(4, 12, 24)
+
+	p := newProg("fluidanimate")
+	cells := grid * grid
+	density := p.farray("density", cells)
+	next := p.farray("next", cells)
+
+	p.Loop(p.I64(0), p.I64(cells), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(p.And(i, p.I64(63))), p.GEP(ir.F64, density, i))
+	})
+	p.Loop(p.I64(0), p.I64(steps), p.I64(1), func(_ ir.Value) {
+		// Interior sweep with 4-neighbor stencil.
+		p.Loop(p.I64(1), p.I64(grid-1), p.I64(1), func(y ir.Value) {
+			p.Loop(p.I64(1), p.I64(grid-1), p.I64(1), func(x ir.Value) {
+				idx := p.Add(p.Mul(y, p.I64(grid)), x)
+				c := p.Load(ir.F64, p.GEP(ir.F64, density, idx))
+				l := p.Load(ir.F64, p.GEP(ir.F64, density, p.Sub(idx, p.I64(1))))
+				r := p.Load(ir.F64, p.GEP(ir.F64, density, p.Add(idx, p.I64(1))))
+				u := p.Load(ir.F64, p.GEP(ir.F64, density, p.Sub(idx, p.I64(grid))))
+				d := p.Load(ir.F64, p.GEP(ir.F64, density, p.Add(idx, p.I64(grid))))
+				sum := p.FAdd(p.FAdd(l, r), p.FAdd(u, d))
+				p.Store(p.FAdd(p.FMul(c, p.F64V(0.6)), p.FMul(sum, p.F64V(0.1))),
+					p.GEP(ir.F64, next, idx))
+			})
+		})
+		// Copy back.
+		p.Loop(p.I64(0), p.I64(cells), p.I64(1), func(i ir.Value) {
+			p.Store(p.Load(ir.F64, p.GEP(ir.F64, next, i)), p.GEP(ir.F64, density, i))
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, density, p.I64(grid+1)))))
+}
+
+// buildFreqmine models FP-growth: build a heap-allocated k-ary tree of
+// {value, child pointers} nodes, then repeatedly descend random paths.
+// Node: {i64 count, [4 x ptr] children} = 40 bytes.
+func buildFreqmine(s Scale) *ir.Module {
+	// Tree build (tracked) amortizes over a much longer mining phase.
+	nodes := s.pick(1<<9, 1<<14, 1<<16)
+	probes := s.pick(1<<14, 1<<19, 1<<21)
+
+	p := newProg("freqmine")
+	nodeT := ir.StructOf(ir.I64, ir.ArrayOf(ir.Ptr, 4))
+	pool := p.m.AddGlobal("pool", ir.ArrayOf(ir.Ptr, int(nodes)))
+	root := p.m.AddGlobal("root", ir.Ptr)
+
+	// Allocate all nodes; link each as a child of a random earlier node
+	// (pointer escapes into the parent's child slot).
+	first := p.Call(p.malloc, p.I64(nodeT.Size()))
+	p.Store(first, root)
+	p.Store(first, p.GEP(ir.Ptr, pool, p.I64(0)))
+	p.Loop(p.I64(1), p.I64(nodes), p.I64(1), func(i ir.Value) {
+		n := p.Call(p.malloc, p.I64(nodeT.Size()))
+		p.Store(n, p.GEP(ir.Ptr, pool, i))
+		p.Store(i, p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+		parentIdx := p.URem(p.And(p.rand(), p.I64(0x7FFFFFFF)), i)
+		parent := p.Load(ir.Ptr, p.GEP(ir.Ptr, pool, parentIdx))
+		slot := p.And(p.rand(), p.I64(3))
+		p.Store(n, p.GEP(nodeT, parent, p.I64(0), p.I64(1), slot))
+	})
+	// Probe: descend from root until a null child.
+	total := p.Alloca(ir.I64, nil)
+	p.Store(p.I64(0), total)
+	p.Loop(p.I64(0), p.I64(probes), p.I64(1), func(_ ir.Value) {
+		start := p.Load(ir.Ptr, p.GEP(ir.Ptr, pool, p.randMod(nodes)))
+		cnt := p.Load(ir.I64, p.GEP(nodeT, start, p.I64(0), p.I64(0)))
+		child := p.Load(ir.Ptr, p.GEP(nodeT, start, p.I64(0), p.I64(1), p.And(p.rand(), p.I64(3))))
+		isNull := p.ICmp(ir.PredEQ, p.Cast(ir.OpPtrToInt, child, ir.I64), p.I64(0))
+		childCnt := p.Select(isNull, p.I64(0), p.I64(1))
+		t := p.Load(ir.I64, total)
+		p.Store(p.Add(t, p.Add(cnt, childCnt)), total)
+	})
+	return p.finish(p.Load(ir.I64, total))
+}
+
+// buildStreamcluster: a point set is allocated and escape-linked up front
+// (many escapes early, §3), then the run is dominated by escape-free
+// distance computation.
+func buildStreamcluster(s Scale) *ir.Module {
+	points := s.pick(1<<8, 1<<12, 1<<14)
+	const dim = 8
+	rounds := s.pick(8, 24, 48)
+
+	p := newProg("streamcluster")
+	index := p.m.AddGlobal("index", ir.ArrayOf(ir.Ptr, int(points)))
+	centers := p.farray("centers", dim*8)
+
+	// Early phase: allocate every point, escape it into the index.
+	p.Loop(p.I64(0), p.I64(points), p.I64(1), func(i ir.Value) {
+		pt := p.Call(p.malloc, p.I64(dim*8))
+		p.Store(pt, p.GEP(ir.Ptr, index, i))
+		p.Loop(p.I64(0), p.I64(dim), p.I64(1), func(d ir.Value) {
+			p.Store(p.SIToFP(p.Add(i, d)), p.GEP(ir.F64, pt, d))
+		})
+	})
+	// Steady state: distance computations, no new escapes.
+	best := p.Alloca(ir.F64, nil)
+	p.Loop(p.I64(0), p.I64(rounds), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(points), p.I64(1), func(i ir.Value) {
+			pt := p.Load(ir.Ptr, p.GEP(ir.Ptr, index, i))
+			p.Store(p.F64V(1e18), best)
+			p.Loop(p.I64(0), p.I64(8), p.I64(1), func(c ir.Value) {
+				d0 := p.Load(ir.F64, p.GEP(ir.F64, pt, p.I64(0)))
+				c0 := p.Load(ir.F64, p.GEP(ir.F64, centers, p.Mul(c, p.I64(dim))))
+				diff := p.FSub(d0, c0)
+				dist := p.FMul(diff, diff)
+				b := p.Load(ir.F64, best)
+				lt := p.FCmp(ir.PredLT, dist, b)
+				p.Store(p.Select(lt, dist, b), best)
+			})
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, best)))
+}
+
+// buildSwaptions: Monte Carlo paths, each simulated in a freshly allocated
+// buffer that is freed immediately — the allocation-count outlier that
+// blows up Figure 6's tracking-memory ratio relative to its tiny live
+// footprint.
+func buildSwaptions(s Scale) *ir.Module {
+	trials := s.pick(1<<8, 1<<13, 1<<15)
+	const pathLen = 64
+
+	p := newProg("swaptions")
+	price := p.farray("price", 8)
+	p.Loop(p.I64(0), p.I64(trials), p.I64(1), func(i ir.Value) {
+		path := p.Call(p.malloc, p.I64(pathLen*8))
+		p.Loop(p.I64(0), p.I64(pathLen), p.I64(1), func(j ir.Value) {
+			r := p.SIToFP(p.And(p.rand(), p.I64(1023)))
+			p.Store(p.FMul(r, p.F64V(0.001)), p.GEP(ir.F64, path, j))
+		})
+		acc := p.Load(ir.F64, p.GEP(ir.F64, path, p.I64(pathLen-1)))
+		slot := p.And(i, p.I64(7))
+		old := p.Load(ir.F64, p.GEP(ir.F64, price, slot))
+		p.Store(p.FAdd(old, acc), p.GEP(ir.F64, price, slot))
+		p.Call(p.free, path)
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, price, p.I64(0)))))
+}
+
+func buildX264Parsec(s Scale) *ir.Module {
+	return buildX264("x264", s)
+}
+
+// buildX264 models H.264 encoding: sequential macroblock residuals plus a
+// bounded random motion search in a reference window.
+func buildX264(name string, s Scale) *ir.Module {
+	mbs := s.pick(1<<8, 1<<12, 1<<14) // macroblocks
+	window := int64(1 << 14)          // reference window in i64s
+
+	p := newProg(name)
+	frame := p.array("frame", mbs*16)
+	ref := p.array("ref", window)
+
+	p.Loop(p.I64(0), p.I64(window), p.I64(1), func(i ir.Value) {
+		p.storeIdx(ref, i, p.And(i, p.I64(255)))
+	})
+	sad := p.Alloca(ir.I64, nil)
+	p.Loop(p.I64(0), p.I64(mbs), p.I64(1), func(mb ir.Value) {
+		p.Store(p.I64(0), sad)
+		// Residual: sequential 16-pixel block.
+		p.Loop(p.I64(0), p.I64(16), p.I64(1), func(k ir.Value) {
+			idx := p.Add(p.Mul(mb, p.I64(16)), k)
+			cur := p.loadIdx(frame, idx)
+			p.storeIdx(frame, idx, p.Add(cur, k))
+		})
+		// Motion search: 8 random probes in the reference window.
+		p.Loop(p.I64(0), p.I64(8), p.I64(1), func(_ ir.Value) {
+			pos := p.randMod(window)
+			v := p.loadIdx(ref, pos)
+			cur := p.Load(ir.I64, sad)
+			p.Store(p.Add(cur, v), sad)
+		})
+	})
+	return p.finish(p.Load(ir.I64, sad))
+}

@@ -1,0 +1,302 @@
+package workload
+
+import "carat/internal/ir"
+
+// The SPEC2017 benchmark models. The pointer-heavy ones (mcf, omnetpp,
+// xalancbmk) chase heap structures and exhibit the paper's high DTLB miss
+// rates; lbm streams enormous arrays; deepsjeng and xz hammer large tables
+// at random; nab is Figure 5's escape outlier: a handful of allocations
+// referenced from thousands of locations.
+
+func init() {
+	register(&Workload{Name: "deepsjeng_s", Suite: "spec2017",
+		Desc: "chess search: random transposition-table probes", Build: buildDeepsjeng})
+	register(&Workload{Name: "lbm_s", Suite: "spec2017",
+		Desc: "lattice Boltzmann: streaming sweeps over huge arrays", Build: buildLBM})
+	register(&Workload{Name: "mcf_s", Suite: "spec2017",
+		Desc: "network simplex: pointer chasing over a heap graph", Build: buildMCF})
+	register(&Workload{Name: "nab_s", Suite: "spec2017",
+		Desc: "molecular dynamics: few allocations, thousands of escapes each", Build: buildNAB})
+	register(&Workload{Name: "namd_r", Suite: "spec2017",
+		Desc: "particle interactions via neighbor lists, good locality", Build: buildNAMD})
+	register(&Workload{Name: "omnetpp_s", Suite: "spec2017",
+		Desc: "discrete event simulation: event objects churn through a heap", Build: buildOmnetpp})
+	register(&Workload{Name: "x264_s", Suite: "spec2017",
+		Desc: "video encode (SPEC input): macroblocks + motion search", Build: func(s Scale) *ir.Module { return buildX264("x264_s", s) }})
+	register(&Workload{Name: "xalancbmk_s", Suite: "spec2017",
+		Desc: "XSLT: DOM tree of small nodes, pointer traversal", Build: buildXalancbmk})
+	register(&Workload{Name: "xz_s", Suite: "spec2017",
+		Desc: "LZMA: random dictionary back-references + streaming output", Build: buildXZ})
+}
+
+func buildDeepsjeng(s Scale) *ir.Module {
+	ttSize := s.pick(1<<12, 1<<21, 1<<22) // transposition entries (i64)
+	probes := s.pick(1<<12, 1<<17, 1<<19)
+
+	p := newProg("deepsjeng_s")
+	tt := p.array("ttable", ttSize)
+	board := p.array("board", 64)
+
+	p.Loop(p.I64(0), p.I64(64), p.I64(1), func(i ir.Value) {
+		p.storeIdx(board, i, p.And(i, p.I64(15)))
+	})
+	p.Loop(p.I64(0), p.I64(probes), p.I64(1), func(i ir.Value) {
+		// Hash the (hot, cached) board, probe the (cold, huge) table.
+		sq := p.And(i, p.I64(63))
+		piece := p.loadIdx(board, sq)
+		h := p.Xor(p.rand(), p.Mul(piece, p.I64(0x1E3779B97F4A7C15)))
+		slot := p.And(h, p.I64(ttSize-1))
+		old := p.loadIdx(tt, slot)
+		score := p.Add(old, p.I64(1))
+		p.storeIdx(tt, slot, score)
+		p.storeIdx(board, sq, p.And(score, p.I64(15)))
+	})
+	return p.finish(p.loadIdx(tt, p.I64(12)))
+}
+
+func buildLBM(s Scale) *ir.Module {
+	cells := s.pick(1<<13, 1<<20, 1<<22) // lattice cells
+	sweeps := s.pick(2, 4, 8)
+
+	p := newProg("lbm_s")
+	src := p.farray("srcGrid", cells)
+	dst := p.farray("dstGrid", cells)
+
+	p.Loop(p.I64(0), p.I64(cells), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(p.And(i, p.I64(127))), p.GEP(ir.F64, src, i))
+	})
+	p.Loop(p.I64(0), p.I64(sweeps), p.I64(1), func(_ ir.Value) {
+		// Stream+collide: read neighbors at fixed offsets, write dst;
+		// every page of both arrays is touched once per sweep.
+		p.Loop(p.I64(1), p.I64(cells-1), p.I64(1), func(i ir.Value) {
+			c := p.Load(ir.F64, p.GEP(ir.F64, src, i))
+			w := p.Load(ir.F64, p.GEP(ir.F64, src, p.Sub(i, p.I64(1))))
+			e := p.Load(ir.F64, p.GEP(ir.F64, src, p.Add(i, p.I64(1))))
+			v := p.FAdd(p.FMul(c, p.F64V(0.9)), p.FMul(p.FAdd(w, e), p.F64V(0.05)))
+			p.Store(v, p.GEP(ir.F64, dst, i))
+		})
+		p.Loop(p.I64(0), p.I64(cells), p.I64(1), func(i ir.Value) {
+			p.Store(p.Load(ir.F64, p.GEP(ir.F64, dst, i)), p.GEP(ir.F64, src, i))
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, src, p.I64(33)))))
+}
+
+// buildMCF: a heap-allocated graph of nodes {potential, [2 x ptr]} chased
+// along random arcs — SPEC's classic TLB antagonist with a high allocation
+// count (Table 2 measures 1.6M page allocations).
+func buildMCF(s Scale) *ir.Module {
+	// The graph build (tracked allocations/escapes) is a small prefix of a
+	// long pointer-chasing steady state, as in the real benchmark.
+	nodes := s.pick(1<<12, 1<<15, 1<<17)
+	hops := s.pick(1<<16, 1<<20, 1<<22)
+
+	p := newProg("mcf_s")
+	nodeT := ir.StructOf(ir.I64, ir.ArrayOf(ir.Ptr, 2))
+	index := p.m.AddGlobal("index", ir.ArrayOf(ir.Ptr, int(nodes)))
+
+	p.Loop(p.I64(0), p.I64(nodes), p.I64(1), func(i ir.Value) {
+		n := p.Call(p.malloc, p.I64(nodeT.Size()))
+		p.Store(n, p.GEP(ir.Ptr, index, i))
+		p.Store(i, p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+	})
+	// Wire arcs to random nodes (escapes into node bodies).
+	p.Loop(p.I64(0), p.I64(nodes), p.I64(1), func(i ir.Value) {
+		n := p.Load(ir.Ptr, p.GEP(ir.Ptr, index, i))
+		t0 := p.Load(ir.Ptr, p.GEP(ir.Ptr, index, p.randMod(nodes)))
+		t1 := p.Load(ir.Ptr, p.GEP(ir.Ptr, index, p.randMod(nodes)))
+		p.Store(t0, p.GEP(nodeT, n, p.I64(0), p.I64(1), p.I64(0)))
+		p.Store(t1, p.GEP(nodeT, n, p.I64(0), p.I64(1), p.I64(1)))
+	})
+	// Simplex-ish walk: chase arcs, update potentials.
+	cur := p.m.AddGlobal("cur", ir.Ptr)
+	p.Store(p.Load(ir.Ptr, p.GEP(ir.Ptr, index, p.I64(0))), cur)
+	p.Loop(p.I64(0), p.I64(hops), p.I64(1), func(_ ir.Value) {
+		n := p.Load(ir.Ptr, cur)
+		pot := p.Load(ir.I64, p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+		p.Store(p.Add(pot, p.I64(1)), p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+		arc := p.And(p.rand(), p.I64(1))
+		next := p.Load(ir.Ptr, p.GEP(nodeT, n, p.I64(0), p.I64(1), arc))
+		p.Store(next, cur)
+	})
+	final := p.Load(ir.Ptr, cur)
+	return p.finish(p.Load(ir.I64, p.GEP(nodeT, final, p.I64(0), p.I64(0))))
+}
+
+// buildNAB: a handful of large coordinate arrays, with a big bonded-pair
+// table holding pointers INTO those arrays — Figure 5(a)'s outlier, where
+// single allocations accumulate thousands of escapes.
+func buildNAB(s Scale) *ir.Module {
+	atoms := s.pick(1<<8, 1<<12, 1<<14)
+	pairs := s.pick(1<<10, 1<<14, 1<<16)
+	steps := s.pick(16, 40, 80)
+
+	p := newProg("nab_s")
+	pairTable := p.m.AddGlobal("pairs", ir.ArrayOf(ir.Ptr, int(2*pairs)))
+
+	coords := p.Call(p.malloc, p.I64(atoms*8)) // ONE allocation...
+	forces := p.Call(p.malloc, p.I64(atoms*8)) // ...and another
+	p.Loop(p.I64(0), p.I64(atoms), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(i), p.GEP(ir.F64, coords, i))
+		p.Store(p.F64V(0), p.GEP(ir.F64, forces, i))
+	})
+	// ...with thousands of interior pointers escaping into the pair table.
+	p.Loop(p.I64(0), p.I64(pairs), p.I64(1), func(k ir.Value) {
+		a := p.randMod(atoms)
+		b := p.randMod(atoms)
+		p.Store(p.GEP(ir.F64, coords, a), p.GEP(ir.Ptr, pairTable, p.Mul(k, p.I64(2))))
+		p.Store(p.GEP(ir.F64, forces, b), p.GEP(ir.Ptr, pairTable, p.Add(p.Mul(k, p.I64(2)), p.I64(1))))
+	})
+	// MD steps: walk the pair table, accumulate forces.
+	p.Loop(p.I64(0), p.I64(steps), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(pairs), p.I64(1), func(k ir.Value) {
+			cp := p.Load(ir.Ptr, p.GEP(ir.Ptr, pairTable, p.Mul(k, p.I64(2))))
+			fp := p.Load(ir.Ptr, p.GEP(ir.Ptr, pairTable, p.Add(p.Mul(k, p.I64(2)), p.I64(1))))
+			c := p.Load(ir.F64, cp)
+			f := p.Load(ir.F64, fp)
+			p.Store(p.FAdd(f, p.FMul(c, p.F64V(1e-6))), fp)
+		})
+	})
+	r := p.Load(ir.F64, p.GEP(ir.F64, forces, p.I64(3)))
+	return p.finish(p.FPToSI(r))
+}
+
+func buildNAMD(s Scale) *ir.Module {
+	atoms := s.pick(1<<9, 1<<13, 1<<15)
+	const neigh = 8
+	steps := s.pick(4, 12, 24)
+
+	p := newProg("namd_r")
+	pos := p.farray("pos", atoms)
+	force := p.farray("force", atoms)
+	nlist := p.array("nlist", atoms*neigh)
+
+	p.Loop(p.I64(0), p.I64(atoms), p.I64(1), func(i ir.Value) {
+		p.Store(p.SIToFP(i), p.GEP(ir.F64, pos, i))
+		// Neighbors cluster near i: locality is good but not unit-stride.
+		p.Loop(p.I64(0), p.I64(neigh), p.I64(1), func(j ir.Value) {
+			d := p.And(p.rand(), p.I64(31))
+			n := p.URem(p.Add(i, d), p.I64(atoms))
+			p.storeIdx(nlist, p.Add(p.Mul(i, p.I64(neigh)), j), n)
+		})
+	})
+	p.Loop(p.I64(0), p.I64(steps), p.I64(1), func(_ ir.Value) {
+		p.Loop(p.I64(0), p.I64(atoms), p.I64(1), func(i ir.Value) {
+			xi := p.Load(ir.F64, p.GEP(ir.F64, pos, i))
+			p.Loop(p.I64(0), p.I64(neigh), p.I64(1), func(j ir.Value) {
+				n := p.loadIdx(nlist, p.Add(p.Mul(i, p.I64(neigh)), j))
+				xj := p.Load(ir.F64, p.GEP(ir.F64, pos, n))
+				d := p.FSub(xi, xj)
+				fi := p.Load(ir.F64, p.GEP(ir.F64, force, i))
+				p.Store(p.FAdd(fi, p.FMul(d, p.F64V(1e-3))), p.GEP(ir.F64, force, i))
+			})
+		})
+	})
+	return p.finish(p.FPToSI(p.Load(ir.F64, p.GEP(ir.F64, force, p.I64(7)))))
+}
+
+// buildOmnetpp: a discrete-event loop over a binary heap of pointers to
+// heap-allocated event objects, with constant allocate/schedule/free churn.
+func buildOmnetpp(s Scale) *ir.Module {
+	heapCap := s.pick(1<<8, 1<<12, 1<<13)
+	events := s.pick(1<<11, 1<<15, 1<<17)
+
+	p := newProg("omnetpp_s")
+	evT := ir.StructOf(ir.I64, ir.I64) // {time, payload}
+	pq := p.m.AddGlobal("pq", ir.ArrayOf(ir.Ptr, int(heapCap)))
+	size := p.m.AddGlobal("pqsize", ir.I64)
+
+	// Seed the queue half full.
+	p.Loop(p.I64(0), p.I64(heapCap/2), p.I64(1), func(i ir.Value) {
+		e := p.Call(p.malloc, p.I64(evT.Size()))
+		p.Store(p.And(p.rand(), p.I64(0xFFFF)), p.GEP(evT, e, p.I64(0), p.I64(0)))
+		p.Store(e, p.GEP(ir.Ptr, pq, i))
+	})
+	p.Store(p.I64(heapCap/2), size)
+	// Event loop: pop a pseudo-min slot, process it (scan a queue window,
+	// the way heap sifting and module processing do in the real
+	// simulator), then push a new event. The per-event processing work
+	// amortizes the allocation churn, as it does in omnetpp itself.
+	acc := p.Alloca(ir.I64, nil)
+	p.Loop(p.I64(0), p.I64(events), p.I64(1), func(_ ir.Value) {
+		n := p.Load(ir.I64, size)
+		slot := p.URem(p.And(p.rand(), p.I64(0x7FFFFFFF)), n)
+		e := p.Load(ir.Ptr, p.GEP(ir.Ptr, pq, slot))
+		t := p.Load(ir.I64, p.GEP(evT, e, p.I64(0), p.I64(0)))
+		p.Store(p.I64(0), acc)
+		p.Loop(p.I64(0), p.I64(96), p.I64(1), func(k ir.Value) {
+			idx := p.URem(p.Add(slot, k), n)
+			other := p.Load(ir.Ptr, p.GEP(ir.Ptr, pq, idx))
+			ot := p.Load(ir.I64, p.GEP(evT, other, p.I64(0), p.I64(0)))
+			cur := p.Load(ir.I64, acc)
+			lt := p.ICmp(ir.PredLT, ot, t)
+			p.Store(p.Add(cur, p.Select(lt, p.I64(1), p.I64(0))), acc)
+		})
+		p.Call(p.free, e)
+		ne := p.Call(p.malloc, p.I64(evT.Size()))
+		rank := p.Load(ir.I64, acc)
+		p.Store(p.Add(p.Add(t, rank), p.And(p.rand(), p.I64(255))), p.GEP(evT, ne, p.I64(0), p.I64(0)))
+		p.Store(ne, p.GEP(ir.Ptr, pq, slot))
+	})
+	last := p.Load(ir.Ptr, p.GEP(ir.Ptr, pq, p.I64(0)))
+	return p.finish(p.Load(ir.I64, p.GEP(evT, last, p.I64(0), p.I64(0))))
+}
+
+// buildXalancbmk: a DOM-like tree of many small heap nodes traversed along
+// random paths — small-object pointer chasing over a big total footprint.
+func buildXalancbmk(s Scale) *ir.Module {
+	// Tree construction is tracked; the traversal steady state is not.
+	nodes := s.pick(1<<9, 1<<15, 1<<17)
+	walks := s.pick(1<<14, 1<<19, 1<<21)
+
+	p := newProg("xalancbmk_s")
+	nodeT := ir.StructOf(ir.I64, ir.ArrayOf(ir.Ptr, 3)) // {tag, children}
+	pool := p.m.AddGlobal("dompool", ir.ArrayOf(ir.Ptr, int(nodes)))
+
+	first := p.Call(p.malloc, p.I64(nodeT.Size()))
+	p.Store(first, p.GEP(ir.Ptr, pool, p.I64(0)))
+	p.Loop(p.I64(1), p.I64(nodes), p.I64(1), func(i ir.Value) {
+		n := p.Call(p.malloc, p.I64(nodeT.Size()))
+		p.Store(n, p.GEP(ir.Ptr, pool, i))
+		p.Store(p.And(i, p.I64(63)), p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+		parent := p.Load(ir.Ptr, p.GEP(ir.Ptr, pool, p.URem(p.And(p.rand(), p.I64(0x7FFFFFFF)), i)))
+		p.Store(n, p.GEP(nodeT, parent, p.I64(0), p.I64(1), p.And(p.rand(), p.I64(1))))
+	})
+	tags := p.Alloca(ir.I64, nil)
+	p.Store(p.I64(0), tags)
+	p.Loop(p.I64(0), p.I64(walks), p.I64(1), func(_ ir.Value) {
+		n := p.Load(ir.Ptr, p.GEP(ir.Ptr, pool, p.randMod(nodes)))
+		tag := p.Load(ir.I64, p.GEP(nodeT, n, p.I64(0), p.I64(0)))
+		child := p.Load(ir.Ptr, p.GEP(nodeT, n, p.I64(0), p.I64(1), p.And(p.rand(), p.I64(2))))
+		cNull := p.ICmp(ir.PredEQ, p.Cast(ir.OpPtrToInt, child, ir.I64), p.I64(0))
+		bonus := p.Select(cNull, p.I64(0), p.I64(3))
+		t := p.Load(ir.I64, tags)
+		p.Store(p.Add(t, p.Add(tag, bonus)), tags)
+	})
+	return p.finish(p.Load(ir.I64, tags))
+}
+
+// buildXZ: LZMA-style compression: sequential input scan with random
+// back-references into a large dictionary window.
+func buildXZ(s Scale) *ir.Module {
+	dict := s.pick(1<<12, 1<<20, 1<<22) // dictionary bytes as i64 slots
+	input := s.pick(1<<12, 1<<16, 1<<18)
+
+	p := newProg("xz_s")
+	window := p.array("window", dict)
+	out := p.array("out", input)
+
+	p.Loop(p.I64(0), p.I64(dict), p.I64(1), func(i ir.Value) {
+		p.storeIdx(window, i, p.And(p.rand(), p.I64(255)))
+	})
+	p.Loop(p.I64(0), p.I64(input), p.I64(1), func(i ir.Value) {
+		// Hash-chain probe: 3 random historical positions.
+		m1 := p.loadIdx(window, p.randMod(dict))
+		m2 := p.loadIdx(window, p.randMod(dict))
+		m3 := p.loadIdx(window, p.randMod(dict))
+		best := p.Add(p.Add(m1, m2), m3)
+		p.storeIdx(out, i, best)
+		p.storeIdx(window, p.And(i, p.I64(dict-1)), best)
+	})
+	return p.finish(p.loadIdx(out, p.I64(4)))
+}

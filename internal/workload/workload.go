@@ -1,0 +1,200 @@
+// Package workload provides the 22-benchmark suite the paper evaluates
+// (Mantevo HPCCG; NAS CG/EP/FT/LU; PARSEC blackscholes, bodytrack, canneal,
+// fluidanimate, freqmine, streamcluster, swaptions, x264; SPEC2017
+// deepsjeng, lbm, mcf, nab, namd, omnetpp, x264, xalancbmk, xz) as
+// synthetic IR programs. Each builder reproduces the original's
+// memory-system personality — footprint, locality class, allocation
+// behaviour, and escape density — which is what drives every experiment's
+// shape (see DESIGN.md). Absolute performance is not modeled; relative
+// behaviour across the suite is.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"carat/internal/ir"
+)
+
+// Scale selects the problem size.
+type Scale int
+
+// Problem scales.
+const (
+	// ScaleTest runs in well under a second per benchmark; used by unit
+	// tests and quick experiment smoke runs.
+	ScaleTest Scale = iota
+	// ScaleSmall is the default for regenerating the paper's tables and
+	// figures: large enough that footprint/locality effects dominate.
+	ScaleSmall
+	// ScaleRef is larger still, for longer-running studies.
+	ScaleRef
+)
+
+// pick returns the value for the current scale.
+func (s Scale) pick(test, small, ref int64) int64 {
+	switch s {
+	case ScaleSmall:
+		return small
+	case ScaleRef:
+		return ref
+	}
+	return test
+}
+
+// Workload is one benchmark model.
+type Workload struct {
+	// Name is the paper's benchmark name (e.g. "canneal", "mcf_s").
+	Name string
+	// Suite is the originating suite (mantevo, nas, parsec, spec2017).
+	Suite string
+	// Desc summarizes the memory personality being modeled.
+	Desc string
+	// Build constructs the program at the given scale.
+	Build func(s Scale) *ir.Module
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workload: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get returns the named workload.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return w, nil
+}
+
+// All returns every workload in the paper's presentation order.
+func All() []*Workload {
+	order := []string{
+		"HPCCG", "CG", "EP", "FT", "LU",
+		"blackscholes", "bodytrack", "canneal", "fluidanimate", "freqmine",
+		"streamcluster", "swaptions", "x264",
+		"deepsjeng_s", "lbm_s", "mcf_s", "nab_s", "namd_r", "omnetpp_s",
+		"x264_s", "xalancbmk_s", "xz_s",
+	}
+	out := make([]*Workload, 0, len(order))
+	for _, n := range order {
+		if w, ok := registry[n]; ok {
+			out = append(out, w)
+		}
+	}
+	// Catch stragglers not in the order list.
+	if len(out) != len(registry) {
+		var extra []string
+		for n := range registry {
+			found := false
+			for _, o := range order {
+				if o == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				extra = append(extra, n)
+			}
+		}
+		sort.Strings(extra)
+		for _, n := range extra {
+			out = append(out, registry[n])
+		}
+	}
+	return out
+}
+
+// prog is the builder context shared by all benchmark constructors.
+type prog struct {
+	*ir.Builder
+	m      *ir.Module
+	main   *ir.Func
+	malloc *ir.Func
+	free   *ir.Func
+	print  *ir.Func
+
+	rngState *ir.Global
+}
+
+func newProg(name string) *prog {
+	m := ir.NewModule(name)
+	malloc := m.DeclareFunc(ir.FnMalloc, ir.Ptr, ir.I64)
+	free := m.DeclareFunc(ir.FnFree, ir.Void, ir.Ptr)
+	print := m.DeclareFunc(ir.FnPrintI64, ir.Void, ir.I64)
+	main := m.AddFunc("main", ir.I64)
+	p := &prog{
+		Builder: ir.NewBuilder(main),
+		m:       m, main: main, malloc: malloc, free: free, print: print,
+	}
+	p.rngState = m.AddGlobal("rng.state", ir.I64)
+	p.rngState.Init = le64(88172645463325252)
+	return p
+}
+
+func le64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// finish terminates main and verifies the module.
+func (p *prog) finish(ret ir.Value) *ir.Module {
+	if ret == nil {
+		ret = p.I64(0)
+	}
+	p.Ret(ret)
+	if err := p.m.Verify(); err != nil {
+		panic(fmt.Sprintf("workload %s: %v", p.m.Name, err))
+	}
+	return p.m
+}
+
+// rand emits an xorshift step on the global RNG state and returns a fresh
+// pseudo-random i64. In-program randomness keeps the access patterns
+// inside the simulated machine (and identical across modes).
+func (p *prog) rand() ir.Value {
+	x := p.Load(ir.I64, p.rngState)
+	x1 := p.Xor(x, p.Shl(x, p.I64(13)))
+	x2 := p.Xor(x1, p.LShr(x1, p.I64(7)))
+	x3 := p.Xor(x2, p.Shl(x2, p.I64(17)))
+	p.Store(x3, p.rngState)
+	return x3
+}
+
+// randMod emits rand() modulo n (n a power of two is cheapest but any
+// positive n works via urem).
+func (p *prog) randMod(n int64) ir.Value {
+	r := p.rand()
+	if n&(n-1) == 0 {
+		return p.And(r, p.I64(n-1))
+	}
+	masked := p.And(r, p.I64(0x7FFFFFFFFFFFFFFF))
+	return p.URem(masked, p.I64(n))
+}
+
+// array adds a global array of n i64 elements.
+func (p *prog) array(name string, n int64) *ir.Global {
+	return p.m.AddGlobal(name, ir.ArrayOf(ir.I64, int(n)))
+}
+
+// farray adds a global array of n f64 elements.
+func (p *prog) farray(name string, n int64) *ir.Global {
+	return p.m.AddGlobal(name, ir.ArrayOf(ir.F64, int(n)))
+}
+
+// sumInto loads p.acc-style accumulation: acc += a[idx].
+func (p *prog) loadIdx(arr ir.Value, idx ir.Value) ir.Value {
+	return p.Load(ir.I64, p.GEP(ir.I64, arr, idx))
+}
+
+func (p *prog) storeIdx(arr ir.Value, idx, val ir.Value) {
+	p.Store(val, p.GEP(ir.I64, arr, idx))
+}
