@@ -1,0 +1,37 @@
+# Tier-1 verification (see ROADMAP.md): `make check` is the gate every
+# change must keep green. `make smoke` additionally exercises the
+# machine-readable output end to end.
+
+GO ?= go
+
+.PHONY: all fmt vet build test race smoke check
+
+all: check
+
+# fmt fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the observability layer's concurrency tests under the race
+# detector (the registry is the only concurrently-written shared state).
+race:
+	$(GO) test -race ./internal/obs/
+
+# smoke runs the full experiment suite at test scale with -json and
+# validates that the output parses and carries a supported schema version.
+smoke: build
+	$(GO) run ./cmd/caratbench -exp all -scale test -json | $(GO) run ./scripts/validatejson
+
+check: fmt vet build test race

@@ -6,6 +6,13 @@
 //	caratbench -exp all                 # every experiment, test scale
 //	caratbench -exp fig2 -scale small   # one figure at paper scale
 //	caratbench -exp table3 -only canneal,mcf_s
+//	caratbench -exp table3 -json        # machine-readable document on stdout
+//	caratbench -exp table3 -trace t.json -metrics m.json
+//
+// -json replaces the text tables with one versioned JSON document
+// (schema carat.bench.result; see DESIGN.md "Observability"). -trace
+// writes a Chrome trace_event file viewable in Perfetto; -metrics writes
+// the final metrics-registry snapshot.
 package main
 
 import (
@@ -15,20 +22,24 @@ import (
 	"strings"
 
 	"carat/internal/bench"
+	"carat/internal/obs"
 	"carat/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig2 table1 fig3a fig3b fig4 table2 fig5 fig6 fig7 fig9 table3 all")
-	scale := flag.String("scale", "test", "problem scale: test, small, ref")
+	exp := flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+	scale := flag.String("scale", "test", "problem scale: "+strings.Join(workload.ScaleNames, ", "))
 	only := flag.String("only", "", "comma-separated benchmark subset (default: all 22)")
 	list := flag.Bool("list", false, "list experiments and benchmarks, then exit")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event file (open in Perfetto)")
+	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments:")
 		for _, e := range bench.Experiments() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-11s %s\n", e.ID, e.Title)
 		}
 		fmt.Println("benchmarks:")
 		for _, w := range workload.All() {
@@ -37,16 +48,9 @@ func main() {
 		return
 	}
 
-	var sc workload.Scale
-	switch *scale {
-	case "test":
-		sc = workload.ScaleTest
-	case "small":
-		sc = workload.ScaleSmall
-	case "ref":
-		sc = workload.ScaleRef
-	default:
-		fmt.Fprintf(os.Stderr, "caratbench: unknown scale %q\n", *scale)
+	sc, err := workload.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caratbench:", err)
 		os.Exit(2)
 	}
 
@@ -54,8 +58,55 @@ func main() {
 	if *only != "" {
 		o.Only = strings.Split(*only, ",")
 	}
-	if err := bench.RunByID(*exp, o, os.Stdout); err != nil {
+	if *jsonOut || *metricsFile != "" {
+		o.Obs = obs.NewRegistry()
+	}
+
+	var traceClose func() error
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench:", err)
+			os.Exit(1)
+		}
+		o.Trace = obs.NewTracer(f, nil)
+		traceClose = func() error {
+			if err := o.Trace.Close(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	if *jsonOut {
+		err = bench.RunJSON(*exp, o, os.Stdout)
+	} else {
+		err = bench.RunByID(*exp, o, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "caratbench:", err)
 		os.Exit(1)
+	}
+
+	if traceClose != nil {
+		if err := traceClose(); err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench:", err)
+			os.Exit(1)
+		}
+		werr := o.Obs.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "caratbench: metrics:", werr)
+			os.Exit(1)
+		}
 	}
 }

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	caratvm [-level carat] [-mode carat|traditional] [-mech range|mpx|iftree|bsearch] file.cir
+//	caratvm -json file.cir              # machine-readable run report
+//	caratvm -trace t.json file.cir      # Chrome trace_event file (Perfetto)
+//	caratvm -metrics m.json file.cir    # metrics-registry snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +23,32 @@ import (
 	"carat/internal/core"
 	"carat/internal/guard"
 	"carat/internal/ir"
+	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/vm"
 )
+
+// Schema of the -json run report. Bump the version on any incompatible
+// field change (see DESIGN.md "Observability").
+const (
+	runSchema  = "carat.vm.run"
+	runVersion = 1
+)
+
+// runReport is the -json document: the run's outcome plus the full
+// cycle-attribution profile and metrics snapshot.
+type runReport struct {
+	Schema  string            `json:"schema"`
+	Version int               `json:"version"`
+	Module  string            `json:"module"`
+	Exit    int64             `json:"exit"`
+	Instrs  uint64            `json:"instrs"`
+	Cycles  uint64            `json:"cycles"`
+	CPI     float64           `json:"cpi"`
+	Profile *obs.CycleProfile `json:"profile"`
+	Metrics obs.Snapshot      `json:"metrics"`
+	Output  []int64           `json:"output,omitempty"`
+}
 
 func main() {
 	level := flag.String("level", "carat", "pipeline level: none, guards, guards-opt, carat, tracking-only")
@@ -30,6 +57,9 @@ func main() {
 	heap := flag.Uint64("heap", 1<<26, "heap bytes")
 	stack := flag.Uint64("stack", 1<<20, "stack bytes per thread")
 	mem := flag.Uint64("mem", 1<<28, "physical memory bytes")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run report instead of text")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event file (open in Perfetto)")
+	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: caratvm [flags] file.cir")
@@ -77,10 +107,63 @@ func main() {
 		fatal(fmt.Errorf("unknown level %q", *level))
 	}
 
+	var traceF *os.File
+	if *traceFile != "" {
+		traceF, err = os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = obs.NewTracer(traceF, nil)
+	}
+
 	v, ret, err := core.CompileAndRun(m, l, cfg)
 	if err != nil {
 		fatal(err)
 	}
+
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceF.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			fatal(err)
+		}
+		werr := v.Obs().WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(fmt.Errorf("metrics: %w", werr))
+		}
+	}
+
+	if *jsonOut {
+		rep := runReport{
+			Schema:  runSchema,
+			Version: runVersion,
+			Module:  m.Name,
+			Exit:    ret,
+			Instrs:  v.Instrs,
+			Cycles:  v.Cycles,
+			CPI:     float64(v.Cycles) / float64(v.Instrs),
+			Profile: v.Prof,
+			Metrics: v.Obs().Snapshot(),
+			Output:  v.Output,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	for _, out := range v.Output {
 		fmt.Println(out)
 	}
@@ -90,10 +173,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "guards: %d checks\n", v.GuardChecks)
 	rs := v.Runtime().Stats
 	fmt.Fprintf(os.Stderr, "tracking: %d allocs, %d frees, %d escape events\n",
-		rs.Allocs, rs.Frees, rs.EscapeEvents)
+		rs.Allocs.Get(), rs.Frees.Get(), rs.EscapeEvents.Get())
 	if h := v.Hierarchy(); h != nil {
 		fmt.Fprintf(os.Stderr, "tlb: %.3f DTLB MPKI, %d walks (avg %.1f cyc)\n",
-			h.DTLBMPKI(v.Instrs), h.Stats.Walks, h.AvgWalkCycles())
+			h.DTLBMPKI(v.Instrs), h.Stats.Walks.Get(), h.AvgWalkCycles())
 	}
 }
 

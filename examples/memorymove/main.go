@@ -111,7 +111,7 @@ func main() {
 	}
 	fmt.Printf("all %d laps produced identical checksums: %v\n", len(v.Output), ok)
 	fmt.Printf("kernel performed %d page-move change requests (%d pages)\n",
-		moves, v.Kernel().Stats.PageMoves)
+		moves, v.Kernel().Stats.PageMoves.Get())
 	for i, bd := range v.Runtime().MoveStats {
 		if i >= 3 {
 			fmt.Printf("  ... and %d more moves\n", len(v.Runtime().MoveStats)-3)

@@ -90,7 +90,7 @@ func main() {
 	fmt.Printf("bucket counts: %v\n", v.Output)
 	fmt.Printf("total tallied: %d (want 4096) — exit %d\n", v.Output[0]+sum(v.Output[1:]), ret)
 	fmt.Printf("%d instructions, %d guard checks, %d page moves under the program\n",
-		v.Instrs, v.GuardChecks, v.Kernel().Stats.PageMoves)
+		v.Instrs, v.GuardChecks, v.Kernel().Stats.PageMoves.Get())
 }
 
 func sum(xs []int64) int64 {

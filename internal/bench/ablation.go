@@ -22,20 +22,20 @@ import (
 
 // AblAllocRow compares per-move prototype costs for one benchmark.
 type AblAllocRow struct {
-	Name       string
-	PageCyc    float64 // avg total cycles per page-granularity move
-	AllocCyc   float64 // avg total cycles per allocation-granularity move
-	Reduction  float64 // 1 - AllocCyc/PageCyc
-	PageMoves  int
-	AllocMoves int
-	PageProto  float64 // prototype (non-data-movement) cycles
-	AllocProto float64
+	Name       string  `json:"name"`
+	PageCyc    float64 `json:"page_cycles"`  // avg total cycles per page-granularity move
+	AllocCyc   float64 `json:"alloc_cycles"` // avg total cycles per allocation-granularity move
+	Reduction  float64 `json:"reduction"`    // 1 - AllocCyc/PageCyc
+	PageMoves  int     `json:"page_moves"`
+	AllocMoves int     `json:"alloc_moves"`
+	PageProto  float64 `json:"page_proto"` // prototype (non-data-movement) cycles
+	AllocProto float64 `json:"alloc_proto"`
 }
 
 // AblAllocResult is the allocation-granularity ablation.
 type AblAllocResult struct {
-	Rows         []AblAllocRow
-	GeoReduction float64
+	Rows         []AblAllocRow `json:"rows"`
+	GeoReduction float64       `json:"geomean_reduction"`
 }
 
 // AblationAllocGranularity measures both move engines on heap-allocating
@@ -113,16 +113,16 @@ func (r *AblAllocResult) Print(w io.Writer) {
 
 // AblCapsuleRow compares guarded execution under the two layouts.
 type AblCapsuleRow struct {
-	Name       string
-	MultiCyc   uint64
-	CapsuleCyc uint64
-	Speedup    float64 // MultiCyc / CapsuleCyc
+	Name       string  `json:"name"`
+	MultiCyc   uint64  `json:"multi_cycles"`
+	CapsuleCyc uint64  `json:"capsule_cycles"`
+	Speedup    float64 `json:"speedup"` // MultiCyc / CapsuleCyc
 }
 
 // AblCapsuleResult is the dark-capsule ablation.
 type AblCapsuleResult struct {
-	Rows       []AblCapsuleRow
-	GeoSpeedup float64
+	Rows       []AblCapsuleRow `json:"rows"`
+	GeoSpeedup float64         `json:"geomean_speedup"`
 }
 
 // AblationCapsule runs guarded builds under the multi-region and capsule
@@ -137,6 +137,7 @@ func AblationCapsule(o Options) (*AblCapsuleResult, error) {
 		}
 		m := w.Build(o.Scale)
 		pl := passes.Build(passes.LevelGuardsOpt)
+		pl.Obs = o.Obs
 		if err := pl.Run(m); err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/vm"
 	"carat/internal/workload"
@@ -29,6 +30,11 @@ type Options struct {
 	// MemBytes / HeapBytes configure the simulated machine.
 	MemBytes  uint64
 	HeapBytes uint64
+	// Obs, when non-nil, collects every VM's and pipeline's metrics in one
+	// registry (counters accumulate across the sweep).
+	Obs *obs.Registry
+	// Trace, when non-nil, receives trace events from every VM run.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the standard configuration for scale s.
@@ -58,6 +64,8 @@ func (o Options) vmConfig(mode vm.Mode, mech guard.Mechanism) vm.Config {
 	cfg.GuardMech = mech
 	cfg.MemBytes = o.MemBytes
 	cfg.HeapBytes = o.HeapBytes
+	cfg.Obs = o.Obs
+	cfg.Trace = o.Trace
 	return cfg
 }
 
@@ -66,6 +74,7 @@ func (o Options) buildAndRun(w *workload.Workload, lvl passes.Level, mode vm.Mod
 	mech guard.Mechanism, tweak func(*vm.VM)) (*vm.VM, *passes.Stats, error) {
 	m := w.Build(o.Scale)
 	pl := passes.Build(lvl)
+	pl.Obs = o.Obs
 	if err := pl.Run(m); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 	}
@@ -86,6 +95,7 @@ func (o Options) buildAndRun(w *workload.Workload, lvl passes.Level, mode vm.Mod
 func (o Options) compileOnly(w *workload.Workload, lvl passes.Level) (*ir.Module, *passes.Stats, error) {
 	m := w.Build(o.Scale)
 	pl := passes.Build(lvl)
+	pl.Obs = o.Obs
 	if err := pl.Run(m); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 	}

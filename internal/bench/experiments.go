@@ -14,16 +14,18 @@ import (
 
 // Fig2Row is one benchmark's traditional-model translation behaviour.
 type Fig2Row struct {
-	Name          string
-	DTLBMPKI      float64 // level-1 DTLB misses per 1000 instructions
-	WalksPerKI    float64 // completed pagewalks per 1000 instructions
-	AvgWalkCycles float64
-	Instrs        uint64
+	Name          string  `json:"name"`
+	DTLBMPKI      float64 `json:"dtlb_mpki"`    // level-1 DTLB misses per 1000 instructions
+	WalksPerKI    float64 `json:"walks_per_ki"` // completed pagewalks per 1000 instructions
+	AvgWalkCycles float64 `json:"avg_walk_cycles"`
+	Instrs        uint64  `json:"instrs"`
 }
 
 // Fig2Result reproduces Figure 2 (and the surrounding §3 prose: walks/KI
 // and average walk latency).
-type Fig2Result struct{ Rows []Fig2Row }
+type Fig2Result struct {
+	Rows []Fig2Row `json:"rows"`
+}
 
 // Fig2 runs every benchmark uninstrumented under the traditional model and
 // reports DTLB miss rates.
@@ -62,19 +64,19 @@ func (r *Fig2Result) Print(w io.Writer) {
 
 // Table1Row mirrors one row of Table 1.
 type Table1Row struct {
-	Name      string
-	OptGuards float64 // fraction of guards statically remaining
-	Untouched float64
-	Opt1      float64 // hoisting
-	Opt2      float64 // scalar evolution
-	Opt3      float64 // redundancy elimination
+	Name      string  `json:"name"`
+	OptGuards float64 `json:"opt_guards"` // fraction of guards statically remaining
+	Untouched float64 `json:"untouched"`
+	Opt1      float64 `json:"opt1"` // hoisting
+	Opt2      float64 `json:"opt2"` // scalar evolution
+	Opt3      float64 `json:"opt3"` // redundancy elimination
 }
 
 // Table1Result reproduces Table 1, "Effectiveness of Compiler
 // Optimizations".
 type Table1Result struct {
-	Rows []Table1Row
-	Mean Table1Row // arithmetic mean, as the paper reports
+	Rows []Table1Row `json:"rows"`
+	Mean Table1Row   `json:"mean"` // arithmetic mean, as the paper reports
 }
 
 // Table1 compiles every benchmark at LevelGuardsOpt and reports the
@@ -132,19 +134,19 @@ func (r *Table1Result) Print(w io.Writer) {
 
 // Fig3Row is one benchmark's normalized guard overhead.
 type Fig3Row struct {
-	Name       string
-	Baseline   float64 // always 1.0
-	MPXGuard   float64 // cycles(guards, MPX) / cycles(baseline)
-	RangeGuard float64 // cycles(guards, compare+branch) / cycles(baseline)
+	Name       string  `json:"name"`
+	Baseline   float64 `json:"baseline"`    // always 1.0
+	MPXGuard   float64 `json:"mpx_guard"`   // cycles(guards, MPX) / cycles(baseline)
+	RangeGuard float64 `json:"range_guard"` // cycles(guards, compare+branch) / cycles(baseline)
 }
 
 // Fig3Result reproduces Figure 3: protection overhead with (a) general
 // optimizations only, or (b) CARAT-specific optimizations.
 type Fig3Result struct {
-	CARATOpts bool
-	Rows      []Fig3Row
-	GeoMPX    float64
-	GeoRange  float64
+	CARATOpts bool      `json:"carat_opts"`
+	Rows      []Fig3Row `json:"rows"`
+	GeoMPX    float64   `json:"geomean_mpx"`
+	GeoRange  float64   `json:"geomean_range"`
 }
 
 // Fig3 measures guard overhead at the chosen optimization level.

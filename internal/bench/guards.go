@@ -11,16 +11,18 @@ import (
 
 // Fig4Point is one (mechanism/pattern, region count) measurement.
 type Fig4Point struct {
-	Mechanism string
-	Pattern   string // "random" or "stride N"
-	Regions   int
-	AvgCycles float64
+	Mechanism string  `json:"mechanism"`
+	Pattern   string  `json:"pattern"` // "random" or "stride N"
+	Regions   int     `json:"regions"`
+	AvgCycles float64 `json:"avg_cycles"`
 }
 
 // Fig4Result reproduces Figure 4: multi-region software guard performance
 // as a function of region count, for random accesses (if-tree and binary
 // search) and strided accesses (if-tree at several strides).
-type Fig4Result struct{ Points []Fig4Point }
+type Fig4Result struct {
+	Points []Fig4Point `json:"points"`
+}
 
 // fig4RegionCounts mirrors the paper's x-axis (1 .. 16384, log scale).
 var fig4RegionCounts = []int{1, 4, 16, 64, 256, 1024, 4096, 16384}

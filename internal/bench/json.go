@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"carat/internal/obs"
+)
+
+// Machine-readable experiment output. The document format is versioned so
+// downstream tooling can detect incompatible changes; bump ResultVersion
+// whenever a field is renamed, removed, or changes meaning (additions are
+// compatible). The schema is documented in DESIGN.md ("Observability").
+
+// ResultSchema identifies the bench output document format.
+const ResultSchema = "carat.bench.result"
+
+// ResultVersion is the current document format version.
+const ResultVersion = 1
+
+// ExperimentResult is one experiment's typed result inside a Document.
+type ExperimentResult struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Data       Result `json:"data"`
+}
+
+// Document is the top-level machine-readable output of a bench run.
+type Document struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Tool records the producing command ("caratbench").
+	Tool  string `json:"tool"`
+	Scale string `json:"scale"`
+	// Results holds one entry per experiment run, in paper order.
+	Results []ExperimentResult `json:"results"`
+	// Metrics, when metrics collection was enabled, is the final registry
+	// snapshot accumulated across every VM run in the sweep.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// RunJSON executes the experiment (or "all") and writes the versioned JSON
+// document to w. When o.Obs is set its final snapshot is embedded.
+func RunJSON(id string, o Options, w io.Writer) error {
+	exps, err := selected(id)
+	if err != nil {
+		return err
+	}
+	doc := Document{
+		Schema:  ResultSchema,
+		Version: ResultVersion,
+		Tool:    "caratbench",
+		Scale:   o.Scale.String(),
+	}
+	for _, e := range exps {
+		r, err := e.Run(o)
+		if err != nil {
+			return err
+		}
+		doc.Results = append(doc.Results, ExperimentResult{
+			Experiment: e.ID, Title: e.Title, Data: r,
+		})
+	}
+	if o.Obs != nil {
+		snap := o.Obs.Snapshot()
+		doc.Metrics = &snap
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -17,18 +17,18 @@ var Fig9Rates = []float64{1, 100, 10000, 20000}
 
 // Fig9Row is one benchmark's overhead across the rate sweep.
 type Fig9Row struct {
-	Name     string
-	Baseline uint64 // cycles of the CARAT build with no forced moves
+	Name     string `json:"name"`
+	Baseline uint64 `json:"baseline_cycles"` // cycles of the CARAT build with no forced moves
 	// Overhead[i] is cycles(rate i)/Baseline; Moves[i] counts moves done.
-	Overhead []float64
-	Moves    []int
+	Overhead []float64 `json:"overhead"`
+	Moves    []int     `json:"moves"`
 }
 
 // Fig9Result reproduces Figure 9, "Worst-case page movement overheads".
 type Fig9Result struct {
-	Rates    []float64
-	Rows     []Fig9Row
-	Geomeans []float64
+	Rates    []float64 `json:"rates"`
+	Rows     []Fig9Row `json:"rows"`
+	Geomeans []float64 `json:"geomeans"`
 }
 
 // Fig9 runs each benchmark fully instrumented while a move policy forces a
@@ -103,23 +103,23 @@ func (r *Fig9Result) Print(w io.Writer) {
 
 // Table3Row is one benchmark's per-move cycle breakdown.
 type Table3Row struct {
-	Name          string
-	PageExpand    float64 // avg cycles
-	PatchGenExec  float64
-	RegisterPatch float64
-	AllocAndMove  float64
-	ProtoCost     float64 // expand + patch + regs
-	ProtoNoExpand float64 // patch + regs
-	TotalCost     float64
-	FracNoExpand  float64 // ProtoNoExpand / TotalCost (rightmost column)
-	Moves         int
+	Name          string  `json:"name"`
+	PageExpand    float64 `json:"page_expand"` // avg cycles
+	PatchGenExec  float64 `json:"patch_gen_exec"`
+	RegisterPatch float64 `json:"register_patch"`
+	AllocAndMove  float64 `json:"alloc_and_move"`
+	ProtoCost     float64 `json:"proto_cost"`      // expand + patch + regs
+	ProtoNoExpand float64 `json:"proto_no_expand"` // patch + regs
+	TotalCost     float64 `json:"total_cost"`
+	FracNoExpand  float64 `json:"frac_no_expand"` // ProtoNoExpand / TotalCost (rightmost column)
+	Moves         int     `json:"moves"`
 }
 
 // Table3Result reproduces Table 3, "Worst-case Page Movement Costs in
 // Cycles".
 type Table3Result struct {
-	Rows    []Table3Row
-	GeoMean Table3Row
+	Rows    []Table3Row `json:"rows"`
+	GeoMean Table3Row   `json:"geomean"`
 }
 
 // Table3 forces a steady worst-case move stream on each benchmark and

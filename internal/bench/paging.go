@@ -14,25 +14,25 @@ import (
 
 // Table2Row is one benchmark's paging-behaviour measurement.
 type Table2Row struct {
-	Name            string
-	StaticFootprint uint64 // pages the loader is obligated to provide
-	InitialPages    uint64 // resident right after exec()
-	PageAllocs      uint64
-	PageMoves       uint64
-	ExecSeconds     float64 // simulated (cycles / CPUFreqHz)
-	AllocRate       float64 // allocations per simulated second
-	MoveRate        float64
+	Name            string  `json:"name"`
+	StaticFootprint uint64  `json:"static_footprint_pages"` // pages the loader is obligated to provide
+	InitialPages    uint64  `json:"initial_pages"`          // resident right after exec()
+	PageAllocs      uint64  `json:"page_allocs"`
+	PageMoves       uint64  `json:"page_moves"`
+	ExecSeconds     float64 `json:"exec_seconds"` // simulated (cycles / CPUFreqHz)
+	AllocRate       float64 `json:"alloc_rate"`   // allocations per simulated second
+	MoveRate        float64 `json:"move_rate"`
 }
 
 // Table2Result reproduces Table 2, "Page (4KB) Allocation and Movement
 // Rates", using the MMU-notifier-equivalent accounting of the kernel's
 // paging model.
 type Table2Result struct {
-	Rows              []Table2Row
-	GeoAllocRate      float64
-	GeoMoveRate       float64
-	HarmonicAllocRate float64
-	HarmonicMoveRate  float64
+	Rows              []Table2Row `json:"rows"`
+	GeoAllocRate      float64     `json:"geomean_alloc_rate"`
+	GeoMoveRate       float64     `json:"geomean_move_rate"`
+	HarmonicAllocRate float64     `json:"harmonic_alloc_rate"`
+	HarmonicMoveRate  float64     `json:"harmonic_move_rate"`
 }
 
 // migrationPeriod models the rare kernel-initiated migrations (NUMA
@@ -49,6 +49,7 @@ func Table2(o Options) (*Table2Result, error) {
 	for _, w := range o.workloads() {
 		m := w.Build(o.Scale)
 		pl := passes.Build(passes.LevelNone)
+		pl.Obs = o.Obs
 		if err := pl.Run(m); err != nil {
 			return nil, err
 		}

@@ -3,141 +3,99 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 )
+
+// Result is what every experiment produces: a typed, JSON-encodable value
+// that can also render itself as the paper's text table. The concrete types
+// (Fig2Result, Table3Result, ...) carry lowercase json tags so the same
+// value feeds both the human table and the machine-readable document
+// (see json.go).
+type Result interface {
+	Print(w io.Writer)
+}
 
 // Experiment is one regenerable table or figure.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(o Options, w io.Writer) error
+	Run   func(o Options) (Result, error)
 }
 
 // Experiments lists every experiment in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"fig2", "L1 DTLB misses per 1000 instructions", func(o Options, w io.Writer) error {
-			r, err := Fig2(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"table1", "Effectiveness of compiler optimizations", func(o Options, w io.Writer) error {
-			r, err := Table1(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig3a", "Guard overhead, general optimizations", func(o Options, w io.Writer) error {
-			r, err := Fig3(o, false)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig3b", "Guard overhead, CARAT optimizations", func(o Options, w io.Writer) error {
-			r, err := Fig3(o, true)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig4", "Multi-region software guard cost", func(o Options, w io.Writer) error {
-			r, err := Fig4(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"table2", "Page allocation and movement rates", func(o Options, w io.Writer) error {
-			r, err := Table2(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig5", "Escapes per allocation", func(o Options, w io.Writer) error {
-			r, err := Fig5(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig6", "Memory overhead of tracking", func(o Options, w io.Writer) error {
-			r, err := Fig6(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig7", "Time overhead of tracking", func(o Options, w io.Writer) error {
-			r, err := Fig7(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"fig9", "Worst-case page movement overheads", func(o Options, w io.Writer) error {
-			r, err := Fig9(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"table3", "Per-move cycle breakdown", func(o Options, w io.Writer) error {
-			r, err := Table3(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"abl-alloc", "Ablation: allocation- vs page-granularity moves", func(o Options, w io.Writer) error {
-			r, err := AblationAllocGranularity(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
-		{"abl-capsule", "Ablation: capsule vs multi-region layout", func(o Options, w io.Writer) error {
-			r, err := AblationCapsule(o)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		}},
+		{"fig2", "L1 DTLB misses per 1000 instructions",
+			func(o Options) (Result, error) { return Fig2(o) }},
+		{"table1", "Effectiveness of compiler optimizations",
+			func(o Options) (Result, error) { return Table1(o) }},
+		{"fig3a", "Guard overhead, general optimizations",
+			func(o Options) (Result, error) { return Fig3(o, false) }},
+		{"fig3b", "Guard overhead, CARAT optimizations",
+			func(o Options) (Result, error) { return Fig3(o, true) }},
+		{"fig4", "Multi-region software guard cost",
+			func(o Options) (Result, error) { return Fig4(o) }},
+		{"table2", "Page allocation and movement rates",
+			func(o Options) (Result, error) { return Table2(o) }},
+		{"fig5", "Escapes per allocation",
+			func(o Options) (Result, error) { return Fig5(o) }},
+		{"fig6", "Memory overhead of tracking",
+			func(o Options) (Result, error) { return Fig6(o) }},
+		{"fig7", "Time overhead of tracking",
+			func(o Options) (Result, error) { return Fig7(o) }},
+		{"fig9", "Worst-case page movement overheads",
+			func(o Options) (Result, error) { return Fig9(o) }},
+		{"table3", "Per-move cycle breakdown",
+			func(o Options) (Result, error) { return Table3(o) }},
+		{"abl-alloc", "Ablation: allocation- vs page-granularity moves",
+			func(o Options) (Result, error) { return AblationAllocGranularity(o) }},
+		{"abl-capsule", "Ablation: capsule vs multi-region layout",
+			func(o Options) (Result, error) { return AblationCapsule(o) }},
 	}
 }
 
-// RunByID executes one experiment by id ("fig2", "table1", ... or "all").
-func RunByID(id string, o Options, w io.Writer) error {
+// ExperimentIDs returns every valid experiment id, in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// selected resolves an id ("fig2", ... or "all") to the experiments to run.
+func selected(id string) ([]Experiment, error) {
 	if id == "all" {
-		for _, e := range Experiments() {
-			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
-			if err := e.Run(o, w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
+		return Experiments(), nil
 	}
 	for _, e := range Experiments() {
 		if e.ID == id {
-			return e.Run(o, w)
+			return []Experiment{e}, nil
 		}
 	}
-	return fmt.Errorf("bench: unknown experiment %q (try: fig2 table1 fig3a fig3b fig4 table2 fig5 fig6 fig7 fig9 table3 abl-alloc abl-capsule all)", id)
+	return nil, fmt.Errorf("bench: unknown experiment %q (valid ids: %s all)",
+		id, strings.Join(ExperimentIDs(), " "))
+}
+
+// RunByID executes one experiment by id ("fig2", "table1", ... or "all")
+// and prints the text tables to w.
+func RunByID(id string, o Options, w io.Writer) error {
+	exps, err := selected(id)
+	if err != nil {
+		return err
+	}
+	for _, e := range exps {
+		if id == "all" {
+			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+		}
+		r, err := e.Run(o)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		if id == "all" {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
 }

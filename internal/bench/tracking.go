@@ -15,27 +15,27 @@ import (
 
 // Fig5Row summarizes one benchmark's escapes-per-allocation distribution.
 type Fig5Row struct {
-	Name        string
-	Allocations int
+	Name        string `json:"name"`
+	Allocations int    `json:"allocations"`
 	// HistLow counts allocations by escape count for counts 0..50.
-	HistLow [51]int
+	HistLow [51]int `json:"hist_low"`
 	// Over50 lists the escape counts of allocations with more than 50
 	// escapes (Figure 5b's outliers).
-	Over50 []int
+	Over50 []int `json:"over50,omitempty"`
 	// P90 is the 90th-percentile escape count.
-	P90 int
-	Max int
+	P90 int `json:"p90"`
+	Max int `json:"max"`
 }
 
 // Fig5Result reproduces Figure 5, the escapes-per-allocation histograms.
 type Fig5Result struct {
-	Rows []Fig5Row
+	Rows []Fig5Row `json:"rows"`
 	// FracLE10 is the suite-wide fraction of allocations with <= 10
 	// escapes (the paper reports 90%).
-	FracLE10 float64
+	FracLE10 float64 `json:"frac_le10"`
 	// TotalOver50 is the suite-wide count of allocations with > 50
 	// escapes (the paper counts 22).
-	TotalOver50 int
+	TotalOver50 int `json:"total_over50"`
 }
 
 // Fig5 runs every benchmark fully instrumented and collects the histogram.
@@ -105,16 +105,16 @@ func (r *Fig5Result) Print(w io.Writer) {
 
 // Fig6Row is one benchmark's tracking-memory overhead.
 type Fig6Row struct {
-	Name          string
-	BaselineBytes uint64
-	TrackingBytes uint64
-	Ratio         float64 // (baseline+tracking)/baseline, Figure 6's bars
+	Name          string  `json:"name"`
+	BaselineBytes uint64  `json:"baseline_bytes"`
+	TrackingBytes uint64  `json:"tracking_bytes"`
+	Ratio         float64 `json:"ratio"` // (baseline+tracking)/baseline, Figure 6's bars
 }
 
 // Fig6Result reproduces Figure 6, "Memory overhead of tracking".
 type Fig6Result struct {
-	Rows    []Fig6Row
-	Geomean float64
+	Rows    []Fig6Row `json:"rows"`
+	Geomean float64   `json:"geomean"`
 }
 
 // Fig6 measures the allocation-table and escape-map footprint against the
@@ -158,17 +158,17 @@ func (r *Fig6Result) Print(w io.Writer) {
 
 // Fig7Row is one benchmark's tracking-time overhead.
 type Fig7Row struct {
-	Name     string
-	Baseline uint64 // cycles, uninstrumented
-	CARAT    uint64 // cycles, tracking only (no guards)
-	Ratio    float64
+	Name     string  `json:"name"`
+	Baseline uint64  `json:"baseline_cycles"` // cycles, uninstrumented
+	CARAT    uint64  `json:"carat_cycles"`    // cycles, tracking only (no guards)
+	Ratio    float64 `json:"ratio"`
 }
 
 // Fig7Result reproduces Figure 7, "Time overhead of tracking allocations &
 // escapes".
 type Fig7Result struct {
-	Rows    []Fig7Row
-	Geomean float64
+	Rows    []Fig7Row `json:"rows"`
+	Geomean float64   `json:"geomean"`
 }
 
 // Fig7 compares tracking-only builds against the baseline.

@@ -164,7 +164,7 @@ func main(): int {
 	if len(v.Output) != 1 || v.Output[0] != ret {
 		t.Errorf("print output = %v", v.Output)
 	}
-	if v.Runtime().Stats.Frees != 1 {
+	if v.Runtime().Stats.Frees.Get() != 1 {
 		t.Error("free not tracked")
 	}
 }

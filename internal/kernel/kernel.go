@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carat/internal/guard"
+	"carat/internal/obs"
 )
 
 // Kernel owns physical memory and page frames, and manages CARAT processes:
@@ -14,25 +15,58 @@ type Kernel struct {
 	Mem   *PhysMem
 	Alloc *PageAllocator
 	Stats Stats
+
+	// Obs backs Stats; tr, when set, mirrors MMU-notifier events into the
+	// trace stream.
+	Obs *obs.Registry
+	tr  *obs.Tracer
 }
 
-// Stats counts kernel-side events.
+// Stats is the kernel's typed view over its carat.kernel.* metrics. The
+// kernel layer owns the page-frame lifecycle — grants, frees, moves,
+// protection changes — while the runtime layer owns tracking and per-move
+// cost attribution (carat.runtime.*); see DESIGN.md "Observability".
 type Stats struct {
-	PageAllocs  uint64 // page frames handed out
-	PageFrees   uint64
-	PageMoves   uint64 // page-move change requests executed
-	ProtChanges uint64 // protection change requests executed
-	MoveVetoes  uint64 // moves vetoed during negotiation
+	PageAllocs  *obs.Counter // page frames handed out
+	PageFrees   *obs.Counter
+	PageMoves   *obs.Counter // pages moved by executed change requests
+	ProtChanges *obs.Counter // protection change requests executed
+	MoveVetoes  *obs.Counter // moves vetoed during negotiation
+}
+
+func newStats(reg *obs.Registry) Stats {
+	return Stats{
+		PageAllocs:  reg.Counter("carat.kernel.page_allocs"),
+		PageFrees:   reg.Counter("carat.kernel.page_frees"),
+		PageMoves:   reg.Counter("carat.kernel.page_moves"),
+		ProtChanges: reg.Counter("carat.kernel.prot_changes"),
+		MoveVetoes:  reg.Counter("carat.kernel.move_vetoes"),
+	}
 }
 
 // New creates a kernel with the given physical memory size in bytes.
+// Metrics go to a private registry; use NewWith to share one.
 func New(memBytes uint64) *Kernel {
+	return NewWith(memBytes, nil)
+}
+
+// NewWith is New with an explicit metrics registry (created if nil).
+func NewWith(memBytes uint64, reg *obs.Registry) *Kernel {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	mem := NewPhysMem(memBytes)
 	return &Kernel{
 		Mem:   mem,
 		Alloc: NewPageAllocator(mem.Pages()),
+		Stats: newStats(reg),
+		Obs:   reg,
 	}
 }
+
+// SetTracer attaches an event tracer (nil disables tracing). Paging
+// events then appear in the trace as mmu.* instants.
+func (k *Kernel) SetTracer(tr *obs.Tracer) { k.tr = tr }
 
 // NonCanonical is the base of the poison address range used to mark
 // unavailable pages (§2.2): patching a pointer into this range guarantees
@@ -110,7 +144,7 @@ func (p *Process) GrantRegion(sizeBytes uint64, perm guard.Perm) (uint64, error)
 	if err != nil {
 		return 0, err
 	}
-	p.K.Stats.PageAllocs += pages
+	p.K.Stats.PageAllocs.Add(pages)
 	if err := p.K.Mem.Zero(base, pages*PageSize); err != nil {
 		return 0, err
 	}
@@ -131,7 +165,7 @@ func (p *Process) ReleaseRegion(base, length uint64) error {
 	if err := p.K.Alloc.Free(base, length/PageSize); err != nil {
 		return err
 	}
-	p.K.Stats.PageFrees += length / PageSize
+	p.K.Stats.PageFrees.Add(length / PageSize)
 	p.notify(MMUEvent{Kind: EventInvalidateRange, Base: base, Len: length})
 	return nil
 }
@@ -147,7 +181,7 @@ func (p *Process) RequestProtect(base, length uint64, perm guard.Perm) error {
 	} else if err := p.Handler.HandleProtect(apply); err != nil {
 		return err
 	}
-	p.K.Stats.ProtChanges++
+	p.K.Stats.ProtChanges.Inc()
 	p.notify(MMUEvent{Kind: EventInvalidateRange, Base: base, Len: length})
 	return nil
 }
@@ -168,7 +202,7 @@ func (p *Process) RequestMove(src uint64, pages uint64) (MoveResult, error) {
 	if err != nil {
 		return MoveResult{}, err
 	}
-	p.K.Stats.PageMoves += res.Pages
+	p.K.Stats.PageMoves.Add(res.Pages)
 	p.notify(MMUEvent{Kind: EventPTEChange, Base: res.Src, Len: res.Pages * PageSize, NewPA: res.Dst})
 	return res, nil
 }
@@ -186,7 +220,7 @@ func (r *MoveRequest) NegotiateDst(src uint64, pages uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	r.kernel.Stats.PageAllocs += pages
+	r.kernel.Stats.PageAllocs.Add(pages)
 	if err := r.proc.Regions.Add(guard.Region{Base: dst, Len: pages * PageSize, Perm: reg.Perm}); err != nil {
 		_ = r.kernel.Alloc.Free(dst, pages)
 		return 0, err
@@ -204,5 +238,5 @@ func (r *MoveRequest) RetireSrc(src uint64, pages uint64) error {
 // Veto aborts a move during negotiation (§4.3: "The kernel module can then
 // veto or approve the move"), releasing nothing.
 func (r *MoveRequest) Veto() {
-	r.kernel.Stats.MoveVetoes++
+	r.kernel.Stats.MoveVetoes.Inc()
 }

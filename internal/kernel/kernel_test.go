@@ -172,8 +172,8 @@ func TestGrantAndReleaseRegion(t *testing.T) {
 		t.Error("granted region not writable")
 	}
 	// 10000 bytes → 3 pages.
-	if k.Stats.PageAllocs != 3 {
-		t.Errorf("PageAllocs = %d, want 3", k.Stats.PageAllocs)
+	if k.Stats.PageAllocs.Get() != 3 {
+		t.Errorf("PageAllocs = %d, want 3", k.Stats.PageAllocs.Get())
 	}
 	if err := p.ReleaseRegion(base, 3*PageSize); err != nil {
 		t.Fatal(err)
@@ -199,8 +199,8 @@ func TestRequestProtectWithoutHandler(t *testing.T) {
 	if !p.Regions.Check(base+PageSize, 8, guard.PermWrite) {
 		t.Error("unprotected half lost write permission")
 	}
-	if k.Stats.ProtChanges != 1 {
-		t.Errorf("ProtChanges = %d", k.Stats.ProtChanges)
+	if k.Stats.ProtChanges.Get() != 1 {
+		t.Errorf("ProtChanges = %d", k.Stats.ProtChanges.Get())
 	}
 }
 
@@ -256,8 +256,8 @@ func TestRequestMoveProtocol(t *testing.T) {
 	if !p.Regions.Check(res.Dst, 8, guard.PermRead) {
 		t.Error("destination pages not permitted")
 	}
-	if k.Stats.PageMoves != 1 {
-		t.Errorf("PageMoves = %d", k.Stats.PageMoves)
+	if k.Stats.PageMoves.Get() != 1 {
+		t.Errorf("PageMoves = %d", k.Stats.PageMoves.Get())
 	}
 }
 

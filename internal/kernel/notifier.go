@@ -1,5 +1,7 @@
 package kernel
 
+import "carat/internal/obs"
+
 // MMU-notifier-style event stream (§3 "dynamic paging capture"): the paper
 // learns of Linux's paging activity through the MMU notifier interface,
 // which reports PTE changes (a page's contents moved to a different frame)
@@ -63,6 +65,8 @@ func (p *Process) RegisterNotifier(n MMUNotifier) {
 }
 
 func (p *Process) notify(ev MMUEvent) {
+	p.K.tr.Instant("mmu."+ev.Kind.String(), "paging",
+		obs.A("base", ev.Base), obs.A("len", ev.Len))
 	for _, n := range p.notifiers {
 		n.Notify(ev)
 	}

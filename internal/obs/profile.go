@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Category buckets a modeled cycle by what the machine was doing when it
+// was spent. The VM interpreter attributes every cycle it charges to
+// exactly one category, replacing the old opaque single total: compute is
+// the application's own work, guard/tracking are CARAT's compiler- and
+// runtime-injected overheads, pagewalk/pagefault are the traditional-VM
+// costs CARAT removes, and protocol is the kernel-initiated move protocol
+// (Table 3's subject).
+type Category int
+
+// The cycle categories, in presentation order.
+const (
+	CatCompute Category = iota
+	CatGuard
+	CatTracking
+	CatPagewalk
+	CatPageFault
+	CatProtocol
+	CatAlloc
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"compute", "guard", "tracking", "pagewalk", "pagefault", "protocol", "alloc",
+}
+
+// String names the category (used as a metric-name suffix).
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return "unknown"
+	}
+	return categoryNames[c]
+}
+
+// FuncProfile accumulates per-function interpreter costs.
+type FuncProfile struct {
+	Name   string `json:"name"`
+	Calls  uint64 `json:"calls"`
+	Instrs uint64 `json:"instrs"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// CycleProfile is the VM's cycle-attribution profile: a per-category
+// breakdown plus per-function compute costs. It is owned by a single VM
+// and updated from the interpreter loop without synchronization, so it
+// adds no atomics to the hot path.
+type CycleProfile struct {
+	Cat   [NumCategories]uint64
+	funcs map[string]*FuncProfile
+}
+
+// NewCycleProfile returns an empty profile.
+func NewCycleProfile() *CycleProfile {
+	return &CycleProfile{funcs: make(map[string]*FuncProfile)}
+}
+
+// Func returns the named function's bucket, creating it if needed. The
+// pointer is stable; the VM resolves it once per function at load time.
+func (p *CycleProfile) Func(name string) *FuncProfile {
+	f, ok := p.funcs[name]
+	if !ok {
+		f = &FuncProfile{Name: name}
+		p.funcs[name] = f
+	}
+	return f
+}
+
+// Total returns the sum over all categories.
+func (p *CycleProfile) Total() uint64 {
+	var t uint64
+	for _, c := range p.Cat {
+		t += c
+	}
+	return t
+}
+
+// Funcs returns the per-function buckets sorted by descending cycles
+// (ties broken by name for determinism).
+func (p *CycleProfile) Funcs() []*FuncProfile {
+	out := make([]*FuncProfile, 0, len(p.funcs))
+	for _, f := range p.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByCategory returns the breakdown as a name→cycles map.
+func (p *CycleProfile) ByCategory() map[string]uint64 {
+	m := make(map[string]uint64, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		if p.Cat[c] > 0 {
+			m[c.String()] = p.Cat[c]
+		}
+	}
+	return m
+}
+
+// MarshalJSON encodes the profile as {"categories":{...},"functions":[...]}.
+func (p *CycleProfile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Categories map[string]uint64 `json:"categories"`
+		Functions  []*FuncProfile    `json:"functions,omitempty"`
+	}{p.ByCategory(), p.Funcs()})
+}
+
+// PublishTo adds the profile into reg as counters under prefix:
+// <prefix>.cycles.<category> plus <prefix>.cycles.total. Using Add (not
+// Set) lets a bench sweep accumulate across sequential VM runs sharing
+// one registry.
+func (p *CycleProfile) PublishTo(reg *Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		if p.Cat[c] > 0 {
+			reg.Counter(prefix + ".cycles." + c.String()).Add(p.Cat[c])
+		}
+	}
+	reg.Counter(prefix + ".cycles.total").Add(p.Total())
+}

@@ -1,0 +1,281 @@
+// Package obs is the unified observability layer of the simulated CARAT
+// system: a metrics registry (counters, gauges, log-scale histograms), a
+// Chrome trace_event tracer driven by the simulated cycle clock, and a
+// cycle-attribution profile that decomposes the VM's single cycle total
+// into categories and per-function buckets.
+//
+// The paper's whole argument is cost accounting — per-step move-protocol
+// cycles (Table 3), guard overhead decomposition (Fig 3), paging-event
+// rates (Table 2) — so every layer (vm, runtime, kernel, tlb, passes,
+// bench) publishes into one obs.Registry under a dotted namespace
+// (carat.vm.*, carat.runtime.*, carat.kernel.*, carat.tlb.*,
+// carat.passes.*; ownership documented in DESIGN.md) and, when a tracer is
+// attached, emits spans and instants on the modeled timeline. Everything
+// is pure stdlib.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric with atomic updates. The
+// zero value is usable, but counters are normally obtained from a Registry
+// so they appear in snapshots.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Get returns the current value.
+func (c *Counter) Get() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time value with atomic updates.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores n.
+func (g *Gauge) Set(n uint64) { g.v.Store(n) }
+
+// Add adds delta (which may wrap; gauges are unsigned).
+func (g *Gauge) Add(n uint64) { g.v.Add(n) }
+
+// Get returns the current value.
+func (g *Gauge) Get() uint64 { return g.v.Load() }
+
+// HistogramBuckets is the fixed bucket count of a log-scale histogram:
+// bucket i counts observations whose bit length is i, i.e. bucket 0 holds
+// the value 0 and bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
+const HistogramBuckets = 65
+
+// Histogram is a log2-bucketed histogram with atomic updates, suitable for
+// cycle counts and byte sizes spanning many orders of magnitude.
+type Histogram struct {
+	buckets  [HistogramBuckets]atomic.Uint64
+	count    atomic.Uint64
+	sum      atomic.Uint64
+	min, max atomic.Uint64
+	minInit  atomic.Bool
+}
+
+// BucketIndex returns the bucket an observation of v lands in.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketUpperBound returns the largest value bucket i holds.
+func BucketUpperBound(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	if !h.minInit.Load() && h.minInit.CompareAndSwap(false, true) {
+		h.min.Store(v)
+		return
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: Count
+// observations were <= Le (and greater than the previous bucket's Le).
+type BucketCount struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Min     uint64        `json:"min"`
+	Max     uint64        `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: h.min.Load(), Max: h.max.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	h.minInit.Store(false)
+}
+
+// Registry is a named collection of metrics. Lookup creates on first use;
+// the returned Counter/Gauge/Histogram pointers are stable, so hot paths
+// resolve a metric once and update it with a single atomic add.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// marshal with sorted keys, so the JSON encoding is stable.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]uint64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Get()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]uint64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Get()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Reset zeroes every metric, keeping the registered names and pointers
+// valid (holders of a *Counter keep writing to the same cell).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Metrics document schema identifiers (see DESIGN.md "Observability").
+const (
+	MetricsSchema        = "carat.metrics"
+	MetricsSchemaVersion = 1
+)
+
+// MetricsDocument is the versioned machine-readable encoding of a registry
+// snapshot, written by the -metrics flag of caratvm and caratbench.
+type MetricsDocument struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Snapshot
+}
+
+// WriteJSON writes the registry's snapshot as an indented, versioned JSON
+// document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := MetricsDocument{Schema: MetricsSchema, Version: MetricsSchemaVersion, Snapshot: r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

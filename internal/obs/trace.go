@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Tracer streams events in the Chrome trace_event JSON format (the
+// "JSON Array Format" with an object wrapper), loadable in Perfetto or
+// chrome://tracing. Timestamps are the VM's *simulated* cycle clock, not
+// wall time: one trace microsecond equals one modeled cycle, so a span's
+// on-screen duration is its modeled cycle cost (at the modeled 2.3 GHz a
+// trace "µs" is ~0.43 real ns; only relative widths matter).
+//
+// A nil *Tracer is the disabled state: every method is nil-receiver-safe
+// and returns immediately, so instrumentation sites call methods on a
+// possibly-nil tracer without branching. The VM hot loop additionally
+// keeps its cycle accounting out of the tracer entirely — tracing on or
+// off never changes modeled results (asserted by a differential test in
+// internal/bench).
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	clock func() uint64
+	first bool
+	pid   int
+	err   error
+}
+
+// Trace document schema identifiers. The schema/version pair rides in the
+// trace's top-level object next to the standard trace_event keys.
+const (
+	TraceSchema        = "carat.trace"
+	TraceSchemaVersion = 1
+)
+
+// NewTracer starts a trace stream on w. clock supplies simulated-cycle
+// timestamps for Instant events; it may be nil until SetClock. Call Close
+// to terminate the JSON document.
+func NewTracer(w io.Writer, clock func() uint64) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), clock: clock, first: true}
+	fmt.Fprintf(t.w, "{\"schema\":%q,\"version\":%d,\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+		TraceSchema, TraceSchemaVersion)
+	return t
+}
+
+// SetClock replaces the simulated-cycle clock (the VM installs its cycle
+// counter at Load time).
+func (t *Tracer) SetClock(clock func() uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Now reads the simulated-cycle clock (0 when no clock is installed or
+// the tracer is nil).
+func (t *Tracer) Now() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+func (t *Tracer) now() uint64 {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// BeginProcess opens a new trace process (a new pid lane) named name —
+// one per VM run, so sequential workloads in a bench sweep stay separate
+// in the viewer.
+func (t *Tracer) BeginProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pid++
+	t.event(`"name":"process_name","ph":"M","pid":` + strconv.Itoa(t.pid) +
+		`,"tid":1,"args":{"name":` + quote(name) + `}`)
+}
+
+// Arg is one key/value pair attached to a trace event's args object.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// A builds an Arg.
+func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
+
+// SpanAt emits a complete span (ph "X") covering simulated cycles
+// [startCyc, startCyc+durCyc) in category cat.
+func (t *Tracer) SpanAt(name, cat string, startCyc, durCyc uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(`"name":`)
+	b.WriteString(quote(name))
+	b.WriteString(`,"cat":`)
+	b.WriteString(quote(cat))
+	b.WriteString(`,"ph":"X","ts":`)
+	b.WriteString(strconv.FormatUint(startCyc, 10))
+	b.WriteString(`,"dur":`)
+	b.WriteString(strconv.FormatUint(durCyc, 10))
+	t.finishEvent(&b, args)
+}
+
+// Instant emits an instant event (ph "i") at the current simulated cycle.
+func (t *Tracer) Instant(name, cat string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.instantAt(name, cat, t.now(), args)
+}
+
+// InstantAt emits an instant event at an explicit simulated cycle.
+func (t *Tracer) InstantAt(name, cat string, tsCyc uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.instantAt(name, cat, tsCyc, args)
+}
+
+func (t *Tracer) instantAt(name, cat string, tsCyc uint64, args []Arg) {
+	var b strings.Builder
+	b.WriteString(`"name":`)
+	b.WriteString(quote(name))
+	b.WriteString(`,"cat":`)
+	b.WriteString(quote(cat))
+	b.WriteString(`,"ph":"i","s":"t","ts":`)
+	b.WriteString(strconv.FormatUint(tsCyc, 10))
+	t.finishEvent(&b, args)
+}
+
+// finishEvent appends pid/tid and args to a half-built event body and
+// writes it. Caller holds t.mu.
+func (t *Tracer) finishEvent(b *strings.Builder, args []Arg) {
+	pid := t.pid
+	if pid == 0 {
+		pid = 1
+	}
+	b.WriteString(`,"pid":`)
+	b.WriteString(strconv.Itoa(pid))
+	b.WriteString(`,"tid":1`)
+	if len(args) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quote(a.Key))
+			b.WriteByte(':')
+			b.WriteString(encodeValue(a.Value))
+		}
+		b.WriteByte('}')
+	}
+	t.event(b.String())
+}
+
+// event writes one event object body (without braces). Caller holds t.mu.
+func (t *Tracer) event(body string) {
+	if t.err != nil {
+		return
+	}
+	if t.first {
+		t.first = false
+	} else {
+		t.w.WriteByte(',')
+	}
+	t.w.WriteByte('\n')
+	t.w.WriteByte('{')
+	t.w.WriteString(body)
+	if _, err := t.w.WriteString("}"); err != nil {
+		t.err = err
+	}
+}
+
+// Close terminates the trace document and flushes it. Returns the first
+// write error, if any.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil {
+		return t.err
+	}
+	t.w.WriteString("\n]}\n")
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.w = nil
+	return t.err
+}
+
+// quote JSON-escapes a string. Event and metric names are plain ASCII, so
+// the simple escaper keeps output byte-stable for golden-file tests.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// encodeValue encodes an Arg value. Integers and booleans stay native;
+// everything else becomes a string.
+func encodeValue(v any) string {
+	switch x := v.(type) {
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case uint32:
+		return strconv.FormatUint(uint64(x), 10)
+	case uint:
+		return strconv.FormatUint(uint64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case int32:
+		return strconv.FormatInt(int64(x), 10)
+	case int:
+		return strconv.Itoa(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case string:
+		return quote(x)
+	default:
+		return quote(fmt.Sprint(x))
+	}
+}

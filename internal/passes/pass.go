@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"carat/internal/ir"
+	"carat/internal/obs"
 )
 
 // Pass transforms a module in place.
@@ -112,10 +113,17 @@ func (s *Stats) frac(n int) float64 {
 	return float64(n) / float64(s.GuardsInjected)
 }
 
-// Pipeline is an ordered list of passes with shared statistics.
+// Pipeline is an ordered list of passes with shared statistics. Stats stays
+// a plain value type (compilation is single-threaded and per-module); when
+// Obs is set, Run additionally publishes the totals as carat.passes.*
+// counters so compile-time accounting lands in the same registry as the
+// runtime metrics.
 type Pipeline struct {
 	Passes []Pass
 	Stats  Stats
+
+	// Obs, when non-nil, receives the carat.passes.* counters after Run.
+	Obs *obs.Registry
 }
 
 // Run applies every pass in order, verifying the module after each one.
@@ -129,7 +137,29 @@ func (p *Pipeline) Run(m *ir.Module) error {
 		}
 	}
 	p.Stats.FinishGuardStats(m)
+	p.publish()
 	return nil
+}
+
+// publish adds this module's compile-time statistics to the registry.
+// Counters accumulate across modules sharing a registry (a bench sweep).
+func (p *Pipeline) publish() {
+	if p.Obs == nil {
+		return
+	}
+	add := func(name string, v int) {
+		if v > 0 {
+			p.Obs.Counter("carat.passes." + name).Add(uint64(v))
+		}
+	}
+	add("guards_injected", p.Stats.GuardsInjected)
+	add("guards_remaining", p.Stats.GuardsRemaining)
+	add("guards_hoisted", p.Stats.Hoisted)
+	add("guards_merged", p.Stats.Merged)
+	add("guards_removed", p.Stats.Removed)
+	add("alloc_callbacks", p.Stats.AllocCallbacks)
+	add("free_callbacks", p.Stats.FreeCallbacks)
+	add("escape_callbacks", p.Stats.EscapeCallbacks)
 }
 
 // Level selects how much of the CARAT pipeline to run.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carat/internal/kernel"
+	"carat/internal/obs"
 )
 
 // MoveBreakdown is the per-move cost decomposition of Table 3, in modeled
@@ -45,6 +46,35 @@ const (
 	cycBarrier      = 400 // world-stop + resume round trip
 )
 
+// The barrier's cycBarrier cycles split across the Figure 8 barrier
+// phases for trace attribution: the kernel's request delivery (step 1),
+// interrupting the threads (2), the threads dumping register state (3),
+// the world-stop rendezvous (4), and the retire/resume round trip (11).
+// They must sum to cycBarrier so traced spans tile TotalCycles exactly.
+const (
+	cycStepRequest   = 50
+	cycStepInterrupt = 100
+	cycStepDumpRegs  = 150
+	cycStepStop      = 50
+	cycStepResume    = cycBarrier - cycStepRequest - cycStepInterrupt - cycStepDumpRegs - cycStepStop
+)
+
+// MoveStepNames are the 11 named steps of the Figure 8 move protocol, in
+// protocol order — the span names a trace of one move contains.
+var MoveStepNames = [11]string{
+	"move.request",
+	"move.interrupt_threads",
+	"move.dump_registers",
+	"move.world_stop",
+	"move.expand_range",
+	"move.find_allocations",
+	"move.alloc_dst",
+	"move.patch_escapes",
+	"move.patch_registers",
+	"move.copy_data",
+	"move.retire_resume",
+}
+
 // HandleProtect implements kernel.MoveHandler: stop the world, let the
 // kernel flip the region set, resume. The next guard sees the change
 // (§2.2).
@@ -53,7 +83,9 @@ func (r *Runtime) HandleProtect(apply func() error) error {
 	defer r.world.ResumeTheWorld()
 	r.mu.Lock()
 	r.flushLocked()
+	tr := r.tr
 	r.mu.Unlock()
+	tr.Instant("protect.apply", "protocol")
 	return apply()
 }
 
@@ -79,6 +111,10 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	var bd MoveBreakdown
 	bd.ExpandCycles += cycBarrier
 
+	// lookupCyc/scanCyc split ExpandCycles for trace attribution only;
+	// both still flow into bd.ExpandCycles unchanged.
+	var lookupCyc, scanCyc uint64
+
 	// Step 5/6: expand [src, src+len) until its boundaries split no
 	// allocation (allocations must move in their entirety, §4.3).
 	src := req.Src
@@ -86,8 +122,10 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	var affected []*Allocation
 	for {
 		bd.ExpandCycles += cycTableLookup
+		lookupCyc += cycTableLookup
 		affected = r.Table.Overlapping(src, src+length)
 		bd.ExpandCycles += uint64(len(affected)) * cycPerAllocScan
+		scanCyc += uint64(len(affected)) * cycPerAllocScan
 		grew := false
 		if len(affected) > 0 {
 			if first := affected[0]; first.Base < src {
@@ -161,10 +199,50 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	}
 
 	r.MoveStats = append(r.MoveStats, bd)
+	r.Stats.Moves.Inc()
+	r.Stats.MoveCycles.Add(bd.TotalCycles())
+	r.moveHist.Observe(bd.TotalCycles())
+	r.traceMove(&bd, src, dst, length, lookupCyc, scanCyc)
 	for _, fn := range r.moveListeners {
 		fn(src, dst, length)
 	}
 	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, nil
+}
+
+// traceMove emits one span per Figure 8 protocol step, laid end to end on
+// the simulated timeline starting at the current cycle. The 11 durations
+// tile bd.TotalCycles() exactly: the cycBarrier world-stop cost splits
+// across steps 1-4 and 11, ExpandCycles (minus the barrier) splits into
+// table lookups (step 5) and allocation scans (step 6), and the remaining
+// steps map one-to-one onto the Table 3 columns. Tracing reads the
+// breakdown after the fact and charges nothing — results are identical
+// with tracing on or off.
+func (r *Runtime) traceMove(bd *MoveBreakdown, src, dst, length, lookupCyc, scanCyc uint64) {
+	if r.tr == nil {
+		return
+	}
+	ts := r.tr.Now()
+	durs := [11]uint64{
+		cycStepRequest,
+		cycStepInterrupt,
+		cycStepDumpRegs,
+		cycStepStop,
+		lookupCyc,
+		scanCyc,
+		bd.PagesMoved * cycPageAlloc,
+		bd.PatchCycles,
+		bd.RegCycles,
+		length * cycPerByteMove,
+		cycStepResume,
+	}
+	r.tr.SpanAt("move", "protocol", ts, bd.TotalCycles(),
+		obs.A("src", src), obs.A("dst", dst), obs.A("bytes", length),
+		obs.A("allocs_moved", bd.AllocsMoved), obs.A("escapes_patched", bd.EscapesPatched),
+		obs.A("regs_patched", bd.RegsPatched))
+	for i, name := range MoveStepNames {
+		r.tr.SpanAt(name, "protocol", ts, durs[i], obs.A("step", i+1))
+		ts += durs[i]
+	}
 }
 
 // WorstCasePage returns the page-aligned base of the page overlapping the

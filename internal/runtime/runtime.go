@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"carat/internal/kernel"
+	"carat/internal/obs"
 )
 
 // World is how the runtime reaches the program's threads. The VM
@@ -32,17 +33,40 @@ type noWorld struct{}
 func (noWorld) StopTheWorld() []RegSet { return nil }
 func (noWorld) ResumeTheWorld()        {}
 
-// Stats accumulates runtime-side tracking statistics (Figures 5-7).
+// Stats is the runtime's typed view over its obs.Registry metrics
+// (Figures 5-7). Each field is a live handle into the registry under the
+// carat.runtime.* namespace; read with Get(). The runtime layer owns
+// allocation/escape *tracking* and the per-move cost breakdown — page
+// lifecycle counts (grants, frees, moves) are owned by carat.kernel.*
+// (see DESIGN.md "Observability" for the full ownership table).
 type Stats struct {
-	Allocs        uint64 // carat.alloc callbacks
-	Frees         uint64 // carat.free callbacks
-	EscapeEvents  uint64 // carat.escape callbacks (pre-batching)
-	EscapesLive   uint64 // escapes currently tracked
-	BatchFlushes  uint64
-	UntrackedEsc  uint64 // escapes whose target was not a tracked allocation
-	TrackingCycle uint64 // modeled cycles spent in tracking callbacks
-	SwapOuts      uint64
-	SwapIns       uint64
+	Allocs        *obs.Counter // carat.alloc callbacks
+	Frees         *obs.Counter // carat.free callbacks
+	EscapeEvents  *obs.Counter // carat.escape callbacks (pre-batching)
+	EscapesLive   *obs.Gauge   // escapes currently tracked
+	BatchFlushes  *obs.Counter
+	UntrackedEsc  *obs.Counter // escapes whose target was not a tracked allocation
+	TrackingCycle *obs.Counter // modeled cycles spent in tracking callbacks
+	SwapOuts      *obs.Counter
+	SwapIns       *obs.Counter
+	Moves         *obs.Counter // completed kernel-initiated moves
+	MoveCycles    *obs.Counter // total modeled cycles across all moves
+}
+
+func newStats(reg *obs.Registry) Stats {
+	return Stats{
+		Allocs:        reg.Counter("carat.runtime.allocs"),
+		Frees:         reg.Counter("carat.runtime.frees"),
+		EscapeEvents:  reg.Counter("carat.runtime.escape_events"),
+		EscapesLive:   reg.Gauge("carat.runtime.escapes_live"),
+		BatchFlushes:  reg.Counter("carat.runtime.batch_flushes"),
+		UntrackedEsc:  reg.Counter("carat.runtime.untracked_escapes"),
+		TrackingCycle: reg.Counter("carat.runtime.tracking_cycles"),
+		SwapOuts:      reg.Counter("carat.runtime.swap_outs"),
+		SwapIns:       reg.Counter("carat.runtime.swap_ins"),
+		Moves:         reg.Counter("carat.runtime.moves"),
+		MoveCycles:    reg.Counter("carat.runtime.move_cycles"),
+	}
 }
 
 // Modeled per-operation tracking costs in cycles. An allocation insert is
@@ -63,6 +87,12 @@ const (
 type Runtime struct {
 	Table *AllocationTable
 	Stats Stats
+
+	// Obs is the registry backing Stats; moveHist is the log-scale
+	// histogram of per-move total cycles (carat.runtime.move_cycles_hist).
+	Obs      *obs.Registry
+	moveHist *obs.Histogram
+	tr       *obs.Tracer
 
 	mem   *kernel.PhysMem
 	world World
@@ -102,17 +132,36 @@ type escapeEvent struct {
 const DefaultBatchSize = 1024
 
 // New creates a runtime over the given physical memory. world may be nil
-// when no threads exist yet.
+// when no threads exist yet. Metrics go to a private registry; use
+// NewWith to share one across layers.
 func New(mem *kernel.PhysMem, world World) *Runtime {
+	return NewWith(mem, world, nil)
+}
+
+// NewWith is New with an explicit metrics registry (created if nil).
+func NewWith(mem *kernel.PhysMem, world World, reg *obs.Registry) *Runtime {
 	if world == nil {
 		world = noWorld{}
 	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Runtime{
 		Table:    NewAllocationTable(),
+		Stats:    newStats(reg),
+		Obs:      reg,
+		moveHist: reg.Histogram("carat.runtime.move_cycles_hist"),
 		mem:      mem,
 		world:    world,
 		batchMax: DefaultBatchSize,
 	}
+}
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (r *Runtime) SetTracer(tr *obs.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr = tr
 }
 
 // SetWorld installs the thread controller (the VM does this at startup).
@@ -142,8 +191,8 @@ func (r *Runtime) trackAllocLocked(base, length uint64, static bool) error {
 	if _, err := r.Table.Insert(base, length, static); err != nil {
 		return err
 	}
-	r.Stats.Allocs++
-	r.Stats.TrackingCycle += cycAllocInsert
+	r.Stats.Allocs.Inc()
+	r.Stats.TrackingCycle.Add(cycAllocInsert)
 	return nil
 }
 
@@ -164,8 +213,8 @@ func (r *Runtime) TrackFree(base uint64) error {
 		_, _ = r.Table.Insert(a.Base, a.Len, true)
 		return fmt.Errorf("runtime: free of static allocation %#x", base)
 	}
-	r.Stats.Frees++
-	r.Stats.TrackingCycle += cycFree
+	r.Stats.Frees.Inc()
+	r.Stats.TrackingCycle.Add(cycFree)
 	return nil
 }
 
@@ -175,8 +224,8 @@ func (r *Runtime) TrackFree(base uint64) error {
 func (r *Runtime) TrackEscape(loc, val uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.Stats.EscapeEvents++
-	r.Stats.TrackingCycle += cycEscapeEnq
+	r.Stats.EscapeEvents.Inc()
+	r.Stats.TrackingCycle.Add(cycEscapeEnq)
 	r.batch = append(r.batch, escapeEvent{loc, val})
 	if len(r.batch) >= r.batchMax {
 		r.flushLocked()
@@ -211,13 +260,13 @@ func (r *Runtime) flushLocked() {
 			continue
 		}
 		if !r.Table.AddEscape(loc, val) {
-			r.Stats.UntrackedEsc++
+			r.Stats.UntrackedEsc.Inc()
 		}
-		r.Stats.TrackingCycle += cycEscapeProc
+		r.Stats.TrackingCycle.Add(cycEscapeProc)
 	}
 	r.batch = r.batch[:0]
-	r.Stats.BatchFlushes++
-	r.Stats.EscapesLive = uint64(r.Table.EscapeCount())
+	r.Stats.BatchFlushes.Inc()
+	r.Stats.EscapesLive.Set(uint64(r.Table.EscapeCount()))
 }
 
 // UntrackStackRange drops every non-static allocation fully inside
@@ -251,7 +300,7 @@ const tombstoneBytes = 48
 func (r *Runtime) MemoryOverheadBytes() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.Table.MemoryFootprint() + uint64(cap(r.batch))*16 + r.Stats.Frees*tombstoneBytes
+	return r.Table.MemoryFootprint() + uint64(cap(r.batch))*16 + r.Stats.Frees.Get()*tombstoneBytes
 }
 
 // EscapeHistogram returns, for each tracked allocation, its escape count —

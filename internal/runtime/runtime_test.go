@@ -224,7 +224,7 @@ func TestTrackingCallbacks(t *testing.T) {
 	}
 	rt.TrackEscape(0x20000, 0x10040)
 	rt.Flush()
-	if rt.Stats.Allocs != 1 || rt.Stats.EscapeEvents != 1 {
+	if rt.Stats.Allocs.Get() != 1 || rt.Stats.EscapeEvents.Get() != 1 {
 		t.Errorf("stats = %+v", rt.Stats)
 	}
 	if rt.Table.EscapeCount() != 1 {
@@ -276,7 +276,7 @@ func TestEscapeBatchAutoFlush(t *testing.T) {
 	for i := 0; i < DefaultBatchSize; i++ {
 		rt.TrackEscape(0x40000+uint64(i)*8, 0x10000+uint64(i))
 	}
-	if rt.Stats.BatchFlushes == 0 {
+	if rt.Stats.BatchFlushes.Get() == 0 {
 		t.Error("batch did not auto-flush at threshold")
 	}
 }
@@ -285,8 +285,8 @@ func TestEscapeToUntrackedTarget(t *testing.T) {
 	_, _, rt := newTestRuntime(t)
 	rt.TrackEscape(0x30000, 0xDEAD0)
 	rt.Flush()
-	if rt.Stats.UntrackedEsc != 1 {
-		t.Errorf("untracked escapes = %d", rt.Stats.UntrackedEsc)
+	if rt.Stats.UntrackedEsc.Get() != 1 {
+		t.Errorf("untracked escapes = %d", rt.Stats.UntrackedEsc.Get())
 	}
 }
 

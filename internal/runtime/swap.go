@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carat/internal/kernel"
+	"carat/internal/obs"
 )
 
 // Swap support (§2.2): "To make a page unavailable, we patch its affected
@@ -99,7 +100,9 @@ func (r *Runtime) SwapOut(base uint64) (uint64, error) {
 		return 0, err
 	}
 	r.swapSlots = append(r.swapSlots, rec)
-	r.Stats.SwapOuts++
+	r.Stats.SwapOuts.Inc()
+	r.tr.Instant("swap.out", "paging",
+		obs.A("slot", slot), obs.A("bytes", a.Len), obs.A("escapes", len(rec.escapes)))
 	return slot, nil
 }
 
@@ -147,7 +150,8 @@ func (r *Runtime) SwapIn(slot, newBase uint64) error {
 		}
 	}
 	r.swapSlots[slot] = nil
-	r.Stats.SwapIns++
+	r.Stats.SwapIns.Inc()
+	r.tr.Instant("swap.in", "paging", obs.A("slot", slot), obs.A("bytes", rec.length))
 	return nil
 }
 

@@ -159,8 +159,8 @@ func TestMoveVetoOnImpossibleDestination(t *testing.T) {
 	if _, err := p.RequestMove(base, 1); err == nil {
 		t.Fatal("move succeeded with no free destination")
 	}
-	if k.Stats.MoveVetoes != 1 {
-		t.Errorf("vetoes = %d, want 1", k.Stats.MoveVetoes)
+	if k.Stats.MoveVetoes.Get() != 1 {
+		t.Errorf("vetoes = %d, want 1", k.Stats.MoveVetoes.Get())
 	}
 	// The source must still be intact and accessible.
 	if !p.Regions.Check(base, 8, guard.PermRead) {

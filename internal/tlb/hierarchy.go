@@ -1,5 +1,7 @@
 package tlb
 
+import "carat/internal/obs"
+
 // Hierarchy models the full translation path of a modern x64 core
 // (§2.1/§3): a 64-entry L1 DTLB, a 1536-entry L2 STLB, and a pagewalker
 // with a paging-structure cache that skips upper levels of the radix walk
@@ -17,16 +19,32 @@ type Hierarchy struct {
 	wcCap     int
 
 	Stats HierStats
+
+	// Obs backs Stats (carat.tlb.* namespace).
+	Obs *obs.Registry
 }
 
-// HierStats counts translation events and cycles.
+// HierStats is the hierarchy's typed view over its carat.tlb.* metrics:
+// the tlb layer owns all translation-path accounting (lookups, misses,
+// walks, walk cycles, translation faults). Read fields with Get().
 type HierStats struct {
-	Lookups    uint64
-	L1Misses   uint64
-	L2Misses   uint64
-	Walks      uint64
-	WalkCycles uint64
-	Faults     uint64
+	Lookups    *obs.Counter
+	L1Misses   *obs.Counter
+	L2Misses   *obs.Counter
+	Walks      *obs.Counter
+	WalkCycles *obs.Counter
+	Faults     *obs.Counter
+}
+
+func newHierStats(reg *obs.Registry) HierStats {
+	return HierStats{
+		Lookups:    reg.Counter("carat.tlb.lookups"),
+		L1Misses:   reg.Counter("carat.tlb.l1_misses"),
+		L2Misses:   reg.Counter("carat.tlb.l2_misses"),
+		Walks:      reg.Counter("carat.tlb.walks"),
+		WalkCycles: reg.Counter("carat.tlb.walk_cycles"),
+		Faults:     reg.Counter("carat.tlb.faults"),
+	}
 }
 
 // Cycle cost constants for the walk model. A full four-level walk touches
@@ -40,13 +58,25 @@ const (
 )
 
 // NewHierarchy builds the default hierarchy over the given page table.
+// Metrics go to a private registry; use NewHierarchyWith to share one.
 func NewHierarchy(pt *PageTable) *Hierarchy {
+	return NewHierarchyWith(pt, nil)
+}
+
+// NewHierarchyWith is NewHierarchy with an explicit metrics registry
+// (created if nil).
+func NewHierarchyWith(pt *PageTable, reg *obs.Registry) *Hierarchy {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Hierarchy{
 		L1:        NewTLB(64, 4),
 		L2:        NewTLB(1536, 12),
 		PT:        pt,
 		walkCache: make(map[uint64]int),
 		wcCap:     32,
+		Stats:     newHierStats(reg),
+		Obs:       reg,
 	}
 }
 
@@ -54,23 +84,23 @@ func NewHierarchy(pt *PageTable) *Hierarchy {
 // cost beyond a TLB hit (0 for an L1 hit). A translation failure (page
 // fault) returns ok=false.
 func (h *Hierarchy) Translate(vaddr uint64) (paddr uint64, cycles uint64, ok bool) {
-	h.Stats.Lookups++
+	h.Stats.Lookups.Inc()
 	vpn := vaddr >> PageShift
 	off := vaddr & (PageSize - 1)
 	if ppn, hit := h.L1.Lookup(vpn); hit {
 		return ppn<<PageShift | off, 0, true
 	}
-	h.Stats.L1Misses++
+	h.Stats.L1Misses.Inc()
 	cycles += cycL2TLBProbe
 	if ppn, hit := h.L2.Lookup(vpn); hit {
 		h.L1.Insert(vpn, ppn)
 		return ppn<<PageShift | off, cycles, true
 	}
-	h.Stats.L2Misses++
+	h.Stats.L2Misses.Inc()
 
 	// Pagewalk with paging-structure cache: a hit on the PD prefix skips
 	// the top three levels; on the PDPT prefix, two; on the PML4, one.
-	h.Stats.Walks++
+	h.Stats.Walks.Inc()
 	levels := Levels
 	for skip := Levels - 1; skip >= 1; skip-- {
 		prefix := vpn >> uint(9*(Levels-1-skip)) << 8 // tag with skip count
@@ -82,9 +112,9 @@ func (h *Hierarchy) Translate(vaddr uint64) (paddr uint64, cycles uint64, ok boo
 	ppn, _, err := h.PT.Walk(vpn)
 	walkCycles := uint64(levels) * cycPerWalkLevel
 	cycles += walkCycles
-	h.Stats.WalkCycles += walkCycles
+	h.Stats.WalkCycles.Add(walkCycles)
 	if err != nil {
-		h.Stats.Faults++
+		h.Stats.Faults.Inc()
 		return 0, cycles, false
 	}
 	// Refill caches.
@@ -115,7 +145,7 @@ func (h *Hierarchy) DTLBMPKI(insns uint64) float64 {
 	if insns == 0 {
 		return 0
 	}
-	return float64(h.Stats.L1Misses) * 1000 / float64(insns)
+	return float64(h.Stats.L1Misses.Get()) * 1000 / float64(insns)
 }
 
 // WalksPerKI returns completed pagewalks per 1000 instructions.
@@ -123,13 +153,13 @@ func (h *Hierarchy) WalksPerKI(insns uint64) float64 {
 	if insns == 0 {
 		return 0
 	}
-	return float64(h.Stats.Walks) * 1000 / float64(insns)
+	return float64(h.Stats.Walks.Get()) * 1000 / float64(insns)
 }
 
 // AvgWalkCycles returns the mean pagewalk latency.
 func (h *Hierarchy) AvgWalkCycles() float64 {
-	if h.Stats.Walks == 0 {
+	if h.Stats.Walks.Get() == 0 {
 		return 0
 	}
-	return float64(h.Stats.WalkCycles) / float64(h.Stats.Walks)
+	return float64(h.Stats.WalkCycles.Get()) / float64(h.Stats.Walks.Get())
 }

@@ -132,8 +132,8 @@ func TestHierarchyRefill(t *testing.T) {
 	if cyc2 != 0 {
 		t.Errorf("warm hit cost %d cycles", cyc2)
 	}
-	if h.Stats.Walks != 1 {
-		t.Errorf("walks = %d, want 1", h.Stats.Walks)
+	if h.Stats.Walks.Get() != 1 {
+		t.Errorf("walks = %d, want 1", h.Stats.Walks.Get())
 	}
 }
 
@@ -142,8 +142,8 @@ func TestHierarchyFault(t *testing.T) {
 	if _, _, ok := h.Translate(0x5000); ok {
 		t.Error("translation of unmapped address succeeded")
 	}
-	if h.Stats.Faults != 1 {
-		t.Errorf("faults = %d", h.Stats.Faults)
+	if h.Stats.Faults.Get() != 1 {
+		t.Errorf("faults = %d", h.Stats.Faults.Get())
 	}
 }
 

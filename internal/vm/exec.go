@@ -7,6 +7,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/runtime"
 )
@@ -35,6 +36,7 @@ func (v *VM) callFunc(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 		return v.callBuiltin(t, f, args)
 	}
 	fi := v.funcs[f]
+	fi.prof.Calls++
 	fr := &frame{fn: f, fi: fi, regs: make([]uint64, fi.nSlots), spSave: t.sp}
 	for i := range f.Params {
 		fr.regs[fi.slotOf[f.Params[i]]] = args[i]
@@ -85,11 +87,16 @@ func (v *VM) callFunc(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 				fr.regs[fi.slotOf[phi]] = vals[i]
 			}
 			v.Instrs += uint64(len(phis))
+			fi.prof.Instrs += uint64(len(phis))
 		}
 
 		for _, in := range block.Instrs[len(phis):] {
 			v.Instrs++
-			v.Cycles += opCycles[in.Op]
+			c := opCycles[in.Op]
+			v.Cycles += c
+			v.Prof.Cat[obs.CatCompute] += c
+			fi.prof.Instrs++
+			fi.prof.Cycles += c
 			switch in.Op {
 			case ir.OpBr:
 				prev, block = block, in.Succs[0]
@@ -320,6 +327,8 @@ func (v *VM) execGuard(t *thread, fr *frame, in *ir.Instr) error {
 	if v.eval.Check(addr, size, perm) {
 		return nil
 	}
+	v.tr.Instant("guard.fault", "guard",
+		obs.A("addr", addr), obs.A("size", size), obs.A("perm", perm.String()))
 	// A failed guard aborts to the kernel (§4.1.1). A swapped-pointer
 	// poison address triggers the swap-in path: the kernel restores the
 	// allocation, the runtime patches every poisoned pointer forward
@@ -402,6 +411,7 @@ func (v *VM) translate(addr, size uint64, perm guard.Perm) (uint64, error) {
 	}
 	pa, cyc, ok := v.hier.Translate(addr)
 	v.Cycles += cyc
+	v.Prof.Cat[obs.CatPagewalk] += cyc
 	if !ok {
 		// Demand paging: a fault on a region the process owns maps the
 		// page (identity) and retries; anything else is a real fault.
@@ -411,8 +421,11 @@ func (v *VM) translate(addr, size uint64, perm guard.Perm) (uint64, error) {
 			}
 			v.hier.PT.Map(addr>>12, addr>>12)
 			v.Cycles += 600 // page-fault handling cost
+			v.Prof.Cat[obs.CatPageFault] += 600
+			v.tr.Instant("page.demand_alloc", "paging", obs.A("addr", addr))
 			pa2, cyc2, ok2 := v.hier.Translate(addr)
 			v.Cycles += cyc2
+			v.Prof.Cat[obs.CatPagewalk] += cyc2
 			if ok2 {
 				return pa2, nil
 			}
@@ -431,6 +444,8 @@ func (v *VM) callBuiltin(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 			return 0, fmt.Errorf("vm: out of heap memory (malloc %d)", args[0])
 		}
 		v.Cycles += 30
+		v.Prof.Cat[obs.CatAlloc] += 30
+		v.allocHist.Observe(args[0])
 		return addr, nil
 	case ir.FnCalloc:
 		n := args[0] * args[1]
@@ -442,6 +457,8 @@ func (v *VM) callBuiltin(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 			return 0, err
 		}
 		v.Cycles += 30 + n/16
+		v.Prof.Cat[obs.CatAlloc] += 30 + n/16
+		v.allocHist.Observe(n)
 		return addr, nil
 	case ir.FnFree:
 		if args[0] == 0 {
@@ -451,6 +468,7 @@ func (v *VM) callBuiltin(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 			return 0, err
 		}
 		v.Cycles += 25
+		v.Prof.Cat[obs.CatAlloc] += 25
 		return 0, nil
 	case ir.FnTrackAlloc:
 		if err := v.rt.TrackAlloc(args[0], args[1]); err != nil {

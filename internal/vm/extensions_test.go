@@ -229,8 +229,8 @@ func TestSwapOutAndTransparentSwapIn(t *testing.T) {
 		t.Fatal("no swap-outs happened")
 	}
 	st := v.Runtime().Stats
-	if st.SwapIns != st.SwapOuts {
-		t.Errorf("swap-ins %d != swap-outs %d", st.SwapIns, st.SwapOuts)
+	if st.SwapIns.Get() != st.SwapOuts.Get() {
+		t.Errorf("swap-ins %d != swap-outs %d", st.SwapIns.Get(), st.SwapOuts.Get())
 	}
 	if err := v.Runtime().Table.CheckInvariants(); err != nil {
 		t.Error(err)
@@ -313,7 +313,7 @@ late:
 	if ret != 42 {
 		t.Errorf("result = %d, want 42", ret)
 	}
-	if v.Kernel().Stats.PageMoves == 0 {
+	if v.Kernel().Stats.PageMoves.Get() == 0 {
 		t.Fatal("no moves happened")
 	}
 }

@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"io"
+	"testing"
+
+	"carat/internal/obs"
+	"carat/internal/passes"
+)
+
+// The <2% requirement: a VM run with tracing disabled (Config.Trace nil)
+// must cost the same as one that never heard of tracing. The hot loop
+// contains no tracer calls at all — instants fire only on faults, moves,
+// and paging events — so the disabled case is zero-cost by construction;
+// these benchmarks exist to catch a regression that puts tracer work on
+// the hot path. Compare:
+//
+//	go test ./internal/vm/ -bench VMTracer -benchtime 10x
+func benchmarkVMRun(b *testing.B, tr *obs.Tracer) {
+	m := compile(b, chaseSrc, passes.LevelTracking)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.MemBytes = 1 << 24
+		cfg.HeapBytes = 1 << 21
+		cfg.Trace = tr
+		v, err := Load(m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMTracerDisabled(b *testing.B) {
+	benchmarkVMRun(b, nil)
+}
+
+func BenchmarkVMTracerEnabled(b *testing.B) {
+	tr := obs.NewTracer(io.Discard, nil)
+	defer tr.Close()
+	benchmarkVMRun(b, tr)
+}

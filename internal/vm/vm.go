@@ -17,6 +17,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/obs"
 	"carat/internal/runtime"
 	"carat/internal/tlb"
 )
@@ -59,6 +60,15 @@ type Config struct {
 
 	// MaxInstrs aborts runaway programs (0 = no limit).
 	MaxInstrs uint64
+
+	// Obs, when set, is the shared metrics registry for all layers of
+	// this machine (kernel, runtime, tlb, vm). A private registry is
+	// created when nil.
+	Obs *obs.Registry
+
+	// Trace, when set, receives simulated-cycle trace events from every
+	// layer. nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns a reasonable configuration for running workloads.
@@ -117,6 +127,13 @@ type VM struct {
 	GuardChecks uint64
 	Output      []int64
 
+	// Prof attributes every charged cycle to a category and (for compute)
+	// a function; obsReg backs the carat.vm.* metrics published by Run.
+	Prof      *obs.CycleProfile
+	obsReg    *obs.Registry
+	tr        *obs.Tracer
+	allocHist *obs.Histogram
+
 	trackStart uint64 // rt.Stats.TrackingCycle at launch
 
 	// Move injection (Figure 9): movePolicy runs at safepoints every
@@ -146,6 +163,9 @@ func (v *VM) Process() *kernel.Process { return v.proc }
 
 // Runtime returns the CARAT runtime (nil only before Load).
 func (v *VM) Runtime() *runtime.Runtime { return v.rt }
+
+// Obs returns the metrics registry shared by this machine's layers.
+func (v *VM) Obs() *obs.Registry { return v.obsReg }
 
 // Hierarchy returns the TLB hierarchy (traditional mode only).
 func (v *VM) Hierarchy() *tlb.Hierarchy { return v.hier }
@@ -178,6 +198,7 @@ type funcInfo struct {
 	slotOf   map[ir.Value]int
 	nSlots   int
 	ptrSlots []int
+	prof     *obs.FuncProfile // resolved once at load; hot-loop updates are plain adds
 }
 
 func buildFuncInfo(f *ir.Func) *funcInfo {
@@ -211,7 +232,11 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	if err := mod.Verify(); err != nil {
 		return nil, fmt.Errorf("vm: load: %w", err)
 	}
-	k := kernel.New(cfg.MemBytes)
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	k := kernel.NewWith(cfg.MemBytes, reg)
 	proc := k.NewProcess()
 	v := &VM{
 		cfg:        cfg,
@@ -222,13 +247,26 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 		funcAt:     make(map[uint64]*ir.Func),
 		globalAddr: make(map[*ir.Global]uint64),
 		funcs:      make(map[*ir.Func]*funcInfo),
+		Prof:       obs.NewCycleProfile(),
+		obsReg:     reg,
+		tr:         cfg.Trace,
+		allocHist:  reg.Histogram("carat.vm.alloc_bytes"),
 	}
-	v.rt = runtime.New(k.Mem, nil)
+	v.rt = runtime.NewWith(k.Mem, nil, reg)
 	proc.Handler = v.rt
 	v.rt.AddMoveListener(v.onMove)
 
+	// Tracing: all layers share one tracer clocked by this VM's simulated
+	// cycle counter; each run opens its own trace process lane.
+	v.tr.SetClock(func() uint64 { return v.Cycles })
+	v.tr.BeginProcess(mod.Name)
+	k.SetTracer(v.tr)
+	v.rt.SetTracer(v.tr)
+
 	for _, f := range mod.Funcs {
-		v.funcs[f] = buildFuncInfo(f)
+		fi := buildFuncInfo(f)
+		fi.prof = v.Prof.Func(f.Name)
+		v.funcs[f] = fi
 	}
 
 	// Layout sizes. Code is position-independent by construction (the
@@ -321,13 +359,13 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	// Traditional mode: build the paging hierarchy. Pages are mapped on
 	// demand (identity), feeding the Table 2 paging model when attached.
 	if cfg.Mode == ModeTraditional {
-		v.hier = tlb.NewHierarchy(tlb.NewPageTable())
+		v.hier = tlb.NewHierarchyWith(tlb.NewPageTable(), reg)
 	}
 	v.eval = guard.NewEvaluator(cfg.GuardMech, proc.Regions)
 
 	v.sched = newScheduler(v)
 	v.rt.SetWorld(v.sched)
-	v.trackStart = v.rt.Stats.TrackingCycle
+	v.trackStart = v.rt.Stats.TrackingCycle.Get()
 	return v, nil
 }
 
@@ -374,13 +412,28 @@ func (v *VM) Run() (int64, error) {
 		return 0, fmt.Errorf("vm: module has no @main")
 	}
 	ret, err := v.sched.runMain(main)
-	v.Cycles += v.rt.Stats.TrackingCycle - v.trackStart
+	tracking := v.rt.Stats.TrackingCycle.Get() - v.trackStart
+	v.Cycles += tracking
+	v.Prof.Cat[obs.CatTracking] += tracking
 	v.Cycles += v.eval.Cycles
+	v.Prof.Cat[obs.CatGuard] += v.eval.Cycles
 	v.GuardChecks = v.eval.Checks
 	for _, bd := range v.rt.MoveStats {
 		v.Cycles += bd.TotalCycles()
+		v.Prof.Cat[obs.CatProtocol] += bd.TotalCycles()
 	}
+	v.publishMetrics()
 	return ret, err
+}
+
+// publishMetrics adds this run's totals into the carat.vm.* namespace.
+// Counters accumulate, so a bench sweep sharing one registry across
+// sequential runs sees corpus-wide totals.
+func (v *VM) publishMetrics() {
+	v.obsReg.Counter("carat.vm.instrs").Add(v.Instrs)
+	v.obsReg.Counter("carat.vm.guard_checks").Add(v.GuardChecks)
+	v.obsReg.Counter("carat.vm.guard_faults").Add(v.eval.Faults)
+	v.Prof.PublishTo(v.obsReg, "carat.vm")
 }
 
 // InjectWorstCaseMove performs one kernel-initiated move of the page

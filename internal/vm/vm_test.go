@@ -141,7 +141,7 @@ entry:
 		t.Errorf("result = %d, want 42", ret)
 	}
 	rs := v.Runtime().Stats
-	if rs.Allocs == 0 || rs.Frees != 1 || rs.EscapeEvents == 0 {
+	if rs.Allocs.Get() == 0 || rs.Frees.Get() != 1 || rs.EscapeEvents.Get() == 0 {
 		t.Errorf("tracking stats = %+v", rs)
 	}
 }
@@ -287,7 +287,7 @@ func @print_i64(%x: i64) -> void`
 			t.Fatalf("output[%d] = %d, want 255 (semantics broken by move)", i, out)
 		}
 	}
-	if v.Kernel().Stats.PageMoves == 0 {
+	if v.Kernel().Stats.PageMoves.Get() == 0 {
 		t.Error("kernel recorded no page moves")
 	}
 	if len(v.Runtime().MoveStats) != moves {
@@ -322,10 +322,10 @@ func TestTraditionalModeCountsTLBEvents(t *testing.T) {
 	if ret != 63*64/2 {
 		t.Fatalf("ret = %d", ret)
 	}
-	if v.Hierarchy().Stats.Lookups == 0 {
+	if v.Hierarchy().Stats.Lookups.Get() == 0 {
 		t.Error("no TLB lookups in traditional mode")
 	}
-	if v.Hierarchy().Stats.Walks == 0 {
+	if v.Hierarchy().Stats.Walks.Get() == 0 {
 		t.Error("no pagewalks (demand paging should miss at least once)")
 	}
 	if cfg.Paging.PageAllocs == 0 {

@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"carat/internal/ir"
 )
@@ -30,6 +31,37 @@ const (
 	// ScaleRef is larger still, for longer-running studies.
 	ScaleRef
 )
+
+// ScaleNames lists the accepted scale spellings in order.
+var ScaleNames = []string{"test", "small", "ref"}
+
+// String names the scale ("test", "small", "ref").
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleSmall:
+		return "small"
+	case ScaleRef:
+		return "ref"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// ParseScale maps a scale name to its Scale; unknown names get an error
+// that lists the valid spellings.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return ScaleTest, nil
+	case "small":
+		return ScaleSmall, nil
+	case "ref":
+		return ScaleRef, nil
+	}
+	return 0, fmt.Errorf("workload: unknown scale %q (valid scales: %s)",
+		name, strings.Join(ScaleNames, ", "))
+}
 
 // pick returns the value for the current scale.
 func (s Scale) pick(test, small, ref int64) int64 {

@@ -122,7 +122,7 @@ func TestAllRunTraditional(t *testing.T) {
 			if base != trad {
 				t.Errorf("traditional-mode result differs: %d vs %d", base, trad)
 			}
-			if vT.Hierarchy().Stats.Lookups == 0 {
+			if vT.Hierarchy().Stats.Lookups.Get() == 0 {
 				t.Error("no TLB activity in traditional mode")
 			}
 		})
@@ -167,7 +167,7 @@ func TestSwaptionsChurnsAllocations(t *testing.T) {
 	w, _ := Get("swaptions")
 	v, _ := runCfg(t, w, passes.LevelTracking, vm.ModeCARAT)
 	st := v.Runtime().Stats
-	if st.Frees < 100 || st.Allocs < 100 {
+	if st.Frees.Get() < 100 || st.Allocs.Get() < 100 {
 		t.Errorf("swaptions alloc/free churn too low: %+v", st)
 	}
 }

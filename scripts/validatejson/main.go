@@ -1,0 +1,78 @@
+// Command validatejson checks that stdin (or each file argument) is valid
+// JSON and, when the document carries a "schema" field, that the schema is
+// one this repo produces at a supported version. The Makefile smoke target
+// pipes caratbench -json output through it.
+//
+// Usage:
+//
+//	caratbench -exp all -json | go run ./scripts/validatejson
+//	go run ./scripts/validatejson trace.json metrics.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// supported maps known schema names to the highest version this tool
+// understands (kept in sync with the constants in internal/obs and
+// internal/bench).
+var supported = map[string]int{
+	"carat.bench.result": 1,
+	"carat.vm.run":       1,
+	"carat.metrics":      1,
+	"carat.trace":        1,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := validate("stdin", os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "validatejson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("stdin: ok")
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validatejson:", err)
+			os.Exit(1)
+		}
+		err = validate(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validatejson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+}
+
+func validate(name string, r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", name, err)
+	}
+	if doc.Schema == "" {
+		return nil // plain JSON without a schema header is fine
+	}
+	max, ok := supported[doc.Schema]
+	if !ok {
+		return fmt.Errorf("%s: unknown schema %q", name, doc.Schema)
+	}
+	if doc.Version < 1 || doc.Version > max {
+		return fmt.Errorf("%s: schema %s version %d unsupported (max %d)",
+			name, doc.Schema, doc.Version, max)
+	}
+	return nil
+}
