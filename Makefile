@@ -24,10 +24,11 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the observability layer's concurrency tests under the race
-# detector (the registry is the only concurrently-written shared state).
+# race runs the whole suite under the race detector: the obs registry, the
+# runtime's batched escape path, and the mmpolicy daemon are all
+# concurrently-accessed shared state.
 race:
-	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./...
 
 # smoke runs the full experiment suite at test scale with -json and
 # validates that the output parses and carries a supported schema version.

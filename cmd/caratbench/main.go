@@ -8,11 +8,14 @@
 //	caratbench -exp table3 -only canneal,mcf_s
 //	caratbench -exp table3 -json        # machine-readable document on stdout
 //	caratbench -exp table3 -trace t.json -metrics m.json
+//	caratbench -exp defrag -policy p.json
 //
 // -json replaces the text tables with one versioned JSON document
 // (schema carat.bench.result; see DESIGN.md "Observability"). -trace
 // writes a Chrome trace_event file viewable in Perfetto; -metrics writes
-// the final metrics-registry snapshot.
+// the final metrics-registry snapshot. -policy writes the decision log of
+// the last policy-daemon experiment (defrag, tiering, policy) as a
+// carat.policy document.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"carat/internal/bench"
+	"carat/internal/mmpolicy"
 	"carat/internal/obs"
 	"carat/internal/workload"
 )
@@ -34,6 +38,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event file (open in Perfetto)")
 	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
+	policyFile := flag.String("policy", "", "write the policy daemon's decision log as JSON (carat.policy)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +65,11 @@ func main() {
 	}
 	if *jsonOut || *metricsFile != "" {
 		o.Obs = obs.NewRegistry()
+	}
+
+	var policyDoc *mmpolicy.Document
+	if *policyFile != "" {
+		o.PolicySink = func(doc *mmpolicy.Document) { policyDoc = doc }
 	}
 
 	var traceClose func() error
@@ -106,6 +116,25 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintln(os.Stderr, "caratbench: metrics:", werr)
+			os.Exit(1)
+		}
+	}
+	if *policyFile != "" {
+		if policyDoc == nil {
+			fmt.Fprintln(os.Stderr, "caratbench: -policy set but no policy experiment ran (use -exp defrag, tiering, policy, or all)")
+			os.Exit(1)
+		}
+		f, err := os.Create(*policyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench:", err)
+			os.Exit(1)
+		}
+		werr := policyDoc.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "caratbench: policy:", werr)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,82 @@
+// Defrag demonstrates the memory-management policy daemon (§7): churn
+// workloads shred a small physical memory into single-page holes, and the
+// defragmentation policy drives the Figure 8 move protocol — through each
+// process's CARAT runtime — until a superpage-sized contiguous free run
+// exists again. No page tables are involved: the kernel relocates live
+// allocations and the runtimes patch every escaped pointer.
+//
+//	go run ./examples/defrag
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carat/internal/mmpolicy"
+)
+
+func main() {
+	// Three churn processes share a 512-page physical memory. Each keeps a
+	// slot array of pointers into its heap (tracked escapes), allocating
+	// and freeing 1-4 page blocks at random.
+	h, err := mmpolicy.NewHarness(mmpolicy.HarnessConfig{
+		MemBytes: 1 << 21,
+		Procs: []mmpolicy.ProcSpec{
+			{Name: "churn-a", Kind: mmpolicy.Churn, Slots: 48, MaxPages: 4, Seed: 11},
+			{Name: "churn-b", Kind: mmpolicy.Churn, Slots: 48, MaxPages: 4, Seed: 12},
+			{Name: "churn-c", Kind: mmpolicy.Churn, Slots: 48, MaxPages: 4, Seed: 13},
+		},
+		Policies: []mmpolicy.Policy{mmpolicy.NewDefrag(64)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: fragment. The daemon sleeps while the workloads churn.
+	if err := h.Run(500); err != nil {
+		log.Fatal(err)
+	}
+	before := h.K.Alloc.FragStats()
+	fmt.Printf("after churn: %d/%d pages free in %d runs, largest run %d pages (frag score %.2f)\n",
+		before.FreePages, before.TotalPages, before.FreeRuns, before.LargestRun, before.Score)
+
+	// Phase 2: compact. Each tick the policy picks the cheapest 64-page
+	// window, isolates it from allocation, and moves its occupants out.
+	h.D.CaptureFragBefore()
+	ticks := 0
+	for ticks < 50 {
+		consumed, err := h.D.Tick(h.Cycles)
+		h.Cycles += consumed
+		if err != nil {
+			log.Fatal(err)
+		}
+		ticks++
+		if h.K.Alloc.FragStats().LargestRun >= 64 {
+			break
+		}
+	}
+	after := h.K.Alloc.FragStats()
+	fmt.Printf("after %d daemon ticks: largest run %d pages (frag score %.2f)\n",
+		ticks, after.LargestRun, after.Score)
+
+	// Every decision carries its modeled cost in the same cycle units as
+	// the paper's Table 3 breakdown.
+	doc := h.D.Report()
+	fmt.Printf("\ndecision log (%d moves, %d vetoes, %d daemon cycles):\n",
+		doc.Totals.Moves, doc.Totals.Vetoes, doc.Totals.DaemonCycles)
+	for i, dec := range doc.Decisions {
+		if i >= 8 {
+			fmt.Printf("  ... %d more\n", len(doc.Decisions)-i)
+			break
+		}
+		fmt.Printf("  tick %d: %s %s %s base=%#x pages=%d cost=%d cycles (%s)\n",
+			dec.Tick, dec.Policy, dec.Action, dec.Proc, dec.Base, dec.Pages, dec.Cycles, dec.Reason)
+	}
+
+	// The proof: every process still finds every one of its stamped
+	// allocations through its (possibly patched) pointers.
+	if err := h.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintegrity verified: every pointer still reaches its data")
+}

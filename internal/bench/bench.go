@@ -14,6 +14,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/mmpolicy"
 	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/vm"
@@ -35,6 +36,9 @@ type Options struct {
 	Obs *obs.Registry
 	// Trace, when non-nil, receives trace events from every VM run.
 	Trace *obs.Tracer
+	// PolicySink, when non-nil, receives the carat.policy document of each
+	// policy-daemon experiment (defrag, tiering, policy) after it runs.
+	PolicySink func(*mmpolicy.Document)
 }
 
 // DefaultOptions returns the standard configuration for scale s.

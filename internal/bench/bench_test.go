@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"carat/internal/mmpolicy"
 	"carat/internal/workload"
 )
 
@@ -245,8 +246,8 @@ func TestRunByIDAndPrinting(t *testing.T) {
 	if err := RunByID("nosuch", o, &buf); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
-	if len(Experiments()) != 13 {
-		t.Errorf("experiment registry has %d entries, want 13", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Errorf("experiment registry has %d entries, want 16", len(Experiments()))
 	}
 }
 
@@ -271,5 +272,84 @@ func TestAblationCapsule(t *testing.T) {
 	}
 	if r.GeoSpeedup < 1.0 {
 		t.Errorf("capsule geomean speedup %.3f below 1.0", r.GeoSpeedup)
+	}
+}
+
+func TestDefragRestoresSuperpageRun(t *testing.T) {
+	r, err := Defrag(DefaultOptions(workload.ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FragBefore.LargestRun >= r.TargetRun {
+		t.Errorf("churn phase did not fragment: largest run %d before compaction",
+			r.FragBefore.LargestRun)
+	}
+	if !r.Restored {
+		t.Errorf("daemon failed to assemble %d-page run (largest %d after %d ticks)",
+			r.TargetRun, r.FragAfter.LargestRun, r.Ticks)
+	}
+	if !r.Verified {
+		t.Error("harness integrity not verified")
+	}
+	if r.Moves == 0 {
+		t.Error("no compaction moves recorded")
+	}
+	// Per-move costs must decompose like Table 3: a real total built from
+	// patch and copy work.
+	if r.Breakdown.TotalCost <= 0 || r.Breakdown.AllocAndMove <= 0 {
+		t.Errorf("degenerate move breakdown: %+v", r.Breakdown)
+	}
+	if r.Policy == nil || r.Policy.Schema != "carat.policy" {
+		t.Error("missing or mislabeled policy document")
+	}
+}
+
+func TestTieringSwapsUnderPressure(t *testing.T) {
+	r, err := Tiering(DefaultOptions(workload.ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SwapOuts == 0 {
+		t.Error("no evictions despite pressure")
+	}
+	if r.SwapIns == 0 {
+		t.Error("nothing faulted back in")
+	}
+	if !r.Verified {
+		t.Error("harness integrity not verified")
+	}
+}
+
+func TestPolicyPressureRun(t *testing.T) {
+	r, err := Policy(DefaultOptions(workload.ScaleTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Error("harness integrity not verified")
+	}
+	if r.Ticks == 0 {
+		t.Error("daemon never ticked")
+	}
+	total := r.Totals.Moves + r.Totals.SwapOuts
+	if total == 0 {
+		t.Error("no policy activity under pressure")
+	}
+	if r.Totals.DaemonCycles == 0 {
+		t.Error("daemon overhead unaccounted")
+	}
+	var sink int
+	o := DefaultOptions(workload.ScaleTest)
+	o.PolicySink = func(doc *mmpolicy.Document) {
+		sink++
+		if doc == nil || len(doc.Decisions) == 0 {
+			t.Error("sink received empty document")
+		}
+	}
+	if _, err := Policy(o); err != nil {
+		t.Fatal(err)
+	}
+	if sink != 1 {
+		t.Errorf("policy sink called %d times, want 1", sink)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/mmpolicy"
 	"carat/internal/passes"
 	"carat/internal/vm"
 )
@@ -38,7 +39,8 @@ type Table2Result struct {
 // migrationPeriod models the rare kernel-initiated migrations (NUMA
 // balancing, compaction): roughly one per hundred thousand demand
 // allocations, which lands the move rates deep below 1/s as the paper
-// measures.
+// measures. The pacing itself is mmpolicy.RareMigration — the same policy
+// object the Figure 9 injector uses — so both figures share one model.
 const migrationPeriod = 100_000
 
 // Table2 runs every benchmark uninstrumented under the traditional model
@@ -56,7 +58,7 @@ func Table2(o Options) (*Table2Result, error) {
 		staticPages := staticFootprintPages(m, o)
 		initial := initialPages(m)
 		paging := kernel.NewPagingModel(staticPages, initial)
-		paging.MigrationPeriod = migrationPeriod
+		paging.Migrator = mmpolicy.NewRareMigration(migrationPeriod)
 
 		cfg := o.vmConfig(vm.ModeTraditional, guard.MechRange)
 		cfg.Paging = paging

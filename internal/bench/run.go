@@ -51,6 +51,12 @@ func Experiments() []Experiment {
 			func(o Options) (Result, error) { return AblationAllocGranularity(o) }},
 		{"abl-capsule", "Ablation: capsule vs multi-region layout",
 			func(o Options) (Result, error) { return AblationCapsule(o) }},
+		{"defrag", "Policy daemon: defragmentation to a superpage run",
+			func(o Options) (Result, error) { return Defrag(o) }},
+		{"tiering", "Policy daemon: hot/cold tiering via swap",
+			func(o Options) (Result, error) { return Tiering(o) }},
+		{"policy", "Policy daemon: multi-process pressure, all policies",
+			func(o Options) (Result, error) { return Policy(o) }},
 	}
 }
 

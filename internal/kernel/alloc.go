@@ -13,6 +13,16 @@ type PageAllocator struct {
 	pages   uint64
 	free    uint64
 	scanPos uint64 // next-fit hint
+
+	// isoStart/isoLen, when isoLen != 0, exclude a page window from
+	// allocation: free pages inside it are treated as busy by Alloc. This
+	// models Linux's MIGRATE_ISOLATE pageblock isolation — a compaction
+	// daemon isolates its target window so move destinations cannot land
+	// inside the run it is trying to assemble.
+	isoStart, isoLen uint64
+	// prefStart/prefLen, when prefLen != 0, is a window Alloc tries first
+	// (NUMA home-node placement preference).
+	prefStart, prefLen uint64
 }
 
 // NewPageAllocator manages n pages; page 0 is permanently reserved so that
@@ -59,7 +69,7 @@ func (a *PageAllocator) Alloc(n uint64) (uint64, error) {
 		}
 		var run, start uint64
 		for p := from; p < to; p++ {
-			if a.inUse(p) {
+			if a.blocked(p) {
 				run = 0
 				continue
 			}
@@ -73,7 +83,14 @@ func (a *PageAllocator) Alloc(n uint64) (uint64, error) {
 		}
 		return 0, false
 	}
-	start, ok := try(a.scanPos, a.pages)
+	var start uint64
+	ok := false
+	if a.prefLen != 0 {
+		start, ok = try(a.prefStart, a.prefStart+a.prefLen)
+	}
+	if !ok {
+		start, ok = try(a.scanPos, a.pages)
+	}
 	if !ok {
 		start, ok = try(1, a.scanPos+n)
 	}
@@ -114,4 +131,88 @@ func (a *PageAllocator) Free(addr, n uint64) error {
 func (a *PageAllocator) Reserved(addr uint64) bool {
 	p := addr / PageSize
 	return p < a.pages && a.inUse(p)
+}
+
+// blocked reports whether Alloc must skip page p: in use, or free but
+// inside the isolation window.
+func (a *PageAllocator) blocked(p uint64) bool {
+	if a.inUse(p) {
+		return true
+	}
+	return a.isoLen != 0 && p >= a.isoStart && p < a.isoStart+a.isoLen
+}
+
+// Isolate excludes the page window [start, start+pages) from allocation
+// until ClearIsolation: free pages inside it are skipped by Alloc. Frees
+// are unaffected, so a compaction pass can drain the window while keeping
+// new allocations (including move destinations) out of it.
+func (a *PageAllocator) Isolate(start, pages uint64) {
+	a.isoStart, a.isoLen = start, pages
+}
+
+// ClearIsolation lifts the isolation window.
+func (a *PageAllocator) ClearIsolation() { a.isoLen = 0 }
+
+// Prefer makes Alloc try the page window [start, start+pages) before the
+// regular next-fit scan, until ClearPreference. Allocations that do not
+// fit the window fall back to the whole arena.
+func (a *PageAllocator) Prefer(start, pages uint64) {
+	a.prefStart, a.prefLen = start, pages
+}
+
+// ClearPreference lifts the placement preference.
+func (a *PageAllocator) ClearPreference() { a.prefStart, a.prefLen = 0, 0 }
+
+// FragStats summarizes external fragmentation from the raw bitmap (the
+// isolation window does not count as busy here): the free-run histogram
+// and largest contiguous free run a defragmentation policy steers by.
+type FragStats struct {
+	TotalPages uint64 `json:"total_pages"`
+	FreePages  uint64 `json:"free_pages"`
+	// FreeRuns counts maximal runs of contiguous free pages.
+	FreeRuns uint64 `json:"free_runs"`
+	// LargestRun is the longest contiguous free run, in pages.
+	LargestRun uint64 `json:"largest_run"`
+	// RunHist[i] counts free runs with length in [2^i, 2^(i+1)).
+	RunHist []uint64 `json:"run_hist"`
+	// Score is 1 - LargestRun/FreePages: 0 when all free memory is one
+	// run, approaching 1 as free memory shatters into single pages.
+	Score float64 `json:"score"`
+}
+
+// FragStats scans the bitmap and returns the current fragmentation
+// picture.
+func (a *PageAllocator) FragStats() FragStats {
+	fs := FragStats{TotalPages: a.pages, FreePages: a.free}
+	var run uint64
+	endRun := func() {
+		if run == 0 {
+			return
+		}
+		fs.FreeRuns++
+		if run > fs.LargestRun {
+			fs.LargestRun = run
+		}
+		bucket := 0
+		for r := run; r > 1; r >>= 1 {
+			bucket++
+		}
+		for len(fs.RunHist) <= bucket {
+			fs.RunHist = append(fs.RunHist, 0)
+		}
+		fs.RunHist[bucket]++
+		run = 0
+	}
+	for p := uint64(0); p < a.pages; p++ {
+		if a.inUse(p) {
+			endRun()
+		} else {
+			run++
+		}
+	}
+	endRun()
+	if fs.FreePages > 0 {
+		fs.Score = 1 - float64(fs.LargestRun)/float64(fs.FreePages)
+	}
+	return fs
 }

@@ -118,6 +118,127 @@ func TestPageAllocatorContiguity(t *testing.T) {
 	}
 }
 
+func TestFragStatsOnFragmentedArena(t *testing.T) {
+	a := NewPageAllocator(16)
+	// Same fragmentation as TestPageAllocatorContiguity: all 15 usable
+	// pages allocated singly, then every other one freed — pages 1, 3,
+	// ..., 15 become eight isolated free pages.
+	var addrs []uint64
+	for {
+		addr, err := a.Alloc(1)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, addr)
+	}
+	for i := 0; i < len(addrs); i += 2 {
+		if err := a.Free(addrs[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := a.FragStats()
+	if fs.TotalPages != 16 || fs.FreePages != 8 {
+		t.Fatalf("stats = %+v, want 16 total / 8 free", fs)
+	}
+	if fs.FreeRuns != 8 || fs.LargestRun != 1 {
+		t.Errorf("runs = %d largest = %d, want 8 single-page runs", fs.FreeRuns, fs.LargestRun)
+	}
+	if len(fs.RunHist) != 1 || fs.RunHist[0] != 8 {
+		t.Errorf("run histogram = %v, want [8]", fs.RunHist)
+	}
+	if fs.Score != 1-1.0/8 {
+		t.Errorf("score = %v, want %v", fs.Score, 1-1.0/8)
+	}
+
+	// Compacting by hand (free everything) collapses to one run.
+	for i := 1; i < len(addrs); i += 2 {
+		if err := a.Free(addrs[i], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs = a.FragStats()
+	if fs.FreeRuns != 1 || fs.LargestRun != 15 || fs.Score != 0 {
+		t.Errorf("after compaction: %+v, want one 15-page run, score 0", fs)
+	}
+	if len(fs.RunHist) != 4 || fs.RunHist[3] != 1 {
+		t.Errorf("run histogram = %v, want one run in the [8,16) bucket", fs.RunHist)
+	}
+}
+
+func TestFreeErrorPaths(t *testing.T) {
+	a := NewPageAllocator(16)
+	addr, err := a.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addr+8, 1); err == nil {
+		t.Error("unaligned free accepted")
+	}
+	if err := a.Free(addr, 20); err == nil {
+		t.Error("out-of-range free accepted")
+	}
+	if err := a.Free(15*PageSize, 2); err == nil {
+		t.Error("free straddling memory end accepted")
+	}
+	if err := a.Free(addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addr, 2); err == nil {
+		t.Error("double free accepted")
+	}
+	// A failed free must not corrupt the free count.
+	if a.FreePages() != 15 {
+		t.Errorf("free pages = %d, want 15", a.FreePages())
+	}
+}
+
+func TestIsolationExcludesWindowFromAllocation(t *testing.T) {
+	a := NewPageAllocator(64)
+	a.Isolate(1, 32) // pages [1,33) off limits
+	for i := 0; i < 4; i++ {
+		addr, err := a.Alloc(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := addr / PageSize; p < 33 {
+			t.Errorf("allocation %d landed on isolated page %d", i, p)
+		}
+	}
+	// The isolated window still counts as free, so a too-large request
+	// fails on contiguity, not accounting.
+	if _, err := a.Alloc(32); err == nil {
+		t.Error("allocation inside isolated window succeeded")
+	}
+	a.ClearIsolation()
+	if _, err := a.Alloc(32); err != nil {
+		t.Errorf("allocation after ClearIsolation failed: %v", err)
+	}
+}
+
+func TestPreferenceSteersAllocation(t *testing.T) {
+	a := NewPageAllocator(64)
+	a.Prefer(40, 24) // prefer the upper third
+	addr, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := addr / PageSize; p < 40 {
+		t.Errorf("preferred allocation landed at page %d, want >= 40", p)
+	}
+	// A request larger than the preferred window falls back to the rest.
+	big, err := a.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := big / PageSize; p >= 40 {
+		t.Errorf("oversized allocation landed at page %d inside the window", p)
+	}
+	a.ClearPreference()
+	if _, err := a.Alloc(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPageAllocatorExhaustion(t *testing.T) {
 	a := NewPageAllocator(8)
 	if _, err := a.Alloc(8); err == nil { // only 7 available
@@ -302,7 +423,9 @@ func TestPagingModelDemandPaging(t *testing.T) {
 
 func TestPagingModelMigrations(t *testing.T) {
 	m := NewPagingModel(100, 0)
-	m.MigrationPeriod = 25
+	// Period-25 migrator through the policy interface (mmpolicy's
+	// RareMigration has the same firing pattern for unit increments).
+	m.Migrator = MigratorFunc(func(allocs uint64) bool { return allocs%25 == 0 })
 	for p := uint64(0); p < 100; p++ {
 		m.Touch(p * PageSize)
 	}

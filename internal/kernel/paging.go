@@ -23,13 +23,30 @@ type PagingModel struct {
 	// PageMoves counts kernel-initiated migrations of mapped pages.
 	PageMoves uint64
 
-	// MigrationPeriod, when nonzero, moves one resident page every N
-	// allocations, modeling rare NUMA/compaction migrations. The paper
-	// measures between 0 and 52 moves over entire benchmark runs.
-	MigrationPeriod uint64
+	// Migrator, when non-nil, is consulted after every demand allocation
+	// and decides whether a rare kernel-initiated migration (NUMA
+	// balancing, compaction, KSM) fires. The paper measures between 0 and
+	// 52 moves over entire benchmark runs; mmpolicy.RareMigration is the
+	// standard implementation.
+	Migrator Migrator
 
 	resident map[uint64]struct{}
 }
+
+// Migrator is the policy hook behind the paging model's rare-migration
+// events: Due is called with the cumulative demand-allocation count and
+// reports whether a migration should fire now. The same interface paces
+// the VM's move injection, so the Table 2 model and the Figure 9 injector
+// share one policy mechanism.
+type Migrator interface {
+	Due(now uint64) bool
+}
+
+// MigratorFunc adapts a plain function to the Migrator interface.
+type MigratorFunc func(now uint64) bool
+
+// Due implements Migrator.
+func (f MigratorFunc) Due(now uint64) bool { return f(now) }
 
 // NewPagingModel creates a model with the given static footprint and
 // initial resident set (both in pages). The initial pages count as
@@ -48,8 +65,8 @@ func NewPagingModel(staticPages, initialPages uint64) *PagingModel {
 }
 
 // Touch records an access to the page containing addr. A first touch is a
-// demand-paging allocation; depending on MigrationPeriod it may also
-// trigger a migration event.
+// demand-paging allocation; the Migrator may additionally decide it
+// triggers a migration event.
 func (m *PagingModel) Touch(addr uint64) {
 	page := addr / PageSize
 	if _, ok := m.resident[page]; ok {
@@ -57,7 +74,7 @@ func (m *PagingModel) Touch(addr uint64) {
 	}
 	m.resident[page] = struct{}{}
 	m.PageAllocs++
-	if m.MigrationPeriod != 0 && m.PageAllocs%m.MigrationPeriod == 0 {
+	if m.Migrator != nil && m.Migrator.Due(m.PageAllocs) {
 		m.PageMoves++
 	}
 }

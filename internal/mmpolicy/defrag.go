@@ -1,0 +1,130 @@
+package mmpolicy
+
+import (
+	"carat/internal/kernel"
+)
+
+// Defrag is the compaction policy (§7 "defragmentation for superpages"):
+// when the largest contiguous free run drops below TargetRun pages, it
+// picks the page window cheapest to vacate, isolates it from allocation
+// (so move destinations cannot land inside it), and issues change
+// requests until the window — a superpage candidate — is free.
+type Defrag struct {
+	// TargetRun is the contiguous free run to assemble, in pages. 512
+	// 4 KB pages would make a 2 MB superpage; the experiments use 64 to
+	// keep simulated memories small.
+	TargetRun uint64
+	// MaxMovesPerTick bounds compaction work per wakeup, so the daemon
+	// amortizes the cost over many ticks instead of stalling the system.
+	MaxMovesPerTick int
+}
+
+// NewDefrag returns a defragmentation policy assembling targetRun pages.
+func NewDefrag(targetRun uint64) *Defrag {
+	return &Defrag{TargetRun: targetRun, MaxMovesPerTick: 8}
+}
+
+// Name implements Policy.
+func (p *Defrag) Name() string { return "defrag" }
+
+// Tick implements Policy.
+func (p *Defrag) Tick(d *Daemon, now uint64) error {
+	fs := d.K.Alloc.FragStats()
+	d.chargeScan(fs.TotalPages * cycPerPageScan)
+	if p.TargetRun == 0 || fs.LargestRun >= p.TargetRun || fs.FreePages < p.TargetRun {
+		return nil
+	}
+	start, ok := p.bestWindow(d)
+	if !ok {
+		return nil
+	}
+	// Isolate the window: the kernel's destination negotiation allocates
+	// through the same PageAllocator, so without isolation a move's
+	// destination could land inside the run we are assembling.
+	d.K.Alloc.Isolate(start, p.TargetRun)
+	defer d.K.Alloc.ClearIsolation()
+
+	moves := 0
+	pg, end := start, start+p.TargetRun
+	for pg < end && moves < p.MaxMovesPerTick {
+		addr := pg * kernel.PageSize
+		if !d.K.Alloc.Reserved(addr) {
+			pg++
+			continue
+		}
+		mp, reg, ok := d.owner(addr)
+		if !ok {
+			// An unmanaged (unmovable) page: this window cannot be
+			// assembled; give up until the layout changes.
+			return nil
+		}
+		res, err := mp.Proc.RequestMove(addr, 1)
+		if err != nil {
+			// Vetoed (e.g. no destination fits). Skip past the owning
+			// region and keep draining what we can.
+			d.record(now, p.Name(), ActionVeto, mp.Name, addr, 0, 0, err.Error())
+			pg = reg.End() / kernel.PageSize
+			continue
+		}
+		moves++
+		bd := lastBreakdown(mp.RT)
+		d.record(now, p.Name(), ActionMove, mp.Name, res.Src, res.Pages,
+			bd.TotalCycles(), "compaction")
+		d.stats.DefragMove.Inc()
+		// The move vacated [res.Src, res.Src+res.Pages); rescan from pg.
+	}
+	return nil
+}
+
+// bestWindow slides a TargetRun-sized window over the page bitmap and
+// returns the start of the window with the fewest occupied pages —
+// cheapest to vacate — skipping windows containing pages the daemon
+// cannot move (pages owned by no managed process, and page 0).
+func (p *Defrag) bestWindow(d *Daemon) (uint64, bool) {
+	total := d.K.Alloc.TotalPages()
+	if total <= p.TargetRun {
+		return 0, false
+	}
+	used := make([]bool, total)
+	unmovable := make([]bool, total)
+	unmovable[0] = true
+	for pg := uint64(1); pg < total; pg++ {
+		addr := pg * kernel.PageSize
+		if d.K.Alloc.Reserved(addr) {
+			used[pg] = true
+			if _, _, ok := d.owner(addr); !ok {
+				unmovable[pg] = true
+			}
+		}
+	}
+	d.chargeScan(total * cycPerPageScan)
+
+	bestStart, bestUsed := uint64(0), int(p.TargetRun)+1
+	usedCnt, badCnt := 0, 0
+	for pg := uint64(0); pg < total; pg++ {
+		if used[pg] {
+			usedCnt++
+		}
+		if unmovable[pg] {
+			badCnt++
+		}
+		if pg >= p.TargetRun {
+			if used[pg-p.TargetRun] {
+				usedCnt--
+			}
+			if unmovable[pg-p.TargetRun] {
+				badCnt--
+			}
+		}
+		if pg >= p.TargetRun-1 {
+			start := pg + 1 - p.TargetRun
+			if badCnt == 0 && usedCnt < bestUsed {
+				bestStart, bestUsed = start, usedCnt
+			}
+		}
+	}
+	if bestUsed > int(p.TargetRun) {
+		return 0, false
+	}
+	return bestStart, true
+}

@@ -1,0 +1,64 @@
+package mmpolicy
+
+// Tiering is the hot/cold memory-tiering policy (§2.2 swap, §7): under
+// memory pressure it evicts the coldest allocations — lowest decayed
+// access heat — to swap via runtime.SwapOut, releasing their frames. A
+// later touch faults on the poison pointer and Daemon.FaultIn restores
+// the allocation wherever free frames exist (running direct reclaim if
+// none do).
+type Tiering struct {
+	// LowWater starts eviction when the free-page fraction drops below
+	// it; eviction continues until HighWater is restored.
+	LowWater  float64
+	HighWater float64
+	// MaxSwapsPerTick bounds eviction work per wakeup.
+	MaxSwapsPerTick int
+	// Decay multiplies every heat entry per tick, aging old accesses out
+	// (0 < Decay < 1).
+	Decay float64
+}
+
+// NewTiering returns a tiering policy with Linux-kswapd-like watermarks.
+func NewTiering() *Tiering {
+	return &Tiering{LowWater: 0.25, HighWater: 0.40, MaxSwapsPerTick: 8, Decay: 0.5}
+}
+
+// Name implements Policy.
+func (p *Tiering) Name() string { return "tiering" }
+
+// swapMaxBytes mirrors the runtime's swap-slot offset encoding limit (16
+// offset bits): larger allocations cannot be swapped.
+const swapMaxBytes = 1 << 16
+
+// Tick implements Policy.
+func (p *Tiering) Tick(d *Daemon, now uint64) error {
+	var entries uint64
+	for _, mp := range d.procs {
+		mp.mu.Lock()
+		for base := range mp.heat {
+			mp.heat[base] *= p.Decay
+			entries++
+		}
+		mp.mu.Unlock()
+	}
+	d.chargeScan(entries * cycPerPageScan)
+
+	alloc := d.K.Alloc
+	total := float64(alloc.TotalPages())
+	freeFrac := float64(alloc.FreePages()) / total
+	if freeFrac >= p.LowWater {
+		return nil
+	}
+	skip := make(map[uint64]bool)
+	for swaps := 0; swaps < p.MaxSwapsPerTick && freeFrac < p.HighWater; {
+		_, evicted, any := d.evictColdest(p.Name(), skip, now, "cold")
+		if !any {
+			break
+		}
+		if evicted {
+			swaps++
+			freeFrac = float64(alloc.FreePages()) / total
+		}
+	}
+	return nil
+}

@@ -122,6 +122,87 @@ func TestSwapInterleavedWithPageMove(t *testing.T) {
 	}
 }
 
+func TestSwapInAfterCompactionMoveOfEscapeHolder(t *testing.T) {
+	// The defragmentation daemon compacts memory while allocations sit in
+	// swap: SwapOut a victim, then move the NEIGHBORING allocation that
+	// holds the victim's (now poisoned) pointer with an allocation-
+	// granularity compaction move. SwapIn must patch the escape at its
+	// post-compaction location — and the poison must survive the move
+	// verbatim (a poison value is not a heap pointer, so the move's
+	// escape-patch pass must leave it alone).
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(6*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := base // page-aligned victim allocation
+	if err := rt.TrackAlloc(victim, 256); err != nil {
+		t.Fatal(err)
+	}
+	holder := base + kernel.PageSize
+	if err := rt.TrackAlloc(holder, 512); err != nil {
+		t.Fatal(err)
+	}
+	loc := holder + 24
+	k.Mem.Store64(loc, victim+8)
+	rt.TrackEscape(loc, victim+8)
+	// The holder is itself escaped (so the compaction move has real escape
+	// work) — track the self-referential style used by linked structures.
+	selfLoc := base + 4*kernel.PageSize
+	if err := rt.TrackAlloc(selfLoc, 64); err != nil {
+		t.Fatal(err)
+	}
+	k.Mem.Store64(selfLoc, holder+24)
+	rt.TrackEscape(selfLoc, holder+24)
+	rt.Flush()
+
+	slot, err := rt.SwapOut(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := k.Mem.Load64(loc)
+	if s, off, ok := DecodeSwapPoison(poison); !ok || s != slot || off != 8 {
+		t.Fatalf("escape not poisoned: %#x", poison)
+	}
+
+	// Compact: move the holder allocation to the far end of the region.
+	dst := base + 5*kernel.PageSize
+	bd, err := rt.MoveAllocationTo(holder, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.ExpandCycles != 0 {
+		t.Errorf("allocation-granularity move charged expand cycles (%d)", bd.ExpandCycles)
+	}
+	movedLoc := loc - holder + dst
+	if got := k.Mem.Load64(movedLoc); got != poison {
+		t.Fatalf("poison corrupted by compaction move: %#x, want %#x", got, poison)
+	}
+	// The pointer TO the moved location was patched forward.
+	if got := k.Mem.Load64(selfLoc); got != movedLoc {
+		t.Fatalf("holder escape not patched: %#x, want %#x", got, movedLoc)
+	}
+
+	// Swap back in: the swap record must have followed the location move.
+	newBase := base + 3*kernel.PageSize
+	if err := rt.SwapIn(slot, newBase); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Mem.Load64(movedLoc); got != newBase+8 {
+		t.Errorf("post-compaction escape after swap-in = %#x, want %#x", got, newBase+8)
+	}
+	// The stale pre-move location must NOT have been written.
+	if got := k.Mem.Load64(loc); got != 0 {
+		t.Errorf("swap-in wrote through the stale location: %#x", got)
+	}
+	if a := rt.Table.Covering(newBase); a == nil || len(a.Escapes) != 1 {
+		t.Error("swapped-in allocation missing its escape")
+	}
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSwapOutRejectsOversizedAndUntracked(t *testing.T) {
 	_, _, rt := newTestRuntime(t)
 	if _, err := rt.SwapOut(0x9999); err == nil {

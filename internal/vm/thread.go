@@ -138,8 +138,7 @@ func (t *thread) safepoint() error {
 	if v.cfg.MaxInstrs > 0 && v.Instrs > v.cfg.MaxInstrs {
 		return fmt.Errorf("vm: instruction limit exceeded (%d)", v.cfg.MaxInstrs)
 	}
-	if v.movePolicy != nil && v.Instrs >= v.nextMoveAt {
-		v.nextMoveAt = v.Instrs + v.movePeriod
+	if v.movePolicy != nil && v.moveTrigger.Due(v.Instrs) {
 		if err := v.movePolicy(); err != nil {
 			return err
 		}

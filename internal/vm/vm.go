@@ -17,6 +17,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
+	"carat/internal/mmpolicy"
 	"carat/internal/obs"
 	"carat/internal/runtime"
 	"carat/internal/tlb"
@@ -136,19 +137,18 @@ type VM struct {
 
 	trackStart uint64 // rt.Stats.TrackingCycle at launch
 
-	// Move injection (Figure 9): movePolicy runs at safepoints every
-	// movePeriod retired instructions.
-	movePolicy func() error
-	movePeriod uint64
-	nextMoveAt uint64
+	// Move injection (Figure 9): movePolicy runs at safepoints, paced on
+	// retired instructions by the same rare-migration policy the paging
+	// model uses (mmpolicy.RareMigration).
+	movePolicy  func() error
+	moveTrigger *mmpolicy.RareMigration
 }
 
 // SetMovePolicy arranges for fn to run at a safepoint every period retired
 // instructions — the Figure 9 page-move injector. Call before Run.
 func (v *VM) SetMovePolicy(period uint64, fn func() error) {
-	v.movePeriod = period
 	v.movePolicy = fn
-	v.nextMoveAt = period
+	v.moveTrigger = mmpolicy.NewRareMigration(period)
 }
 
 // Kernel returns the VM's kernel, for experiment harnesses that inject

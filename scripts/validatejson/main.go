@@ -24,6 +24,7 @@ var supported = map[string]int{
 	"carat.vm.run":       1,
 	"carat.metrics":      1,
 	"carat.trace":        1,
+	"carat.policy":       1,
 }
 
 func main() {
