@@ -3,6 +3,8 @@
 # machine-readable output end to end.
 
 GO ?= go
+# WORKERS sets the caratbench worker-pool width for smoke (0 = GOMAXPROCS).
+WORKERS ?= 0
 
 .PHONY: all fmt vet build test race smoke check
 
@@ -33,6 +35,6 @@ race:
 # smoke runs the full experiment suite at test scale with -json and
 # validates that the output parses and carries a supported schema version.
 smoke: build
-	$(GO) run ./cmd/caratbench -exp all -scale test -json | $(GO) run ./scripts/validatejson
+	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) | $(GO) run ./scripts/validatejson
 
 check: fmt vet build test race

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"carat/internal/bench"
@@ -39,6 +40,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event file (open in Perfetto)")
 	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
 	policyFile := flag.String("policy", "", "write the policy daemon's decision log as JSON (carat.policy)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker-pool width for per-workload experiment legs (1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +63,7 @@ func main() {
 	}
 
 	o := bench.DefaultOptions(sc)
+	o.Workers = *workers
 	if *only != "" {
 		o.Only = strings.Split(*only, ",")
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	caratc [-level none|guards|guards-opt|carat|tracking-only] [-emit] [-stats] file.cir | file.cc
+//	caratc [-level none|guards|guards-opt|carat|tracking-only] [-workers N] [-emit] [-stats] file.cir | file.cc
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"carat/internal/cc"
@@ -27,6 +28,8 @@ func main() {
 	level := flag.String("level", "carat", "pipeline level: none, guards, guards-opt, carat, tracking-only")
 	emit := flag.Bool("emit", false, "print the transformed module")
 	stats := flag.Bool("stats", true, "print compilation statistics")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"functions compiled concurrently (1 = sequential; output is identical)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: caratc [flags] file.cir")
@@ -47,6 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	c.Workers = *workers
 	res, err := c.Compile(m)
 	if err != nil {
 		fatal(err)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"carat/internal/cc"
@@ -60,6 +61,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report instead of text")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event file (open in Perfetto)")
 	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"functions compiled concurrently (1 = sequential; output is identical)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: caratvm [flags] file.cir")
@@ -116,7 +119,20 @@ func main() {
 		cfg.Trace = obs.NewTracer(traceF, nil)
 	}
 
-	v, ret, err := core.CompileAndRun(m, l, cfg)
+	// One registry spans compile and run, so carat.passes.* metrics land
+	// in the same -metrics / -json snapshot as the VM's counters.
+	cfg.Obs = obs.NewRegistry()
+	c, err := core.NewCompiler(l)
+	if err != nil {
+		fatal(err)
+	}
+	c.Workers = *workers
+	c.Obs = cfg.Obs
+	res, err := c.Compile(m)
+	if err != nil {
+		fatal(err)
+	}
+	v, ret, err := core.NewSystem(c, cfg).Run(res)
 	if err != nil {
 		fatal(err)
 	}

@@ -19,7 +19,7 @@ type Invariance struct {
 // NewInvariance prepares invariance queries for l using aa.
 func NewInvariance(l *Loop, aa AliasAnalysis) *Invariance {
 	iv := &Invariance{Loop: l, AA: aa, memo: make(map[ir.Value]int8)}
-	for b := range l.Blocks {
+	for _, b := range l.Ordered {
 		for _, in := range b.Instrs {
 			switch in.Op {
 			case ir.OpStore:

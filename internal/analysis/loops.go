@@ -7,9 +7,14 @@ import "carat/internal/ir"
 type Loop struct {
 	Header *ir.Block
 	Blocks map[*ir.Block]bool
-	Parent *Loop   // enclosing loop, or nil for top-level loops
-	Subs   []*Loop // directly nested loops
-	Depth  int     // nesting depth, 1 for top-level
+	// Ordered lists the loop's blocks in CFG reverse postorder. Passes and
+	// analyses iterate this instead of ranging over the Blocks set, so
+	// synthesized code lands in the same order on every compile (Go map
+	// iteration order is random).
+	Ordered []*ir.Block
+	Parent  *Loop   // enclosing loop, or nil for top-level loops
+	Subs    []*Loop // directly nested loops
+	Depth   int     // nesting depth, 1 for top-level
 }
 
 // Contains reports whether b belongs to the loop.
@@ -55,7 +60,7 @@ func (l *Loop) Latches(c *CFG) []*ir.Block {
 func (l *Loop) Exits() []*ir.Block {
 	seen := make(map[*ir.Block]bool)
 	var out []*ir.Block
-	for b := range l.Blocks {
+	for _, b := range l.Ordered {
 		for _, s := range b.Succs() {
 			if !l.Contains(s) && !seen[s] {
 				seen[s] = true
@@ -117,6 +122,13 @@ func FindLoops(c *CFG, dom *DomTree) *LoopForest {
 	for _, b := range c.RPO {
 		if l, ok := lf.ByHeader[b]; ok {
 			all = append(all, l)
+		}
+	}
+	for _, l := range all {
+		for _, b := range c.RPO {
+			if l.Blocks[b] {
+				l.Ordered = append(l.Ordered, b)
+			}
 		}
 	}
 	for _, inner := range all {

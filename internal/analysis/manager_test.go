@@ -1,0 +1,118 @@
+package analysis
+
+import "testing"
+
+func TestManagerCachesAndCountsHits(t *testing.T) {
+	_, f := loopFn(t)
+	var stats CacheStats
+	fa := NewFuncAnalyses(f, &stats)
+
+	cfg := fa.CFG()
+	if got := stats.Misses.Load(); got != 1 {
+		t.Fatalf("misses after first CFG = %d, want 1", got)
+	}
+	if fa.CFG() != cfg {
+		t.Error("second CFG() returned a different object")
+	}
+	if got := stats.Hits.Load(); got != 1 {
+		t.Errorf("hits after second CFG = %d, want 1", got)
+	}
+
+	// Dom pulls CFG through the cache: one miss for dom, one hit for cfg.
+	fa.Dom()
+	if got := stats.Misses.Load(); got != 2 {
+		t.Errorf("misses after Dom = %d, want 2", got)
+	}
+	if got := stats.Hits.Load(); got != 2 {
+		t.Errorf("hits after Dom = %d, want 2", got)
+	}
+}
+
+func TestManagerLoopKeysCachePerLoop(t *testing.T) {
+	_, f := loopFn(t)
+	fa := NewFuncAnalyses(f, nil)
+	loops := fa.Loops().All()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	inv := fa.Invariance(l)
+	if fa.Invariance(l) != inv {
+		t.Error("second Invariance(l) returned a different object")
+	}
+	scev := fa.SCEV(l)
+	if fa.SCEV(l) != scev {
+		t.Error("second SCEV(l) returned a different object")
+	}
+}
+
+func TestInvalidateClosesOverDeps(t *testing.T) {
+	_, f := loopFn(t)
+	var stats CacheStats
+	fa := NewFuncAnalyses(f, &stats)
+	fa.CFG()
+	dom := fa.Dom()
+
+	// Preserving Dom without CFG keeps nothing: Dom was derived from the
+	// discarded CFG.
+	fa.Invalidate(Preserve(IDDom))
+	if got := stats.Invalidations.Load(); got != 2 {
+		t.Errorf("invalidations = %d, want 2 (cfg and dom)", got)
+	}
+	if fa.Dom() == dom {
+		t.Error("Dom survived an invalidation that dropped its CFG")
+	}
+	if got := stats.Recomputes.Load(); got != 2 {
+		t.Errorf("recomputes = %d, want 2 (cfg and dom rebuilt)", got)
+	}
+}
+
+func TestInvalidatePreservesClosedSets(t *testing.T) {
+	_, f := loopFn(t)
+	var stats CacheStats
+	fa := NewFuncAnalyses(f, &stats)
+	cfg := fa.CFG()
+	dom := fa.Dom()
+	loops := fa.Loops()
+
+	fa.Invalidate(Preserve(IDCFG, IDDom, IDLoops))
+	if stats.Invalidations.Load() != 0 {
+		t.Errorf("invalidations = %d, want 0", stats.Invalidations.Load())
+	}
+	if fa.CFG() != cfg || fa.Dom() != dom || fa.Loops() != loops {
+		t.Error("a preserved analysis was dropped")
+	}
+}
+
+func TestInvalidateDropsLoopResults(t *testing.T) {
+	_, f := loopFn(t)
+	var stats CacheStats
+	fa := NewFuncAnalyses(f, &stats)
+	l := fa.Loops().All()[0]
+	inv := fa.Invariance(l)
+
+	fa.Invalidate(Preserve(IDCFG, IDDom, IDLoops, IDAlias))
+	if fa.Invariance(l) == inv {
+		t.Error("per-loop invariance survived invalidation")
+	}
+	if stats.Recomputes.Load() == 0 {
+		t.Error("expected a recompute after invalidation")
+	}
+}
+
+func TestPreservedClosure(t *testing.T) {
+	cases := []struct {
+		in, want Preserved
+	}{
+		{Preserve(IDLoops), PreserveNone},
+		{Preserve(IDCFG, IDLoops), Preserve(IDCFG)},
+		{Preserve(IDCFG, IDDom, IDLoops), Preserve(IDCFG, IDDom, IDLoops)},
+		{Preserve(IDSCEV, IDRanges), Preserve(IDRanges)},
+		{PreserveAll, PreserveAll},
+	}
+	for _, c := range cases {
+		if got := c.in.closure(); got != c.want {
+			t.Errorf("closure(%b) = %b, want %b", c.in, got, c.want)
+		}
+	}
+}

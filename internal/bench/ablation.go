@@ -8,6 +8,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/passes"
 	"carat/internal/vm"
+	"carat/internal/workload"
 )
 
 // Ablations of the design choices DESIGN.md calls out, realizing the
@@ -41,9 +42,7 @@ type AblAllocResult struct {
 // AblationAllocGranularity measures both move engines on heap-allocating
 // benchmarks.
 func AblationAllocGranularity(o Options) (*AblAllocResult, error) {
-	res := &AblAllocResult{}
-	var reds []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*AblAllocRow, error) {
 		var pageVM, allocVM *vm.VM
 		_, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
 			func(v *vm.VM) {
@@ -69,9 +68,9 @@ func AblationAllocGranularity(o Options) (*AblAllocResult, error) {
 		}
 		ps, as := pageVM.Runtime().MoveStats, allocVM.Runtime().MoveStats
 		if len(ps) == 0 || len(as) == 0 {
-			continue // nothing movable at both granularities
+			return nil, nil // nothing movable at both granularities: skip
 		}
-		row := AblAllocRow{Name: w.Name, PageMoves: len(ps), AllocMoves: len(as)}
+		row := &AblAllocRow{Name: w.Name, PageMoves: len(ps), AllocMoves: len(as)}
 		for _, bd := range ps {
 			row.PageCyc += float64(bd.TotalCycles())
 			row.PageProto += float64(bd.PrototypeCycles())
@@ -87,9 +86,20 @@ func AblationAllocGranularity(o Options) (*AblAllocResult, error) {
 		if row.PageCyc > 0 {
 			row.Reduction = 1 - row.AllocCyc/row.PageCyc
 		}
-		res.Rows = append(res.Rows, row)
-		if row.AllocCyc > 0 && row.PageCyc > 0 {
-			reds = append(reds, row.AllocCyc/row.PageCyc)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblAllocResult{}
+	var reds []float64
+	for _, rp := range rows {
+		if rp == nil {
+			continue
+		}
+		res.Rows = append(res.Rows, *rp)
+		if rp.AllocCyc > 0 && rp.PageCyc > 0 {
+			reds = append(reds, rp.AllocCyc/rp.PageCyc)
 		}
 	}
 	if g := geomean(reds); g > 0 {
@@ -128,9 +138,7 @@ type AblCapsuleResult struct {
 // AblationCapsule runs guarded builds under the multi-region and capsule
 // layouts.
 func AblationCapsule(o Options) (*AblCapsuleResult, error) {
-	res := &AblCapsuleResult{}
-	var sps []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*AblCapsuleRow, error) {
 		multi, _, err := o.buildAndRun(w, passes.LevelGuardsOpt, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
@@ -138,6 +146,7 @@ func AblationCapsule(o Options) (*AblCapsuleResult, error) {
 		m := w.Build(o.Scale)
 		pl := passes.Build(passes.LevelGuardsOpt)
 		pl.Obs = o.Obs
+		pl.Workers = 1
 		if err := pl.Run(m); err != nil {
 			return nil, err
 		}
@@ -152,14 +161,21 @@ func AblationCapsule(o Options) (*AblCapsuleResult, error) {
 		if _, err := capV.Run(); err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 		}
-		row := AblCapsuleRow{
+		return &AblCapsuleRow{
 			Name:       w.Name,
 			MultiCyc:   multi.Cycles,
 			CapsuleCyc: capV.Cycles,
 			Speedup:    float64(multi.Cycles) / float64(capV.Cycles),
-		}
-		res.Rows = append(res.Rows, row)
-		sps = append(sps, row.Speedup)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblCapsuleResult{}
+	var sps []float64
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		sps = append(sps, rp.Speedup)
 	}
 	res.GeoSpeedup = geomean(sps)
 	return res, nil

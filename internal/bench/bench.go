@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 	"text/tabwriter"
 
 	"carat/internal/guard"
@@ -31,6 +33,11 @@ type Options struct {
 	// MemBytes / HeapBytes configure the simulated machine.
 	MemBytes  uint64
 	HeapBytes uint64
+	// Workers bounds how many per-workload experiment legs run
+	// concurrently; 0 means GOMAXPROCS, 1 runs sequentially. Results are
+	// identical across worker counts: legs are independent and fold in
+	// workload order.
+	Workers int
 	// Obs, when non-nil, collects every VM's and pipeline's metrics in one
 	// registry (counters accumulate across the sweep).
 	Obs *obs.Registry
@@ -62,6 +69,55 @@ func (o Options) workloads() []*workload.Workload {
 	return out
 }
 
+// eachWorkload evaluates fn for every selected workload over a bounded
+// pool (o.Workers wide) and returns the results in workload order, so a
+// parallel sweep folds to exactly what a sequential one produces. A nil
+// result with a nil error means fn skipped the workload; callers filter.
+// The first error in workload order wins, matching sequential behaviour.
+func eachWorkload[T any](o Options, fn func(*workload.Workload) (*T, error)) ([]*T, error) {
+	ws := o.workloads()
+	out := make([]*T, len(ws))
+	errs := make([]error, len(ws))
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	if workers <= 1 {
+		for i, w := range ws {
+			out[i], errs[i] = fn(w)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i], errs[i] = fn(ws[i])
+				}
+			}()
+		}
+		for i := range ws {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 func (o Options) vmConfig(mode vm.Mode, mech guard.Mechanism) vm.Config {
 	cfg := vm.DefaultConfig()
 	cfg.Mode = mode
@@ -79,6 +135,9 @@ func (o Options) buildAndRun(w *workload.Workload, lvl passes.Level, mode vm.Mod
 	m := w.Build(o.Scale)
 	pl := passes.Build(lvl)
 	pl.Obs = o.Obs
+	// Workload legs are the parallel unit of a sweep; compiling each small
+	// workload module with one worker avoids nested parallelism.
+	pl.Workers = 1
 	if err := pl.Run(m); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 	}
@@ -100,6 +159,7 @@ func (o Options) compileOnly(w *workload.Workload, lvl passes.Level) (*ir.Module
 	m := w.Build(o.Scale)
 	pl := passes.Build(lvl)
 	pl.Obs = o.Obs
+	pl.Workers = 1
 	if err := pl.Run(m); err != nil {
 		return nil, nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 	}

@@ -8,6 +8,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/passes"
 	"carat/internal/vm"
+	"carat/internal/workload"
 )
 
 // ---------------------------------------------------------------- Figure 2
@@ -30,20 +31,26 @@ type Fig2Result struct {
 // Fig2 runs every benchmark uninstrumented under the traditional model and
 // reports DTLB miss rates.
 func Fig2(o Options) (*Fig2Result, error) {
-	res := &Fig2Result{}
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Fig2Row, error) {
 		v, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeTraditional, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
 		}
 		h := v.Hierarchy()
-		res.Rows = append(res.Rows, Fig2Row{
+		return &Fig2Row{
 			Name:          w.Name,
 			DTLBMPKI:      h.DTLBMPKI(v.Instrs),
 			WalksPerKI:    h.WalksPerKI(v.Instrs),
 			AvgWalkCycles: h.AvgWalkCycles(),
 			Instrs:        v.Instrs,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{}
+	for _, row := range rows {
+		res.Rows = append(res.Rows, *row)
 	}
 	return res, nil
 }
@@ -82,20 +89,26 @@ type Table1Result struct {
 // Table1 compiles every benchmark at LevelGuardsOpt and reports the
 // per-optimization guard attribution.
 func Table1(o Options) (*Table1Result, error) {
-	res := &Table1Result{Mean: Table1Row{Name: "Arith. Mean"}}
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Table1Row, error) {
 		_, st, err := o.compileOnly(w, passes.LevelGuardsOpt)
 		if err != nil {
 			return nil, err
 		}
-		row := Table1Row{
+		return &Table1Row{
 			Name:      w.Name,
 			OptGuards: st.FracRemaining(),
 			Untouched: st.FracUntouched(),
 			Opt1:      st.FracHoisted(),
 			Opt2:      st.FracMerged(),
 			Opt3:      st.FracRemoved(),
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Mean: Table1Row{Name: "Arith. Mean"}}
+	for _, rp := range rows {
+		row := *rp
 		res.Rows = append(res.Rows, row)
 		res.Mean.OptGuards += row.OptGuards
 		res.Mean.Untouched += row.Untouched
@@ -155,9 +168,7 @@ func Fig3(o Options, caratOpts bool) (*Fig3Result, error) {
 	if caratOpts {
 		lvl = passes.LevelGuardsOpt
 	}
-	res := &Fig3Result{CARATOpts: caratOpts}
-	var mpxs, ranges []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Fig3Row, error) {
 		base, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
@@ -170,15 +181,22 @@ func Fig3(o Options, caratOpts bool) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Fig3Row{
+		return &Fig3Row{
 			Name:       w.Name,
 			Baseline:   1,
 			MPXGuard:   float64(mpx.Cycles) / float64(base.Cycles),
 			RangeGuard: float64(rng.Cycles) / float64(base.Cycles),
-		}
-		res.Rows = append(res.Rows, row)
-		mpxs = append(mpxs, row.MPXGuard)
-		ranges = append(ranges, row.RangeGuard)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{CARATOpts: caratOpts}
+	var mpxs, ranges []float64
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		mpxs = append(mpxs, rp.MPXGuard)
+		ranges = append(ranges, rp.RangeGuard)
 	}
 	res.GeoMPX = geomean(mpxs)
 	res.GeoRange = geomean(ranges)

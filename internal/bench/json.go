@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
+	"time"
 
 	"carat/internal/obs"
 )
@@ -15,14 +17,18 @@ import (
 // ResultSchema identifies the bench output document format.
 const ResultSchema = "carat.bench.result"
 
-// ResultVersion is the current document format version.
-const ResultVersion = 1
+// ResultVersion is the current document format version. v2 added the
+// per-experiment wall_ms field and the top-level workers field.
+const ResultVersion = 2
 
 // ExperimentResult is one experiment's typed result inside a Document.
 type ExperimentResult struct {
 	Experiment string `json:"experiment"`
 	Title      string `json:"title"`
-	Data       Result `json:"data"`
+	// WallMS is the experiment's wall-clock duration in milliseconds
+	// (host time, not simulated time).
+	WallMS float64 `json:"wall_ms"`
+	Data   Result  `json:"data"`
 }
 
 // Document is the top-level machine-readable output of a bench run.
@@ -32,6 +38,8 @@ type Document struct {
 	// Tool records the producing command ("caratbench").
 	Tool  string `json:"tool"`
 	Scale string `json:"scale"`
+	// Workers is the worker-pool width the sweep ran with.
+	Workers int `json:"workers"`
 	// Results holds one entry per experiment run, in paper order.
 	Results []ExperimentResult `json:"results"`
 	// Metrics, when metrics collection was enabled, is the final registry
@@ -46,19 +54,27 @@ func RunJSON(id string, o Options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	doc := Document{
 		Schema:  ResultSchema,
 		Version: ResultVersion,
 		Tool:    "caratbench",
 		Scale:   o.Scale.String(),
+		Workers: workers,
 	}
 	for _, e := range exps {
+		start := time.Now()
 		r, err := e.Run(o)
 		if err != nil {
 			return err
 		}
 		doc.Results = append(doc.Results, ExperimentResult{
-			Experiment: e.ID, Title: e.Title, Data: r,
+			Experiment: e.ID, Title: e.Title,
+			WallMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			Data:   r,
 		})
 	}
 	if o.Obs != nil {

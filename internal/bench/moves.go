@@ -9,6 +9,7 @@ import (
 	"carat/internal/passes"
 	"carat/internal/runtime"
 	"carat/internal/vm"
+	"carat/internal/workload"
 )
 
 // Fig9Rates are the forced worst-case page-move rates (moves per simulated
@@ -37,16 +38,14 @@ type Fig9Result struct {
 // instruction period using the benchmark's own baseline CPI at the modeled
 // 2.3 GHz clock.
 func Fig9(o Options) (*Fig9Result, error) {
-	res := &Fig9Result{Rates: Fig9Rates}
-	perRate := make([][]float64, len(Fig9Rates))
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Fig9Row, error) {
 		base, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
 		}
 		cpi := float64(base.Cycles) / float64(base.Instrs)
-		row := Fig9Row{Name: w.Name, Baseline: base.Cycles}
-		for i, rate := range Fig9Rates {
+		row := &Fig9Row{Name: w.Name, Baseline: base.Cycles}
+		for _, rate := range Fig9Rates {
 			period := uint64(CPUFreqHz / (rate * cpi))
 			if period == 0 {
 				period = 1
@@ -65,9 +64,19 @@ func Fig9(o Options) (*Fig9Result, error) {
 			ov := float64(v.Cycles) / float64(base.Cycles)
 			row.Overhead = append(row.Overhead, ov)
 			row.Moves = append(row.Moves, moves)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rates: Fig9Rates}
+	perRate := make([][]float64, len(Fig9Rates))
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		for i, ov := range rp.Overhead {
 			perRate[i] = append(perRate[i], ov)
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	for _, xs := range perRate {
 		res.Geomeans = append(res.Geomeans, geomean(xs))
@@ -125,9 +134,7 @@ type Table3Result struct {
 // Table3 forces a steady worst-case move stream on each benchmark and
 // averages the runtime's per-move breakdowns.
 func Table3(o Options) (*Table3Result, error) {
-	res := &Table3Result{GeoMean: Table3Row{Name: "Geo. Mean"}}
-	var expands, patches, regs, movesC, protos, noexp, totals, fracs []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Table3Row, error) {
 		var vref *vm.VM
 		_, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange,
 			func(v *vm.VM) {
@@ -139,9 +146,21 @@ func Table3(o Options) (*Table3Result, error) {
 		}
 		stats := vref.Runtime().MoveStats
 		if len(stats) == 0 {
-			continue
+			return nil, nil // nothing movable: skip this workload
 		}
 		row := averageBreakdown(w.Name, stats)
+		return &row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{GeoMean: Table3Row{Name: "Geo. Mean"}}
+	var expands, patches, regs, movesC, protos, noexp, totals, fracs []float64
+	for _, rp := range rows {
+		if rp == nil {
+			continue
+		}
+		row := *rp
 		res.Rows = append(res.Rows, row)
 		expands = append(expands, row.PageExpand)
 		patches = append(patches, row.PatchGenExec)

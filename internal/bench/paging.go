@@ -11,6 +11,7 @@ import (
 	"carat/internal/mmpolicy"
 	"carat/internal/passes"
 	"carat/internal/vm"
+	"carat/internal/workload"
 )
 
 // Table2Row is one benchmark's paging-behaviour measurement.
@@ -46,12 +47,11 @@ const migrationPeriod = 100_000
 // Table2 runs every benchmark uninstrumented under the traditional model
 // with the demand-paging observer attached.
 func Table2(o Options) (*Table2Result, error) {
-	res := &Table2Result{}
-	var allocRates, moveRates []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Table2Row, error) {
 		m := w.Build(o.Scale)
 		pl := passes.Build(passes.LevelNone)
 		pl.Obs = o.Obs
+		pl.Workers = 1
 		if err := pl.Run(m); err != nil {
 			return nil, err
 		}
@@ -71,7 +71,7 @@ func Table2(o Options) (*Table2Result, error) {
 		}
 
 		secs := float64(v.Cycles) / CPUFreqHz
-		row := Table2Row{
+		row := &Table2Row{
 			Name:            w.Name,
 			StaticFootprint: staticPages,
 			InitialPages:    initial,
@@ -83,9 +83,17 @@ func Table2(o Options) (*Table2Result, error) {
 			row.AllocRate = float64(paging.PageAllocs) / secs
 			row.MoveRate = float64(paging.PageMoves) / secs
 		}
-		res.Rows = append(res.Rows, row)
-		allocRates = append(allocRates, row.AllocRate)
-		moveRates = append(moveRates, row.MoveRate)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	var allocRates, moveRates []float64
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		allocRates = append(allocRates, rp.AllocRate)
+		moveRates = append(moveRates, rp.MoveRate)
 	}
 	res.GeoAllocRate = geomean(allocRates)
 	res.GeoMoveRate = geomean(moveRates)

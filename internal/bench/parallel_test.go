@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"carat/internal/ir"
+	"carat/internal/passes"
+	"carat/internal/workload"
+)
+
+// compileAt builds workload w at level lvl with the given worker count and
+// returns the printed IR plus the merged statistics.
+func compileAt(t testing.TB, w *workload.Workload, lvl passes.Level, workers int) (string, passes.Stats) {
+	m := w.Build(workload.ScaleTest)
+	pl := passes.Build(lvl)
+	pl.Workers = workers
+	if err := pl.Run(m); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return m.String(), pl.Stats
+}
+
+// TestCompileWorkersDeterministic is the determinism gate: for every
+// workload, compiling with 1 worker and with 8 workers must produce
+// byte-identical printed IR and identical statistics. CI runs this under
+// -race, which also exercises the pool for data races.
+func TestCompileWorkersDeterministic(t *testing.T) {
+	for _, w := range workload.All() {
+		seq, seqStats := compileAt(t, w, passes.LevelTracking, 1)
+		par, parStats := compileAt(t, w, passes.LevelTracking, 8)
+		if seq != par {
+			t.Errorf("%s: -workers=1 and -workers=8 produced different IR", w.Name)
+		}
+		if !reflect.DeepEqual(seqStats, parStats) {
+			t.Errorf("%s: -workers=1 and -workers=8 produced different stats:\n%+v\n%+v",
+				w.Name, seqStats, parStats)
+		}
+	}
+}
+
+// TestTable1WorkersDeterministic checks the experiment sweep itself: the
+// per-workload pool must fold to exactly the sequential Table 1.
+func TestTable1WorkersDeterministic(t *testing.T) {
+	seq := DefaultOptions(workload.ScaleTest)
+	seq.Workers = 1
+	par := DefaultOptions(workload.ScaleTest)
+	par.Workers = 8
+	rs, err := Table1(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Table1(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, rp) {
+		t.Error("Table1 with Workers=1 and Workers=8 differ")
+	}
+}
+
+// TestAnalysisCacheEffective asserts the caching tentpole pays off on real
+// workloads: across Opt1→Opt2→Opt3 the shared analyses must hit.
+func TestAnalysisCacheEffective(t *testing.T) {
+	m := workload.All()[0].Build(workload.ScaleTest)
+	pl := passes.Build(passes.LevelGuardsOpt)
+	if err := pl.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	cs := pl.AnalysisStats()
+	if cs.Hits == 0 {
+		t.Error("analysis cache hits = 0 on a real workload")
+	}
+	if cs.Hits < cs.Misses {
+		t.Errorf("hits (%d) < misses (%d): cache is not earning its keep", cs.Hits, cs.Misses)
+	}
+}
+
+// benchModules builds every workload module once so the benchmarks measure
+// only pass-pipeline time.
+func benchModules(b *testing.B) []*ir.Module {
+	b.Helper()
+	var ms []*ir.Module
+	for _, w := range workload.All() {
+		ms = append(ms, w.Build(workload.ScaleTest))
+	}
+	return ms
+}
+
+func benchCompile(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ms := benchModules(b)
+		b.StartTimer()
+		for _, m := range ms {
+			pl := passes.Build(passes.LevelTracking)
+			pl.Workers = workers
+			if err := pl.Run(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCompileSequential(b *testing.B) { benchCompile(b, 1) }
+func BenchmarkCompileParallel(b *testing.B)   { benchCompile(b, 0) }
+
+// BenchmarkTable1Sequential/Parallel measure the experiment sweep pool.
+func BenchmarkTable1Sequential(b *testing.B) { benchTable1(b, 1) }
+func BenchmarkTable1Parallel(b *testing.B)   { benchTable1(b, 0) }
+
+func benchTable1(b *testing.B, workers int) {
+	o := DefaultOptions(workload.ScaleTest)
+	o.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := Table1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/passes"
 	"carat/internal/vm"
+	"carat/internal/workload"
 )
 
 // ---------------------------------------------------------------- Figure 5
@@ -38,39 +39,54 @@ type Fig5Result struct {
 	TotalOver50 int `json:"total_over50"`
 }
 
+// fig5Leg is one workload's histogram plus its contribution to the
+// suite-wide fractions.
+type fig5Leg struct {
+	row         Fig5Row
+	le10, total int
+}
+
 // Fig5 runs every benchmark fully instrumented and collects the histogram.
 func Fig5(o Options) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	var le10, total int
-	for _, w := range o.workloads() {
+	legs, err := eachWorkload(o, func(w *workload.Workload) (*fig5Leg, error) {
 		v, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
 		}
 		hist := v.Runtime().EscapeHistogram()
-		row := Fig5Row{Name: w.Name, Allocations: len(hist)}
+		leg := &fig5Leg{row: Fig5Row{Name: w.Name, Allocations: len(hist)}}
 		sorted := append([]int(nil), hist...)
 		sort.Ints(sorted)
 		for _, h := range hist {
 			switch {
 			case h <= 50:
-				row.HistLow[h]++
+				leg.row.HistLow[h]++
 			default:
-				row.Over50 = append(row.Over50, h)
+				leg.row.Over50 = append(leg.row.Over50, h)
 			}
 			if h <= 10 {
-				le10++
+				leg.le10++
 			}
-			if h > row.Max {
-				row.Max = h
+			if h > leg.row.Max {
+				leg.row.Max = h
 			}
-			total++
+			leg.total++
 		}
 		if len(sorted) > 0 {
-			row.P90 = sorted[len(sorted)*9/10]
+			leg.row.P90 = sorted[len(sorted)*9/10]
 		}
-		res.TotalOver50 += len(row.Over50)
-		res.Rows = append(res.Rows, row)
+		return leg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	var le10, total int
+	for _, leg := range legs {
+		res.TotalOver50 += len(leg.row.Over50)
+		res.Rows = append(res.Rows, leg.row)
+		le10 += leg.le10
+		total += leg.total
 	}
 	if total > 0 {
 		res.FracLE10 = float64(le10) / float64(total)
@@ -120,23 +136,28 @@ type Fig6Result struct {
 // Fig6 measures the allocation-table and escape-map footprint against the
 // program's own memory.
 func Fig6(o Options) (*Fig6Result, error) {
-	res := &Fig6Result{}
-	var ratios []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Fig6Row, error) {
 		v, _, err := o.buildAndRun(w, passes.LevelTracking, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
 		}
 		base := v.ProgramFootprintBytes()
 		track := v.Runtime().MemoryOverheadBytes()
-		row := Fig6Row{
+		return &Fig6Row{
 			Name:          w.Name,
 			BaselineBytes: base,
 			TrackingBytes: track,
 			Ratio:         float64(base+track) / float64(base),
-		}
-		res.Rows = append(res.Rows, row)
-		ratios = append(ratios, row.Ratio)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	var ratios []float64
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		ratios = append(ratios, rp.Ratio)
 	}
 	res.Geomean = geomean(ratios)
 	return res, nil
@@ -173,9 +194,7 @@ type Fig7Result struct {
 
 // Fig7 compares tracking-only builds against the baseline.
 func Fig7(o Options) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	var ratios []float64
-	for _, w := range o.workloads() {
+	rows, err := eachWorkload(o, func(w *workload.Workload) (*Fig7Row, error) {
 		base, _, err := o.buildAndRun(w, passes.LevelNone, vm.ModeCARAT, guard.MechRange, nil)
 		if err != nil {
 			return nil, err
@@ -184,14 +203,21 @@ func Fig7(o Options) (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Fig7Row{
+		return &Fig7Row{
 			Name:     w.Name,
 			Baseline: base.Cycles,
 			CARAT:    tr.Cycles,
 			Ratio:    float64(tr.Cycles) / float64(base.Cycles),
-		}
-		res.Rows = append(res.Rows, row)
-		ratios = append(ratios, row.Ratio)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	var ratios []float64
+	for _, rp := range rows {
+		res.Rows = append(res.Rows, *rp)
+		ratios = append(ratios, rp.Ratio)
 	}
 	res.Geomean = geomean(ratios)
 	return res, nil

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"carat/internal/ir"
+	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/signing"
 	"carat/internal/vm"
@@ -21,6 +22,12 @@ import (
 type Compiler struct {
 	Level     passes.Level
 	Toolchain *signing.Toolchain
+	// Workers bounds how many functions are compiled concurrently; 0 means
+	// GOMAXPROCS, 1 compiles sequentially. Output is byte-identical across
+	// worker counts.
+	Workers int
+	// Obs, when non-nil, receives the carat.passes.* compile-time metrics.
+	Obs *obs.Registry
 }
 
 // NewCompiler creates a compiler at the given instrumentation level with a
@@ -42,6 +49,8 @@ type Result struct {
 // Compile runs the pipeline over m (mutating it) and signs the output.
 func (c *Compiler) Compile(m *ir.Module) (*Result, error) {
 	pl := passes.Build(c.Level)
+	pl.Workers = c.Workers
+	pl.Obs = c.Obs
 	if err := pl.Run(m); err != nil {
 		return nil, fmt.Errorf("core: compile: %w", err)
 	}

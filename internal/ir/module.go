@@ -87,7 +87,16 @@ type Func struct {
 	// guards check this against the current region, per paper §3.
 	StackFootprint int64
 
-	nameCnt int
+	nameCnt  int
+	freshCnt int
+}
+
+// FreshName returns a new SSA value name "prefix.N" with a per-function
+// counter, so names synthesized by passes are deterministic regardless of
+// which other functions were compiled (or in what order) before this one.
+func (f *Func) FreshName(prefix string) string {
+	f.freshCnt++
+	return fmt.Sprintf("%s.%d", prefix, f.freshCnt)
 }
 
 // Type implements Value: a function used as an operand is its code address.

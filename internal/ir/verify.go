@@ -35,6 +35,12 @@ func (m *Module) Verify() error {
 	return nil
 }
 
+// VerifyFunc checks a single function's structural well-formedness: the
+// per-function subset of Verify. The parallel pass manager calls it after
+// each pass so a corrupting transformation is caught without taking a
+// module-wide lock; it only reads f (and the signatures of its callees).
+func VerifyFunc(f *Func) error { return verifyFunc(f) }
+
 func verifyFunc(f *Func) error {
 	if f.IsDecl() {
 		return nil

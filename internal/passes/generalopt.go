@@ -14,26 +14,30 @@ type ConstFold struct{}
 // Name implements Pass.
 func (*ConstFold) Name() string { return "constfold" }
 
-// Run implements Pass.
-func (*ConstFold) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		for {
-			folded := 0
-			for _, b := range f.Blocks {
-				for i := 0; i < len(b.Instrs); i++ {
-					in := b.Instrs[i]
-					if c := foldInstr(in); c != nil {
-						replaceUses(f, in, c)
-						b.Remove(in)
-						i--
-						folded++
-					}
+// Preserves implements FuncPass: folding rewrites operands and removes
+// instructions without touching block structure.
+func (*ConstFold) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
+
+// RunOnFunc implements FuncPass.
+func (*ConstFold) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	for {
+		folded := 0
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Instrs); i++ {
+				in := b.Instrs[i]
+				if c := foldInstr(in); c != nil {
+					replaceUses(f, in, c)
+					b.Remove(in)
+					i--
+					folded++
 				}
 			}
-			stats.Folded += folded
-			if folded == 0 {
-				break
-			}
+		}
+		stats.Folded += folded
+		if folded == 0 {
+			break
 		}
 	}
 	return nil
@@ -217,30 +221,33 @@ type DCE struct{}
 // Name implements Pass.
 func (*DCE) Name() string { return "dce" }
 
-// Run implements Pass.
-func (*DCE) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		for {
-			used := make(map[ir.Value]bool)
-			f.ForEachInstr(func(in *ir.Instr) {
-				for _, a := range in.Args {
-					used[a] = true
-				}
-			})
-			removed := 0
-			for _, b := range f.Blocks {
-				for i := len(b.Instrs) - 1; i >= 0; i-- {
-					in := b.Instrs[i]
-					if sideEffectFree(in) && !used[in] {
-						b.Remove(in)
-						removed++
-					}
+// Preserves implements FuncPass: removals keep block structure intact.
+func (*DCE) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
+
+// RunOnFunc implements FuncPass.
+func (*DCE) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	for {
+		used := make(map[ir.Value]bool)
+		f.ForEachInstr(func(in *ir.Instr) {
+			for _, a := range in.Args {
+				used[a] = true
+			}
+		})
+		removed := 0
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if sideEffectFree(in) && !used[in] {
+					b.Remove(in)
+					removed++
 				}
 			}
-			stats.DCEd += removed
-			if removed == 0 {
-				break
-			}
+		}
+		stats.DCEd += removed
+		if removed == 0 {
+			break
 		}
 	}
 	return nil
@@ -272,36 +279,36 @@ type CSE struct{}
 // Name implements Pass.
 func (*CSE) Name() string { return "cse" }
 
-// Run implements Pass.
-func (*CSE) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
-		}
-		cfg := analysis.NewCFG(f)
-		dom := analysis.NewDomTree(cfg)
-		table := make(map[string][]*ir.Instr)
-		for _, b := range cfg.RPO {
-			for i := 0; i < len(b.Instrs); i++ {
-				in := b.Instrs[i]
-				if !pureValueOp(in) {
-					continue
+// Preserves implements FuncPass: merging uses keeps block structure intact.
+func (*CSE) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
+
+// RunOnFunc implements FuncPass.
+func (*CSE) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	cfg := fa.CFG()
+	dom := fa.Dom()
+	table := make(map[string][]*ir.Instr)
+	for _, b := range cfg.RPO {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if !pureValueOp(in) {
+				continue
+			}
+			key := exprKey(in)
+			replaced := false
+			for _, prev := range table[key] {
+				if dom.InstrDominates(prev, in) {
+					replaceUses(f, in, prev)
+					b.Remove(in)
+					i--
+					stats.CSEd++
+					replaced = true
+					break
 				}
-				key := exprKey(in)
-				replaced := false
-				for _, prev := range table[key] {
-					if dom.InstrDominates(prev, in) {
-						replaceUses(f, in, prev)
-						b.Remove(in)
-						i--
-						stats.CSEd++
-						replaced = true
-						break
-					}
-				}
-				if !replaced {
-					table[key] = append(table[key], in)
-				}
+			}
+			if !replaced {
+				table[key] = append(table[key], in)
 			}
 		}
 	}
@@ -357,47 +364,48 @@ type LICM struct{}
 // Name implements Pass.
 func (*LICM) Name() string { return "licm" }
 
-// Run implements Pass.
-func (*LICM) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
+// Preserves implements FuncPass: moving instructions to preheaders keeps
+// block structure intact but changes loop contents (invariance, SCEV) and
+// the homes of values the alias/range analyses memoized.
+func (*LICM) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
+
+// RunOnFunc implements FuncPass.
+func (*LICM) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	cfg := fa.CFG()
+	dom := fa.Dom()
+	loops := fa.Loops()
+	// Innermost-first so hoisted code can cascade outward on later runs.
+	all := loops.All()
+	for i := len(all) - 1; i >= 0; i-- {
+		l := all[i]
+		ph := l.Preheader(cfg)
+		if ph == nil {
 			continue
 		}
-		cfg := analysis.NewCFG(f)
-		dom := analysis.NewDomTree(cfg)
-		loops := analysis.FindLoops(cfg, dom)
-		aa := analysis.NewChain(f)
-		// Innermost-first so hoisted code can cascade outward on later runs.
-		all := loops.All()
-		for i := len(all) - 1; i >= 0; i-- {
-			l := all[i]
-			ph := l.Preheader(cfg)
-			if ph == nil {
-				continue
-			}
-			inv := analysis.NewInvariance(l, aa)
-			latches := l.Latches(cfg)
-			for b := range l.Blocks {
-				for j := 0; j < len(b.Instrs); j++ {
-					in := b.Instrs[j]
-					if !hoistable(in) {
-						continue
-					}
-					if in.Op == ir.OpLoad && !dominatesAll(dom, b, latches) {
-						continue
-					}
-					if !invariantInstr(inv, in) {
-						continue
-					}
-					// Operands must be available at the preheader.
-					if !operandsAvailable(dom, l, in, ph) {
-						continue
-					}
-					b.Remove(in)
-					ph.InsertBefore(in, ph.Term())
-					stats.LICMMoved++
-					j--
+		inv := fa.Invariance(l)
+		latches := l.Latches(cfg)
+		for _, b := range l.Ordered {
+			for j := 0; j < len(b.Instrs); j++ {
+				in := b.Instrs[j]
+				if !hoistable(in) {
+					continue
 				}
+				if in.Op == ir.OpLoad && !dominatesAll(dom, b, latches) {
+					continue
+				}
+				if !invariantInstr(inv, in) {
+					continue
+				}
+				// Operands must be available at the preheader.
+				if !operandsAvailable(dom, l, in, ph) {
+					continue
+				}
+				b.Remove(in)
+				ph.InsertBefore(in, ph.Term())
+				stats.LICMMoved++
+				j--
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"carat/internal/analysis"
 	"carat/internal/ir"
 )
 
@@ -14,52 +15,56 @@ type GuardInject struct{}
 // Name implements Pass.
 func (*GuardInject) Name() string { return "guard-inject" }
 
-// Run implements Pass.
-func (*GuardInject) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
-		}
-		for _, b := range f.Blocks {
-			for i := 0; i < len(b.Instrs); i++ {
-				in := b.Instrs[i]
-				var g *ir.Instr
-				switch in.Op {
-				case ir.OpLoad:
-					g = &ir.Instr{
-						Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardLoad,
-						Args: []ir.Value{in.Args[0], ir.ConstInt(ir.I64, in.AccessSize())},
-					}
-					stats.LoadGuards++
-				case ir.OpStore:
-					g = &ir.Instr{
-						Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardStore,
-						Args: []ir.Value{in.Args[1], ir.ConstInt(ir.I64, in.AccessSize())},
-					}
-					stats.StoreGuards++
-				case ir.OpCall:
-					// Calls into the trusted runtime are not guarded: the
-					// runtime is part of the TCB (§2.4) and guarding its
-					// own callbacks would recurse.
-					if in.Callee != nil && ir.IsRuntimeFn(in.Callee.Name) {
-						continue
-					}
-					foot := in.Callee.StackFootprint
-					if foot == 0 {
-						foot = DefaultStackFootprint
-					}
-					g = &ir.Instr{
-						Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardCall,
-						Args: []ir.Value{in.Callee, ir.ConstInt(ir.I64, foot)},
-					}
-					stats.CallGuards++
-				default:
+// Preserves implements FuncPass. Guards are void instructions nothing else
+// references: block structure, alias facts, and value ranges all survive.
+// The per-loop analyses are not preserved (loop bodies now contain the
+// guards, and downstream passes must see them with fresh eyes).
+func (*GuardInject) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops,
+		analysis.IDAlias, analysis.IDRanges)
+}
+
+// RunOnFunc implements FuncPass.
+func (*GuardInject) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			var g *ir.Instr
+			switch in.Op {
+			case ir.OpLoad:
+				g = &ir.Instr{
+					Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardLoad,
+					Args: []ir.Value{in.Args[0], ir.ConstInt(ir.I64, in.AccessSize())},
+				}
+				stats.LoadGuards++
+			case ir.OpStore:
+				g = &ir.Instr{
+					Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardStore,
+					Args: []ir.Value{in.Args[1], ir.ConstInt(ir.I64, in.AccessSize())},
+				}
+				stats.StoreGuards++
+			case ir.OpCall:
+				// Calls into the trusted runtime are not guarded: the
+				// runtime is part of the TCB (§2.4) and guarding its
+				// own callbacks would recurse.
+				if in.Callee != nil && ir.IsRuntimeFn(in.Callee.Name) {
 					continue
 				}
-				b.InsertBefore(g, in)
-				stats.GuardsInjected++
-				i++ // skip over the instruction we just guarded
+				foot := in.Callee.StackFootprint
+				if foot == 0 {
+					foot = DefaultStackFootprint
+				}
+				g = &ir.Instr{
+					Op: ir.OpGuard, Typ: ir.Void, Kind: ir.GuardCall,
+					Args: []ir.Value{in.Callee, ir.ConstInt(ir.I64, foot)},
+				}
+				stats.CallGuards++
+			default:
+				continue
 			}
+			b.InsertBefore(g, in)
+			stats.GuardsInjected++
+			i++ // skip over the instruction we just guarded
 		}
 	}
 	return nil

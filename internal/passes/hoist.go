@@ -16,17 +16,25 @@ type HoistGuards struct{}
 // Name implements Pass.
 func (*HoistGuards) Name() string { return "carat-hoist" }
 
-// Run implements Pass.
-func (*HoistGuards) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
+// hoistPreserved: moving a guard changes no block structure (CFG, domtree,
+// loop forest survive), introduces no new values (alias facts and range
+// memos survive), but does change what executes inside each loop body, so
+// invariance and SCEV are not preserved.
+var hoistPreserved = analysis.Preserve(analysis.IDCFG, analysis.IDDom,
+	analysis.IDLoops, analysis.IDAlias, analysis.IDRanges)
+
+// Preserves implements FuncPass.
+func (*HoistGuards) Preserves() analysis.Preserved { return hoistPreserved }
+
+// RunOnFunc implements FuncPass.
+func (*HoistGuards) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	for {
+		if hoistFunc(f, stats, fa) == 0 {
+			break
 		}
-		for {
-			if hoistFunc(f, stats) == 0 {
-				break
-			}
-		}
+		// Another sweep follows over the mutated loop bodies: drop what
+		// this pass does not keep valid before re-querying invariance.
+		fa.Invalidate(hoistPreserved)
 	}
 	return nil
 }
@@ -35,11 +43,10 @@ func (*HoistGuards) Run(m *ir.Module, stats *Stats) error {
 // how many guards moved. Stats.Attribute ensures each original guard counts
 // at most once toward the Opt 1 statistics even when hoisted through
 // several loop levels.
-func hoistFunc(f *ir.Func, stats *Stats) int {
-	cfg := analysis.NewCFG(f)
-	dom := analysis.NewDomTree(cfg)
-	loops := analysis.FindLoops(cfg, dom)
-	aa := analysis.NewChain(f)
+func hoistFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) int {
+	cfg := fa.CFG()
+	dom := fa.Dom()
+	loops := fa.Loops()
 	moved := 0
 	all := loops.All()
 	for i := len(all) - 1; i >= 0; i-- { // innermost first
@@ -48,10 +55,10 @@ func hoistFunc(f *ir.Func, stats *Stats) int {
 		if ph == nil {
 			continue
 		}
-		inv := analysis.NewInvariance(l, aa)
+		inv := fa.Invariance(l)
 		latches := l.Latches(cfg)
 		stackFree := inv.StackAllocFree()
-		for b := range l.Blocks {
+		for _, b := range l.Ordered {
 			for j := 0; j < len(b.Instrs); j++ {
 				in := b.Instrs[j]
 				if in.Op != ir.OpGuard {

@@ -23,22 +23,24 @@ type MergeGuards struct{}
 // Name implements Pass.
 func (*MergeGuards) Name() string { return "carat-scev-merge" }
 
-// Run implements Pass.
-func (*MergeGuards) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
-		}
-		mergeFunc(f, stats)
-	}
+// Preserves implements FuncPass. Merging keeps block structure intact but
+// synthesizes new values (range-guard address arithmetic) the precomputed
+// alias and range analyses have never seen, so only the structural
+// analyses survive.
+func (*MergeGuards) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
+
+// RunOnFunc implements FuncPass.
+func (*MergeGuards) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	mergeFunc(f, stats, fa)
 	return nil
 }
 
-func mergeFunc(f *ir.Func, stats *Stats) {
-	cfg := analysis.NewCFG(f)
-	dom := analysis.NewDomTree(cfg)
-	loops := analysis.FindLoops(cfg, dom)
-	aa := analysis.NewChain(f)
+func mergeFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) {
+	cfg := fa.CFG()
+	dom := fa.Dom()
+	loops := fa.Loops()
 	all := loops.All()
 	for i := len(all) - 1; i >= 0; i-- { // innermost first
 		l := all[i]
@@ -46,8 +48,7 @@ func mergeFunc(f *ir.Func, stats *Stats) {
 		if ph == nil {
 			continue
 		}
-		inv := analysis.NewInvariance(l, aa)
-		scev := analysis.NewSCEV(cfg, l, inv)
+		scev := fa.SCEV(l) // pulls the loop's invariance facts through the cache
 		latches := l.Latches(cfg)
 
 		// Collect mergeable guards grouped by (base, kind irrelevant):
@@ -58,10 +59,10 @@ func mergeFunc(f *ir.Func, stats *Stats) {
 			acc *analysis.AffineAccess
 			sz  int64
 		}
-		ranges := analysis.NewRanges()
+		ranges := fa.Ranges()
 		var cands []cand
 		var bounded []boundedCand
-		for b := range l.Blocks {
+		for _, b := range l.Ordered {
 			if !dominatesAll(dom, b, latches) {
 				continue // conditional accesses cannot be over-guarded
 			}
@@ -181,7 +182,7 @@ func boundedAccessOf(ranges *analysis.Ranges, dom *analysis.DomTree, l *analysis
 // [base+loOff, base+loOff+span).
 func emitConstRangeGuard(f *ir.Func, ph *ir.Block, base ir.Value, loOff, span int64, kind ir.GuardKind) {
 	term := ph.Term()
-	lo := &ir.Instr{Op: ir.OpGEP, Name: freshName(f, "rg"), Typ: ir.Ptr, Elem: ir.I8,
+	lo := &ir.Instr{Op: ir.OpGEP, Name: f.FreshName("rg"), Typ: ir.Ptr, Elem: ir.I8,
 		Args: []ir.Value{base, ir.ConstInt(ir.I64, loOff)}}
 	ph.InsertBefore(lo, term)
 	gu := &ir.Instr{Op: ir.OpGuard, Typ: ir.Void, Kind: kind,
@@ -215,7 +216,7 @@ func emitRangeGuard(f *ir.Func, ph *ir.Block, acc *analysis.AffineAccess, size, 
 		return in
 	}
 	newv := func(op ir.Op, a, b ir.Value) *ir.Instr {
-		return ins(&ir.Instr{Op: op, Name: freshName(f, "rg"), Typ: ir.I64, Args: []ir.Value{a, b}})
+		return ins(&ir.Instr{Op: op, Name: f.FreshName("rg"), Typ: ir.I64, Args: []ir.Value{a, b}})
 	}
 	k := ir.ConstInt(ir.I64, acc.Lin.K)
 	cOff := ir.ConstInt(ir.I64, acc.Lin.C)
@@ -224,7 +225,7 @@ func emitRangeGuard(f *ir.Func, ph *ir.Block, acc *analysis.AffineAccess, size, 
 	bound := widenToI64(f, ph, term, acc.Bound.Bound)
 
 	lowOff := newv(ir.OpAdd, newv(ir.OpMul, k, start), cOff)
-	lo := ins(&ir.Instr{Op: ir.OpGEP, Name: freshName(f, "rg"), Typ: ir.Ptr, Elem: ir.I8,
+	lo := ins(&ir.Instr{Op: ir.OpGEP, Name: f.FreshName("rg"), Typ: ir.Ptr, Elem: ir.I8,
 		Args: []ir.Value{acc.Base, lowOff}})
 
 	hiConst := acc.Lin.K*lastAdj + acc.Lin.C + size
@@ -241,29 +242,7 @@ func widenToI64(f *ir.Func, ph *ir.Block, term *ir.Instr, v ir.Value) ir.Value {
 	if c, ok := v.(*ir.Const); ok {
 		return ir.ConstInt(ir.I64, c.Int)
 	}
-	in := &ir.Instr{Op: ir.OpSExt, Name: freshName(f, "rgw"), Typ: ir.I64, Args: []ir.Value{v}}
+	in := &ir.Instr{Op: ir.OpSExt, Name: f.FreshName("rgw"), Typ: ir.I64, Args: []ir.Value{v}}
 	ph.InsertBefore(in, term)
 	return in
-}
-
-var freshCounter int
-
-// freshName returns a function-unique SSA name with the given prefix.
-func freshName(f *ir.Func, prefix string) string {
-	freshCounter++
-	return prefix + "." + itoa(freshCounter)
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -4,25 +4,68 @@
 // escape tracking injection, and a set of "readily available" general
 // optimizations (constant folding, DCE, CSE, LICM) used as the Figure 3(a)
 // baseline.
+//
+// The middle end is organized like LLVM's new pass manager: passes are
+// function-at-a-time (FuncPass) or module-wide (ModulePass), every
+// function carries an analysis cache (analysis.FuncAnalyses), and each
+// mutating pass declares which analyses it preserves so the manager
+// invalidates only what went stale. Function passes run concurrently over
+// a bounded worker pool; output is byte-identical to sequential mode
+// because no pass depends on cross-function state and synthesized value
+// names use per-function counters.
 package passes
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
+	"carat/internal/analysis"
 	"carat/internal/ir"
 	"carat/internal/obs"
 )
 
-// Pass transforms a module in place.
+// Pass is anything the PassManager can schedule. Concrete passes implement
+// FuncPass or ModulePass (or both Setup and FuncPass).
 type Pass interface {
 	// Name identifies the pass in statistics and logs.
 	Name() string
-	// Run applies the pass, recording anything of interest in stats.
-	Run(m *ir.Module, stats *Stats) error
 }
 
-// Stats accumulates per-module compilation statistics; the guard counters
-// regenerate Table 1.
+// FuncPass transforms one function at a time. RunOnFunc may be called
+// concurrently for different functions; it must not touch module-level
+// state or other functions (beyond reading callee signatures).
+type FuncPass interface {
+	Pass
+	// RunOnFunc applies the pass to f, looking analyses up through fa and
+	// recording statistics in the function's own stats.
+	RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error
+	// Preserves declares the analyses this pass keeps valid; the manager
+	// invalidates everything else (closed over dependencies) after the
+	// pass runs on a function.
+	Preserves() analysis.Preserved
+}
+
+// ModulePass transforms the whole module serially and acts as a barrier
+// between parallel function stages.
+type ModulePass interface {
+	Pass
+	RunOnModule(m *ir.Module, stats *Stats) error
+}
+
+// ModuleSetup is an optional hook for a FuncPass that needs serial
+// module-level preparation (declaring runtime callees, say) before the
+// parallel function sweep begins. Setup hooks run in pass order, before
+// any function work.
+type ModuleSetup interface {
+	Setup(m *ir.Module) error
+}
+
+// Stats accumulates compilation statistics; the guard counters regenerate
+// Table 1. The pass manager keeps one Stats per function while passes run
+// and folds them into the module total (in m.Funcs order) afterwards, so
+// the counters are deterministic under parallel compilation.
 type Stats struct {
 	// GuardsInjected is the number of guards inserted by guard injection,
 	// by kind.
@@ -54,8 +97,10 @@ type Stats struct {
 	LICMMoved int
 
 	// attributed tracks which guards have already been credited to one of
-	// the optimizations, so a guard that is hoisted and later merged
-	// counts once (Table 1 attributes each guard to one column).
+	// the optimizations, so a guard that is hoisted and later merged or
+	// removed counts once (Table 1 attributes each guard to one column).
+	// Guards are function-local, so the map is scoped to one function's
+	// Stats and dies with it; it never enters the merged module totals.
 	attributed map[*ir.Instr]bool
 }
 
@@ -70,6 +115,26 @@ func (s *Stats) Attribute(g *ir.Instr) bool {
 	}
 	s.attributed[g] = true
 	return true
+}
+
+// Merge folds one function's statistics into s. Only the integer counters
+// transfer; the attribution map stays with the per-function value.
+func (s *Stats) Merge(o *Stats) {
+	s.GuardsInjected += o.GuardsInjected
+	s.LoadGuards += o.LoadGuards
+	s.StoreGuards += o.StoreGuards
+	s.CallGuards += o.CallGuards
+	s.Hoisted += o.Hoisted
+	s.Merged += o.Merged
+	s.Removed += o.Removed
+	s.RangeNew += o.RangeNew
+	s.AllocCallbacks += o.AllocCallbacks
+	s.FreeCallbacks += o.FreeCallbacks
+	s.EscapeCallbacks += o.EscapeCallbacks
+	s.Folded += o.Folded
+	s.DCEd += o.DCEd
+	s.CSEd += o.CSEd
+	s.LICMMoved += o.LICMMoved
 }
 
 // FinishGuardStats derives the Table 1 row fields after all passes ran.
@@ -113,53 +178,189 @@ func (s *Stats) frac(n int) float64 {
 	return float64(n) / float64(s.GuardsInjected)
 }
 
-// Pipeline is an ordered list of passes with shared statistics. Stats stays
-// a plain value type (compilation is single-threaded and per-module); when
-// Obs is set, Run additionally publishes the totals as carat.passes.*
-// counters so compile-time accounting lands in the same registry as the
-// runtime metrics.
-type Pipeline struct {
+// PassManager schedules an ordered list of passes over a module. Runs of
+// consecutive function passes form a stage executed function-at-a-time
+// over a bounded worker pool; module passes are serial barriers. Each
+// function keeps its analysis cache and Stats across stages, so an
+// analysis computed by Opt 1 and preserved through Opt 2 is a cache hit,
+// and guard attribution spans the whole pipeline.
+type PassManager struct {
 	Passes []Pass
-	Stats  Stats
+	// Stats holds the module totals after Run: per-function statistics
+	// folded in m.Funcs order plus anything module passes recorded.
+	Stats Stats
+	// Workers bounds how many functions are transformed concurrently.
+	// 0 means GOMAXPROCS; 1 compiles sequentially. Output is
+	// byte-identical across worker counts.
+	Workers int
 
 	// Obs, when non-nil, receives the carat.passes.* counters after Run.
 	Obs *obs.Registry
+
+	cache analysis.CacheStats
 }
 
-// Run applies every pass in order, verifying the module after each one.
-func (p *Pipeline) Run(m *ir.Module) error {
-	for _, ps := range p.Passes {
-		if err := ps.Run(m, &p.Stats); err != nil {
-			return fmt.Errorf("passes: %s: %w", ps.Name(), err)
-		}
-		if err := m.Verify(); err != nil {
-			return fmt.Errorf("passes: after %s: %w", ps.Name(), err)
+// funcState is one function's slice of the compilation: its statistics,
+// analysis cache, and the first error a stage produced for it.
+type funcState struct {
+	stats Stats
+	fa    *analysis.FuncAnalyses
+	err   error
+}
+
+// Run applies every pass in order. Function passes verify each function
+// they touched; a final module-wide Verify runs before stats are merged.
+func (pm *PassManager) Run(m *ir.Module) error {
+	start := time.Now()
+	// Serial module preparation, in pass order, before any function work.
+	for _, p := range pm.Passes {
+		if s, ok := p.(ModuleSetup); ok {
+			if err := s.Setup(m); err != nil {
+				return fmt.Errorf("passes: %s: %w", p.Name(), err)
+			}
 		}
 	}
-	p.Stats.FinishGuardStats(m)
-	p.publish()
+	fstate := make(map[*ir.Func]*funcState)
+	for i := 0; i < len(pm.Passes); {
+		if mp, ok := pm.Passes[i].(ModulePass); ok {
+			if err := mp.RunOnModule(m, &pm.Stats); err != nil {
+				return fmt.Errorf("passes: %s: %w", mp.Name(), err)
+			}
+			if err := m.Verify(); err != nil {
+				return fmt.Errorf("passes: after %s: %w", mp.Name(), err)
+			}
+			// A module pass may rewrite anything: drop all cached analyses.
+			for _, st := range fstate {
+				st.fa.InvalidateAll()
+			}
+			i++
+			continue
+		}
+		var stage []FuncPass
+		for i < len(pm.Passes) {
+			fp, ok := pm.Passes[i].(FuncPass)
+			if !ok {
+				break
+			}
+			stage = append(stage, fp)
+			i++
+		}
+		if len(stage) == 0 {
+			return fmt.Errorf("passes: %s implements neither FuncPass nor ModulePass", pm.Passes[i].Name())
+		}
+		if err := pm.runFuncStage(m, stage, fstate); err != nil {
+			return err
+		}
+	}
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("passes: %w", err)
+	}
+	// Deterministic fold: per-function stats merge in m.Funcs order.
+	for _, f := range m.Funcs {
+		if st := fstate[f]; st != nil {
+			pm.Stats.Merge(&st.stats)
+		}
+	}
+	pm.Stats.FinishGuardStats(m)
+	pm.publish(time.Since(start))
 	return nil
 }
 
+// runFuncStage applies a run of function passes to every defined function,
+// in parallel when Workers allows. Each function runs the full stage
+// (pass, invalidate, verify) independently; errors are reported for the
+// first failing function in m.Funcs order.
+func (pm *PassManager) runFuncStage(m *ir.Module, stage []FuncPass, fstate map[*ir.Func]*funcState) error {
+	var work []*ir.Func
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if fstate[f] == nil {
+			fstate[f] = &funcState{fa: analysis.NewFuncAnalyses(f, &pm.cache)}
+		}
+		work = append(work, f)
+	}
+	runOne := func(f *ir.Func) error {
+		st := fstate[f]
+		for _, fp := range stage {
+			if err := fp.RunOnFunc(f, &st.stats, st.fa); err != nil {
+				return fmt.Errorf("passes: %s: @%s: %w", fp.Name(), f.Name, err)
+			}
+			st.fa.Invalidate(fp.Preserves())
+			if err := ir.VerifyFunc(f); err != nil {
+				return fmt.Errorf("passes: after %s: %w", fp.Name(), err)
+			}
+		}
+		return nil
+	}
+	workers := pm.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, f := range work {
+			if err := runOne(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan *ir.Func)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				fstate[f].err = runOne(f)
+			}
+		}()
+	}
+	for _, f := range work {
+		jobs <- f
+	}
+	close(jobs)
+	wg.Wait()
+	for _, f := range work {
+		if err := fstate[f].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnalysisStats returns the analysis-cache counters accumulated so far.
+func (pm *PassManager) AnalysisStats() analysis.CacheSnapshot { return pm.cache.Snapshot() }
+
 // publish adds this module's compile-time statistics to the registry.
 // Counters accumulate across modules sharing a registry (a bench sweep).
-func (p *Pipeline) publish() {
-	if p.Obs == nil {
+func (pm *PassManager) publish(wall time.Duration) {
+	if pm.Obs == nil {
 		return
 	}
 	add := func(name string, v int) {
 		if v > 0 {
-			p.Obs.Counter("carat.passes." + name).Add(uint64(v))
+			pm.Obs.Counter("carat.passes." + name).Add(uint64(v))
 		}
 	}
-	add("guards_injected", p.Stats.GuardsInjected)
-	add("guards_remaining", p.Stats.GuardsRemaining)
-	add("guards_hoisted", p.Stats.Hoisted)
-	add("guards_merged", p.Stats.Merged)
-	add("guards_removed", p.Stats.Removed)
-	add("alloc_callbacks", p.Stats.AllocCallbacks)
-	add("free_callbacks", p.Stats.FreeCallbacks)
-	add("escape_callbacks", p.Stats.EscapeCallbacks)
+	add("guards_injected", pm.Stats.GuardsInjected)
+	add("guards_remaining", pm.Stats.GuardsRemaining)
+	add("guards_hoisted", pm.Stats.Hoisted)
+	add("guards_merged", pm.Stats.Merged)
+	add("guards_removed", pm.Stats.Removed)
+	add("alloc_callbacks", pm.Stats.AllocCallbacks)
+	add("free_callbacks", pm.Stats.FreeCallbacks)
+	add("escape_callbacks", pm.Stats.EscapeCallbacks)
+	cs := pm.cache.Snapshot()
+	pm.Obs.Counter("carat.passes.analysis.hits").Add(cs.Hits)
+	pm.Obs.Counter("carat.passes.analysis.misses").Add(cs.Misses)
+	pm.Obs.Counter("carat.passes.analysis.invalidations").Add(cs.Invalidations)
+	pm.Obs.Counter("carat.passes.analysis.recomputes").Add(cs.Recomputes)
+	pm.Obs.Counter("carat.passes.compile_wall_ns").Add(uint64(wall.Nanoseconds()))
 }
 
 // Level selects how much of the CARAT pipeline to run.
@@ -184,9 +385,9 @@ const (
 	LevelTrackingOnly
 )
 
-// Build returns the standard pipeline for a level.
-func Build(level Level) *Pipeline {
-	p := &Pipeline{}
+// Build returns the standard pass manager for a level.
+func Build(level Level) *PassManager {
+	p := &PassManager{}
 	add := func(ps ...Pass) { p.Passes = append(p.Passes, ps...) }
 	add(&ConstFold{}, &CSE{}, &LICM{}, &DCE{})
 	switch level {

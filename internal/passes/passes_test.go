@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"carat/internal/analysis"
 	"carat/internal/ir"
 )
 
@@ -56,7 +57,7 @@ exit:
 
 func TestGuardInjectCounts(t *testing.T) {
 	m := ir.MustParse(loopSrc)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ entry:
   ret i64 %r
 }`)
 	m.Func("callee").StackFootprint = 64
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestGuardInjectSkipsRuntimeCalls(t *testing.T) {
 	b := ir.NewBuilder(f)
 	b.Call(malloc, b.I64(64))
 	b.Ret(nil)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestGuardInjectSkipsRuntimeCalls(t *testing.T) {
 
 func TestHoistInvariantGuard(t *testing.T) {
 	m := ir.MustParse(loopSrc)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &HoistGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &HoistGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestHoistInvariantGuard(t *testing.T) {
 
 func TestMergeAffineGuards(t *testing.T) {
 	m := ir.MustParse(loopSrc)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &MergeGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &MergeGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ entry:
   %c = load i64, @g
   ret i64 %c
 }`)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ merge:
   %y = load i64, @g
   ret i64 %y
 }`)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ merge:
   %y = load i64, @h
   ret i64 %y
 }`)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &RedundantGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestRedundantSizeSubsumption(t *testing.T) {
 	b.Guard(ir.GuardLoad, g, b.I64(4))  // narrower: subsumed
 	b.Guard(ir.GuardLoad, g, b.I64(16)) // wider: NOT subsumed
 	b.Ret(nil)
-	pl := &Pipeline{Passes: []Pass{&RedundantGuards{}}}
+	pl := &PassManager{Passes: []Pass{&RedundantGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ entry:
   %s = alloca i64, 4
   ret i64 0
 }`)
-	pl := &Pipeline{Passes: []Pass{&TrackingInject{}}}
+	pl := &PassManager{Passes: []Pass{&TrackingInject{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestTrackingCallocSize(t *testing.T) {
 	b := ir.NewBuilder(f)
 	b.Call(calloc, b.I64(10), b.I64(8))
 	b.Ret(nil)
-	pl := &Pipeline{Passes: []Pass{&TrackingInject{}}}
+	pl := &PassManager{Passes: []Pass{&TrackingInject{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ entry:
   %c = sub i64 %b, 0
   ret i64 %c
 }`)
-	pl := &Pipeline{Passes: []Pass{&ConstFold{}, &DCE{}}}
+	pl := &PassManager{Passes: []Pass{&ConstFold{}, &DCE{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +410,7 @@ entry:
   store i64 5, @g
   ret void
 }`)
-	pl := &Pipeline{Passes: []Pass{&DCE{}}}
+	pl := &PassManager{Passes: []Pass{&DCE{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ entry:
   %d = sdiv i64 %x, 0
   ret void
 }`)
-	pl := &Pipeline{Passes: []Pass{&DCE{}}}
+	pl := &PassManager{Passes: []Pass{&DCE{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +451,7 @@ entry:
   %s = add i64 %v1, %v2
   ret i64 %s
 }`)
-	pl := &Pipeline{Passes: []Pass{&CSE{}}}
+	pl := &PassManager{Passes: []Pass{&CSE{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +484,7 @@ latch:
 exit:
   ret i64 0
 }`)
-	pl := &Pipeline{Passes: []Pass{&LICM{}}}
+	pl := &PassManager{Passes: []Pass{&LICM{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}
@@ -549,26 +550,29 @@ func TestTable1InvariantFractionsSum(t *testing.T) {
 }
 
 func TestPipelineVerifiesAfterEachPass(t *testing.T) {
-	// A pass that corrupts the module must be caught.
+	// A pass that corrupts a function must be caught by the per-function
+	// verifier right after it runs.
 	m := ir.MustParse(loopSrc)
-	bad := passFunc{name: "corrupt", fn: func(m *ir.Module, _ *Stats) error {
-		f := m.Func("f")
+	bad := funcPassStub{name: "corrupt", fn: func(f *ir.Func, _ *Stats, _ *analysis.FuncAnalyses) error {
 		f.Blocks[0].Instrs = nil // unterminate entry
 		return nil
 	}}
-	pl := &Pipeline{Passes: []Pass{bad}}
+	pl := &PassManager{Passes: []Pass{bad}}
 	if err := pl.Run(m); err == nil {
-		t.Error("pipeline did not catch corrupted module")
+		t.Error("pass manager did not catch corrupted function")
 	}
 }
 
-type passFunc struct {
+type funcPassStub struct {
 	name string
-	fn   func(*ir.Module, *Stats) error
+	fn   func(*ir.Func, *Stats, *analysis.FuncAnalyses) error
 }
 
-func (p passFunc) Name() string                     { return p.name }
-func (p passFunc) Run(m *ir.Module, s *Stats) error { return p.fn(m, s) }
+func (p funcPassStub) Name() string                  { return p.name }
+func (p funcPassStub) Preserves() analysis.Preserved { return analysis.PreserveNone }
+func (p funcPassStub) RunOnFunc(f *ir.Func, s *Stats, fa *analysis.FuncAnalyses) error {
+	return p.fn(f, s, fa)
+}
 
 func TestBoundedIndexMerge(t *testing.T) {
 	// Random masked indices are not affine, but the value-range rule must
@@ -594,7 +598,7 @@ header:
 exit:
   ret i64 0
 }`)
-	pl := &Pipeline{Passes: []Pass{&GuardInject{}, &MergeGuards{}}}
+	pl := &PassManager{Passes: []Pass{&GuardInject{}, &MergeGuards{}}}
 	if err := pl.Run(m); err != nil {
 		t.Fatal(err)
 	}

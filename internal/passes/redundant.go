@@ -24,18 +24,22 @@ type guardFact struct {
 	kind ir.GuardKind // call guards only subsume call guards
 }
 
-// Run implements Pass.
-func (*RedundantGuards) Run(m *ir.Module, stats *Stats) error {
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
-		}
-		acdcFunc(f, stats)
-	}
+// Preserves implements FuncPass. Removing a guard deletes a void
+// instruction nothing references: block structure, alias facts, and value
+// ranges all survive; only the per-loop analyses (which record loop
+// contents) go stale.
+func (*RedundantGuards) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops,
+		analysis.IDAlias, analysis.IDRanges)
+}
+
+// RunOnFunc implements FuncPass.
+func (*RedundantGuards) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	acdcFunc(f, stats, fa)
 	return nil
 }
 
-func acdcFunc(f *ir.Func, stats *Stats) {
+func acdcFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) {
 	// Build the fact universe: one fact per distinct (addr value, kind),
 	// carrying the maximum size guaranteed when the fact holds. To stay
 	// conservative the fact's size is the MINIMUM of the generating
@@ -76,7 +80,7 @@ func acdcFunc(f *ir.Func, stats *Stats) {
 		return
 	}
 
-	cfg := analysis.NewCFG(f)
+	cfg := fa.CFG()
 	ins := analysis.ForwardMust(cfg, nFacts, func(b *ir.Block, in analysis.Bits) analysis.Bits {
 		for _, i := range b.Instrs {
 			if i.Op == ir.OpGuard {

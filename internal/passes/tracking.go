@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"carat/internal/analysis"
 	"carat/internal/ir"
 )
 
@@ -14,53 +15,67 @@ import (
 //
 // Static allocations (globals) are recorded by the loader at program load
 // time, not by instrumentation.
-type TrackingInject struct{}
+//
+// The callback declarations are module mutations, so they happen in the
+// serial Setup hook; the per-function instrumentation then runs in the
+// parallel function sweep.
+type TrackingInject struct {
+	allocCB, freeCB, escCB *ir.Func
+}
 
 // Name implements Pass.
 func (*TrackingInject) Name() string { return "carat-tracking" }
 
-// Run implements Pass.
-func (*TrackingInject) Run(m *ir.Module, stats *Stats) error {
-	allocCB := m.DeclareFunc(ir.FnTrackAlloc, ir.Void, ir.Ptr, ir.I64)
-	freeCB := m.DeclareFunc(ir.FnTrackFree, ir.Void, ir.Ptr)
-	escCB := m.DeclareFunc(ir.FnTrackEscape, ir.Void, ir.Ptr, ir.Ptr)
+// Setup implements ModuleSetup: declare the runtime callbacks once, before
+// any function is instrumented concurrently.
+func (t *TrackingInject) Setup(m *ir.Module) error {
+	t.allocCB = m.DeclareFunc(ir.FnTrackAlloc, ir.Void, ir.Ptr, ir.I64)
+	t.freeCB = m.DeclareFunc(ir.FnTrackFree, ir.Void, ir.Ptr)
+	t.escCB = m.DeclareFunc(ir.FnTrackEscape, ir.Void, ir.Ptr, ir.Ptr)
+	return nil
+}
 
-	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			continue
-		}
-		for _, b := range f.Blocks {
-			// Iterate over a snapshot: insertions must not be revisited.
-			snapshot := append([]*ir.Instr(nil), b.Instrs...)
-			for _, in := range snapshot {
-				switch {
-				case in.Op == ir.OpCall && in.Callee != nil && ir.IsAllocFn(in.Callee.Name):
-					size := allocSizeValue(f, b, in)
-					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: allocCB,
-						Args: []ir.Value{in, size}}
-					insertAfter(b, cb, in)
-					stats.AllocCallbacks++
+// Preserves implements FuncPass. Inserted calls and size multiplies are
+// new values (and real calls), so everything derived from instruction
+// contents — alias, ranges, invariance, SCEV — goes stale; only block
+// structure survives.
+func (*TrackingInject) Preserves() analysis.Preserved {
+	return analysis.Preserve(analysis.IDCFG, analysis.IDDom, analysis.IDLoops)
+}
 
-				case in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == ir.FnFree:
-					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: freeCB,
-						Args: []ir.Value{in.Args[0]}}
-					b.InsertBefore(cb, in)
-					stats.FreeCallbacks++
+// RunOnFunc implements FuncPass.
+func (t *TrackingInject) RunOnFunc(f *ir.Func, stats *Stats, fa *analysis.FuncAnalyses) error {
+	for _, b := range f.Blocks {
+		// Iterate over a snapshot: insertions must not be revisited.
+		snapshot := append([]*ir.Instr(nil), b.Instrs...)
+		for _, in := range snapshot {
+			switch {
+			case in.Op == ir.OpCall && in.Callee != nil && ir.IsAllocFn(in.Callee.Name):
+				size := allocSizeValue(f, b, in)
+				cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: t.allocCB,
+					Args: []ir.Value{in, size}}
+				insertAfter(b, cb, in)
+				stats.AllocCallbacks++
 
-				case in.Op == ir.OpAlloca:
-					size := allocaSizeValue(f, b, in)
-					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: allocCB,
-						Args: []ir.Value{in, size}}
-					insertAfter(b, cb, in)
-					stats.AllocCallbacks++
+			case in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == ir.FnFree:
+				cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: t.freeCB,
+					Args: []ir.Value{in.Args[0]}}
+				b.InsertBefore(cb, in)
+				stats.FreeCallbacks++
 
-				case in.Op == ir.OpStore && in.Args[0].Type().IsPtr():
-					// A pointer was copied into memory: an escape (§2.2).
-					cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: escCB,
-						Args: []ir.Value{in.Args[1], in.Args[0]}}
-					insertAfter(b, cb, in)
-					stats.EscapeCallbacks++
-				}
+			case in.Op == ir.OpAlloca:
+				size := allocaSizeValue(f, b, in)
+				cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: t.allocCB,
+					Args: []ir.Value{in, size}}
+				insertAfter(b, cb, in)
+				stats.AllocCallbacks++
+
+			case in.Op == ir.OpStore && in.Args[0].Type().IsPtr():
+				// A pointer was copied into memory: an escape (§2.2).
+				cb := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: t.escCB,
+					Args: []ir.Value{in.Args[1], in.Args[0]}}
+				insertAfter(b, cb, in)
+				stats.EscapeCallbacks++
 			}
 		}
 	}
@@ -91,7 +106,7 @@ func allocSizeValue(f *ir.Func, b *ir.Block, call *ir.Instr) ir.Value {
 		return call.Args[0]
 	}
 	// calloc(n, size)
-	mul := &ir.Instr{Op: ir.OpMul, Name: freshName(f, "tk"), Typ: ir.I64,
+	mul := &ir.Instr{Op: ir.OpMul, Name: f.FreshName("tk"), Typ: ir.I64,
 		Args: []ir.Value{call.Args[0], call.Args[1]}}
 	b.InsertBefore(mul, call)
 	return mul
@@ -103,7 +118,7 @@ func allocaSizeValue(f *ir.Func, b *ir.Block, al *ir.Instr) ir.Value {
 	if c, ok := al.Args[0].(*ir.Const); ok {
 		return ir.ConstInt(ir.I64, c.Int*elem)
 	}
-	mul := &ir.Instr{Op: ir.OpMul, Name: freshName(f, "tk"), Typ: ir.I64,
+	mul := &ir.Instr{Op: ir.OpMul, Name: f.FreshName("tk"), Typ: ir.I64,
 		Args: []ir.Value{al.Args[0], ir.ConstInt(ir.I64, elem)}}
 	b.InsertBefore(mul, al)
 	return mul

@@ -20,7 +20,7 @@ import (
 // understands (kept in sync with the constants in internal/obs and
 // internal/bench).
 var supported = map[string]int{
-	"carat.bench.result": 1,
+	"carat.bench.result": 2,
 	"carat.vm.run":       1,
 	"carat.metrics":      1,
 	"carat.trace":        1,
