@@ -6,7 +6,7 @@ GO ?= go
 # WORKERS sets the caratbench worker-pool width for smoke (0 = GOMAXPROCS).
 WORKERS ?= 0
 
-.PHONY: all fmt vet build test race smoke check
+.PHONY: all fmt vet build test race smoke bench check
 
 all: check
 
@@ -36,5 +36,14 @@ race:
 # validates that the output parses and carries a supported schema version.
 smoke: build
 	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) | $(GO) run ./scripts/validatejson
+
+# bench measures the execution engine (baseline dispatch vs predecode vs
+# predecode+xcache), writes BENCH_exec.json, validates its schema, and
+# fails if the full engine is below 2x over baseline dispatch or has
+# regressed >20% against the committed reference speedups.
+bench: build
+	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 2x ./internal/bench/
+	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json
+	$(GO) run ./scripts/validatejson BENCH_exec.json
 
 check: fmt vet build test race

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+
+	"carat/internal/passes"
+)
+
+// The three engine configurations of the interpreter, measured over the
+// same guard-heavy kernel. Run via `make bench`:
+//
+//	go test -run '^$' -bench BenchmarkExec ./internal/bench/
+//
+// b.N counts whole program executions; the per-op metric is therefore one
+// full kernel run. ReportMetric adds modeled-instructions-per-host-second,
+// the figure of merit BENCH_exec.json records.
+
+func benchEngine(b *testing.B, predecode, xcache bool) {
+	b.Helper()
+	const iters = 20
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := ExecBenchModule(iters, passes.LevelGuardsOnly)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		v, _, err := runExecOnce(m, predecode, xcache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = v.Instrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstrs/s")
+}
+
+func BenchmarkExecBaseline(b *testing.B)  { benchEngine(b, false, false) }
+func BenchmarkExecPredecode(b *testing.B) { benchEngine(b, true, false) }
+func BenchmarkExecXCache(b *testing.B)    { benchEngine(b, true, true) }
+
+// TestExecBenchGate runs the same measurement the CI gate uses, at reduced
+// size, and checks the document invariants (schema header, engine-invariant
+// modeled results are asserted inside RunExecBench itself).
+func TestExecBenchGate(t *testing.T) {
+	doc, err := RunExecBench(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != ExecBenchSchema || doc.Version != ExecBenchVersion {
+		t.Errorf("schema header %s v%d, want %s v%d", doc.Schema, doc.Version, ExecBenchSchema, ExecBenchVersion)
+	}
+	if len(doc.Engines) != 3 {
+		t.Fatalf("engines = %d, want 3", len(doc.Engines))
+	}
+	for _, e := range doc.Engines {
+		if e.Instrs == 0 || e.WallMS <= 0 {
+			t.Errorf("engine %s: empty measurement %+v", e.Engine, e)
+		}
+	}
+	full := doc.Engines[2]
+	if full.XCacheHits == 0 {
+		t.Error("full engine recorded no xcache hits")
+	}
+	if doc.SpeedupFull <= 0 {
+		t.Error("speedup not computed")
+	}
+}

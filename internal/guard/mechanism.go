@@ -73,6 +73,13 @@ type Evaluator struct {
 	lastLeaf  int
 	treeEpoch uint64
 	tree      []treeNode
+
+	// recording state for CheckCached: while recOn, the search mechanisms
+	// append their branch path to recSteps and count mispredicts in
+	// recMisp, so the xcache can replay the walk's exact cost later.
+	recOn    bool
+	recSteps []pathStep
+	recMisp  int
 }
 
 // NewEvaluator returns an evaluator over set using mech.
@@ -199,6 +206,12 @@ func (e *Evaluator) checkBinary(addr, size uint64, p Perm) (bool, uint64) {
 		if e.lastPath[depth] != goLeft {
 			cost += costMispredict
 			e.lastPath[depth] = goLeft
+			if e.recOn {
+				e.recMisp++
+			}
+		}
+		if e.recOn {
+			e.recSteps = append(e.recSteps, pathStep{idx: int32(depth), left: goLeft})
 		}
 		depth++
 		switch {
@@ -237,6 +250,12 @@ func (e *Evaluator) checkIfTree(addr, size uint64, p Perm) (bool, uint64) {
 		if e.lastPath[node] != goLeft {
 			cost += costMispredict
 			e.lastPath[node] = goLeft
+			if e.recOn {
+				e.recMisp++
+			}
+		}
+		if e.recOn {
+			e.recSteps = append(e.recSteps, pathStep{idx: int32(node), left: goLeft})
 		}
 		next := n.right
 		if goLeft {

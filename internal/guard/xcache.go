@@ -1,0 +1,182 @@
+package guard
+
+// The translation/guard cache ("xcache"). CARAT's argument is that software
+// translation approaches hardware speed by exploiting locality; the xcache
+// models the software analogue of an inline TLB fast path: a small
+// direct-mapped cache in front of the guard evaluator keyed by (page, perm).
+// A hit replays the *recorded* evaluator outcome — including the exact
+// modeled cycle cost and the branch-predictor state transitions the full
+// walk would have performed — so the modeled cycle accounting is
+// byte-identical with the cache on or off. The cache is a host-speed
+// optimization only: it changes how fast the interpreter runs on the host,
+// never what the model observes.
+//
+// Validity has two layers:
+//
+//   - every entry is stamped with the RegionSet epoch at fill time and a
+//     hit requires an exact epoch match, so any region-set mutation
+//     (grant/release/protect, Fig-8 page moves) implicitly invalidates the
+//     whole cache even if an explicit flush is missed;
+//   - explicit invalidation (InvalidateAll on region-set changes,
+//     InvalidateRange for map changes that leave the region set alone —
+//     allocation-granularity moves, swap in/out) clears entries eagerly and
+//     feeds the carat.vm.xcache.invalidations counter.
+
+// xcachePageShift matches kernel.PageSize (4 KiB); guard cannot import
+// kernel (kernel imports guard), so the constant is mirrored here.
+const xcachePageShift = 12
+
+// xcacheSlots is the number of direct-mapped entries. 64 entries cover a
+// 256 KiB working set of guarded pages, far beyond the loop footprints the
+// Fig-3 workloads touch between map changes.
+const xcacheSlots = 64
+
+// pathStep records one branch direction of a search walk: the predictor
+// slot it consulted (depth for binary search, node id for the if-tree) and
+// the direction taken.
+type pathStep struct {
+	idx  int32
+	left bool
+}
+
+// xslot is one direct-mapped cache entry. It caches a *successful* check of
+// the interval [lo, hi) — the intersection of the matched region with the
+// page — together with the base cost of the walk (all cycles except
+// mispredict penalties) and the walk's branch path for replay.
+type xslot struct {
+	valid bool
+	perm  Perm
+	page  uint64 // addr >> xcachePageShift
+	epoch uint64 // RegionSet.Epoch at fill
+	lo    uint64 // first valid byte
+	hi    uint64 // first invalid byte
+	base  uint64 // modeled cycles excluding mispredicts
+	steps []pathStep
+}
+
+// XCache is a per-thread direct-mapped guard/translation cache. It is not
+// safe for concurrent use; each VM thread owns one.
+type XCache struct {
+	slots [xcacheSlots]xslot
+
+	// Hits, Misses and Invalidations count cache events. Invalidations
+	// counts entries actually dropped, not flush calls.
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// NewXCache returns an empty cache.
+func NewXCache() *XCache { return &XCache{} }
+
+func xslotIndex(page uint64, p Perm) int {
+	h := (page ^ uint64(p)<<56) * 0x9E3779B97F4A7C15
+	return int(h >> 58) // top 6 bits: 64 slots
+}
+
+// InvalidateAll drops every entry. Used when the region set itself changes
+// (search paths shift globally, so no entry can be trusted).
+func (c *XCache) InvalidateAll() {
+	for i := range c.slots {
+		if c.slots[i].valid {
+			c.slots[i].valid = false
+			c.Invalidations++
+		}
+	}
+}
+
+// InvalidateRange drops entries whose page overlaps [base, base+length).
+// Used for map changes that do not touch the region set (allocation-
+// granularity moves, swap in/out), where only the affected pages go stale.
+func (c *XCache) InvalidateRange(base, length uint64) {
+	if length == 0 {
+		return
+	}
+	first := base >> xcachePageShift
+	last := (base + length - 1) >> xcachePageShift
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.valid && s.page >= first && s.page <= last {
+			s.valid = false
+			c.Invalidations++
+		}
+	}
+}
+
+// ValidPages returns the page base addresses currently cached, for tests
+// asserting invalidation precision.
+func (c *XCache) ValidPages() []uint64 {
+	var pages []uint64
+	for i := range c.slots {
+		if c.slots[i].valid {
+			pages = append(pages, c.slots[i].page<<xcachePageShift)
+		}
+	}
+	return pages
+}
+
+// CheckCached is Check fronted by the xcache. On a hit it charges exactly
+// the cycles the full walk would have charged (base cost plus a mispredict
+// penalty for every recorded step that diverges from the current branch
+// history, updating the history as the real walk would). On a miss it runs
+// the full walk in recording mode and fills the entry.
+//
+// Only successful checks are cached: a fault is a cold path by definition
+// and takes the full walk every time.
+func (e *Evaluator) CheckCached(c *XCache, addr, size uint64, p Perm) bool {
+	if c == nil {
+		return e.Check(addr, size, p)
+	}
+	page := addr >> xcachePageShift
+	s := &c.slots[xslotIndex(page, p)]
+	if s.valid && s.page == page && s.perm == p && s.epoch == e.Set.Epoch &&
+		addr >= s.lo && addr+size <= s.hi && size <= s.hi-s.lo {
+		c.Hits++
+		e.Checks++
+		cost := s.base
+		for _, st := range s.steps {
+			if e.lastPath[st.idx] != st.left {
+				cost += costMispredict
+				e.lastPath[st.idx] = st.left
+			}
+		}
+		e.Cycles += cost
+		return true
+	}
+	c.Misses++
+
+	// Full walk in recording mode.
+	e.recOn = true
+	e.recSteps = e.recSteps[:0]
+	e.recMisp = 0
+	before := e.Cycles
+	ok := e.Check(addr, size, p)
+	e.recOn = false
+	if !ok {
+		return false
+	}
+	r, found := e.Set.Find(addr)
+	if !found {
+		return ok // cannot happen for a passing check; be safe
+	}
+	pageBase := page << xcachePageShift
+	lo, hi := r.Base, r.End()
+	if lo < pageBase {
+		lo = pageBase
+	}
+	if end := pageBase + (1 << xcachePageShift); hi > end {
+		hi = end
+	}
+	walkCost := e.Cycles - before
+	*s = xslot{
+		valid: true,
+		perm:  p,
+		page:  page,
+		epoch: e.Set.Epoch,
+		lo:    lo,
+		hi:    hi,
+		base:  walkCost - uint64(e.recMisp)*costMispredict,
+		steps: append([]pathStep(nil), e.recSteps...),
+	}
+	return true
+}

@@ -20,28 +20,42 @@ import (
 // register-patch, data-copy sequence as a page move, minus expansion and
 // page negotiation. The recorded MoveBreakdown has zero expand cost.
 func (r *Runtime) MoveAllocationTo(base, dst uint64) (MoveBreakdown, error) {
-	regs := r.world.StopTheWorld()
-	defer r.world.ResumeTheWorld()
+	w := r.getWorld()
+	regs := w.StopTheWorld()
+	defer w.ResumeTheWorld()
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	bd, length, err := r.moveAllocationLocked(base, dst, regs)
+	if err != nil {
+		return bd, err
+	}
+	// Listeners run with the world still stopped but outside every runtime
+	// lock (same contract as HandleMove).
+	for _, fn := range r.copyMoveListeners() {
+		fn(base, dst, length)
+	}
+	return bd, nil
+}
+
+func (r *Runtime) moveAllocationLocked(base, dst uint64, regs []RegSet) (MoveBreakdown, uint64, error) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.Flush()
 
 	var bd MoveBreakdown
 	a := r.Table.Covering(base)
 	if a == nil || a.Base != base {
-		return bd, fmt.Errorf("runtime: no allocation based at %#x", base)
+		return bd, 0, fmt.Errorf("runtime: no allocation based at %#x", base)
 	}
 	length := a.Len
 	if dst < base+length && base < dst+length {
-		return bd, fmt.Errorf("runtime: allocation move ranges overlap")
+		return bd, 0, fmt.Errorf("runtime: allocation move ranges overlap")
 	}
 	bd.ExpandCycles = 0 // the whole point: no page expansion
 	bd.PatchCycles += cycTableLookup
 	bd.AllocsMoved = 1
 
 	// Patch escapes of this allocation.
-	for loc := range a.Escapes {
+	for _, loc := range r.Table.EscapeLocsOf(a) {
 		bd.PatchCycles += cycEscapePatch
 		val := r.mem.Load64(loc)
 		if val >= base && val < base+length {
@@ -70,38 +84,34 @@ func (r *Runtime) MoveAllocationTo(base, dst uint64) (MoveBreakdown, error) {
 	// Copy only the allocation's bytes — not whole pages.
 	data, err := r.mem.ReadAt(base, length)
 	if err != nil {
-		return bd, err
+		return bd, 0, err
 	}
 	if err := r.mem.WriteAt(dst, data); err != nil {
-		return bd, err
+		return bd, 0, err
 	}
 	if err := r.mem.Zero(base, length); err != nil {
-		return bd, err
+		return bd, 0, err
 	}
 	bd.MoveCycles += length * cycPerByteMove
 	bd.PagesMoved = (length + kernel.PageSize - 1) / kernel.PageSize
 
 	r.MoveStats = append(r.MoveStats, bd)
-	for _, fn := range r.moveListeners {
-		fn(base, dst, length)
-	}
-	return bd, nil
+	return bd, length, nil
 }
 
 // WorstCaseHeapAllocation returns the base of the most-escaped non-static
 // allocation within [lo, hi), for the allocation-granularity ablation
 // (which relocates within the heap).
 func (r *Runtime) WorstCaseHeapAllocation(lo, hi uint64) (base, length uint64, ok bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	r.Flush()
 	var best *Allocation
+	bestN := -1
 	r.Table.ForEach(func(a *Allocation) bool {
 		if a.Static || a.Base < lo || a.End() > hi {
 			return true
 		}
-		if best == nil || len(a.Escapes) > len(best.Escapes) {
-			best = a
+		if n := a.EscapeCount(); n > bestN {
+			best, bestN = a, n
 		}
 		return true
 	})

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+
+	"carat/internal/guard"
+	"carat/internal/kernel"
+)
+
+// The tracking callbacks must be callable from inside a move/invalidation
+// listener: listeners run with the world stopped but outside every runtime
+// lock, so re-entry into TrackAlloc/TrackFree/TrackEscape (e.g. a profiler
+// reacting to a move) must not deadlock.
+func TestMoveListenerMayReenterRuntime(t *testing.T) {
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(4*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocA := base + 64
+	if err := rt.TrackAlloc(allocA, 256); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := base + 3*kernel.PageSize
+	var calls int
+	rt.AddMoveListener(func(src, dst, length uint64) {
+		calls++
+		// Re-enter the tracking API from inside the listener. Any of these
+		// deadlocks if the runtime still holds a lock while notifying.
+		if err := rt.TrackAlloc(scratch, 64); err != nil {
+			t.Errorf("re-entrant TrackAlloc: %v", err)
+		}
+		rt.TrackEscape(scratch+8, scratch)
+		rt.Flush()
+		if err := rt.TrackFree(scratch); err != nil {
+			t.Errorf("re-entrant TrackFree: %v", err)
+		}
+		if rt.Table.Covering(allocA-src+dst) == nil {
+			t.Error("listener sees pre-move table state")
+		}
+	})
+
+	if _, err := p.RequestMove(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("move listener ran %d times, want 1", calls)
+	}
+	_ = k
+}
+
+// Same contract for the invalidation listeners fired by swap-out/swap-in.
+func TestInvalidationListenerMayReenterRuntime(t *testing.T) {
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(4*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := base + 128
+	if err := rt.TrackAlloc(alloc, 256); err != nil {
+		t.Fatal(err)
+	}
+	k.Mem.Store64(base+kernel.PageSize, alloc)
+	rt.TrackEscape(base+kernel.PageSize, alloc)
+	rt.Flush()
+
+	var ranges [][2]uint64
+	rt.AddInvalidationListener(func(b, l uint64) {
+		ranges = append(ranges, [2]uint64{b, l})
+		// Re-enter: a listener may consult or mutate tracking state.
+		rt.TrackEscape(base+kernel.PageSize+8, 0)
+		rt.Flush()
+	})
+
+	slot, err := rt.SwapOut(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBase := base + 2*kernel.PageSize
+	if err := rt.SwapIn(slot, newBase); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 2 {
+		t.Fatalf("invalidation listener ran %d times, want 2", len(ranges))
+	}
+	if ranges[0] != [2]uint64{alloc, 256} {
+		t.Errorf("swap-out invalidated %#x+%d, want %#x+256", ranges[0][0], ranges[0][1], alloc)
+	}
+	if ranges[1] != [2]uint64{newBase, 256} {
+		t.Errorf("swap-in invalidated %#x+%d, want %#x+256", ranges[1][0], ranges[1][1], newBase)
+	}
+}
+
+// Concurrent escape tracking through per-thread buffers against the
+// sharded table: run with -race. Writers hammer disjoint escape
+// locations targeting shared allocations while readers walk the table.
+func TestConcurrentEscapeTrackingSharded(t *testing.T) {
+	_, _, rt := newTestRuntime(t)
+	const nAllocs = 32
+	for i := uint64(0); i < nAllocs; i++ {
+		if err := rt.TrackAlloc(0x100000+i*0x1000, 0x800); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const nWriters = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := rt.NewEscapeBuffer()
+			for i := 0; i < perWriter; i++ {
+				loc := 0x400000 + uint64(w)*perWriter*8 + uint64(i)*8
+				target := 0x100000 + uint64((w*perWriter+i)%nAllocs)*0x1000
+				buf.Track(loc, target+uint64(i%0x800))
+				if i%257 == 0 {
+					buf.Flush()
+				}
+			}
+			buf.Flush()
+		}(w)
+	}
+	// Readers exercise lookup paths concurrently with the flushes.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.Table.EscapeCount()
+				rt.Table.Covering(0x100000 + 0x400)
+				rt.Table.EscapeTarget(0x400000)
+				rt.Table.ForEach(func(a *Allocation) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	rt.Flush()
+
+	if got, want := rt.Table.EscapeCount(), nWriters*perWriter; got != want {
+		t.Errorf("escape count = %d, want %d", got, want)
+	}
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent frees racing escape flushes must leave a consistent table:
+// every surviving escape location maps to a live allocation.
+func TestConcurrentFreeVsEscapeFlush(t *testing.T) {
+	_, _, rt := newTestRuntime(t)
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		if err := rt.TrackAlloc(0x200000+i*0x1000, 0x100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		buf := rt.NewEscapeBuffer()
+		for i := 0; i < 4000; i++ {
+			buf.Track(0x600000+uint64(i)*8, 0x200000+uint64(i%n)*0x1000)
+			if i%101 == 0 {
+				buf.Flush()
+			}
+		}
+		buf.Flush()
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i += 2 {
+			_ = rt.TrackFree(0x200000 + i*0x1000)
+		}
+	}()
+	wg.Wait()
+	rt.Flush()
+	if err := rt.Table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

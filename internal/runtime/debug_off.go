@@ -1,0 +1,7 @@
+//go:build !caratdebug
+
+package runtime
+
+// debugInvariants gates the hot-path invariant walks (see
+// MaybeCheckInvariants). Build with -tags caratdebug to enable them.
+const debugInvariants = false

@@ -1,0 +1,7 @@
+//go:build caratdebug
+
+package runtime
+
+// debugInvariants gates the hot-path invariant walks (see
+// MaybeCheckInvariants). This build has them on.
+const debugInvariants = true

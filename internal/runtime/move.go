@@ -79,13 +79,13 @@ var MoveStepNames = [11]string{
 // kernel flip the region set, resume. The next guard sees the change
 // (§2.2).
 func (r *Runtime) HandleProtect(apply func() error) error {
-	r.world.StopTheWorld()
-	defer r.world.ResumeTheWorld()
-	r.mu.Lock()
-	r.flushLocked()
-	tr := r.tr
-	r.mu.Unlock()
-	tr.Instant("protect.apply", "protocol")
+	w := r.getWorld()
+	w.StopTheWorld()
+	defer w.ResumeTheWorld()
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.Flush()
+	r.tracer().Instant("protect.apply", "protocol")
 	return apply()
 }
 
@@ -101,12 +101,27 @@ func (r *Runtime) HandleProtect(apply func() error) error {
 //	9-10. move the data, free the source
 //	11-12. resume; report completion
 func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error) {
-	regs := r.world.StopTheWorld()
-	defer r.world.ResumeTheWorld()
+	w := r.getWorld()
+	regs := w.StopTheWorld()
+	defer w.ResumeTheWorld()
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	res, src, dst, length, err := r.handleMoveLocked(req, regs)
+	if err != nil {
+		return res, err
+	}
+	// Listeners run with the world still stopped but outside every runtime
+	// lock, so a listener may re-enter the runtime (satellite: no callback
+	// under a held mutex).
+	for _, fn := range r.copyMoveListeners() {
+		fn(src, dst, length)
+	}
+	return res, nil
+}
+
+func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kernel.MoveResult, uint64, uint64, uint64, error) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.Flush()
 
 	var bd MoveBreakdown
 	bd.ExpandCycles += cycBarrier
@@ -149,7 +164,7 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	dst, err := req.NegotiateDst(src, pages)
 	if err != nil {
 		req.Veto()
-		return kernel.MoveResult{}, fmt.Errorf("runtime: move negotiation failed: %w", err)
+		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move negotiation failed: %w", err)
 	}
 	bd.MoveCycles += pages * cycPageAlloc
 
@@ -157,7 +172,7 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	// pointer names the address its target will have after the move.
 	for _, a := range affected {
 		bd.AllocsMoved++
-		for loc := range a.Escapes {
+		for _, loc := range r.Table.EscapeLocsOf(a) {
 			bd.PatchCycles += cycEscapePatch
 			val := r.mem.Load64(loc)
 			if val >= src && val < src+length {
@@ -190,12 +205,12 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 
 	// Steps 9-10: move the data and retire the source.
 	if err := r.mem.Move(dst, src, length); err != nil {
-		return kernel.MoveResult{}, fmt.Errorf("runtime: data move failed: %w", err)
+		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: data move failed: %w", err)
 	}
 	bd.MoveCycles += length * cycPerByteMove
 	bd.PagesMoved = pages
 	if err := req.RetireSrc(src, pages); err != nil {
-		return kernel.MoveResult{}, fmt.Errorf("runtime: source retire failed: %w", err)
+		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: source retire failed: %w", err)
 	}
 
 	r.MoveStats = append(r.MoveStats, bd)
@@ -203,10 +218,7 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	r.Stats.MoveCycles.Add(bd.TotalCycles())
 	r.moveHist.Observe(bd.TotalCycles())
 	r.traceMove(&bd, src, dst, length, lookupCyc, scanCyc)
-	for _, fn := range r.moveListeners {
-		fn(src, dst, length)
-	}
-	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, nil
+	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, src, dst, length, nil
 }
 
 // traceMove emits one span per Figure 8 protocol step, laid end to end on
@@ -218,10 +230,11 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 // breakdown after the fact and charges nothing — results are identical
 // with tracing on or off.
 func (r *Runtime) traceMove(bd *MoveBreakdown, src, dst, length, lookupCyc, scanCyc uint64) {
-	if r.tr == nil {
+	tr := r.tracer()
+	if tr == nil {
 		return
 	}
-	ts := r.tr.Now()
+	ts := tr.Now()
 	durs := [11]uint64{
 		cycStepRequest,
 		cycStepInterrupt,
@@ -235,12 +248,12 @@ func (r *Runtime) traceMove(bd *MoveBreakdown, src, dst, length, lookupCyc, scan
 		length * cycPerByteMove,
 		cycStepResume,
 	}
-	r.tr.SpanAt("move", "protocol", ts, bd.TotalCycles(),
+	tr.SpanAt("move", "protocol", ts, bd.TotalCycles(),
 		obs.A("src", src), obs.A("dst", dst), obs.A("bytes", length),
 		obs.A("allocs_moved", bd.AllocsMoved), obs.A("escapes_patched", bd.EscapesPatched),
 		obs.A("regs_patched", bd.RegsPatched))
 	for i, name := range MoveStepNames {
-		r.tr.SpanAt(name, "protocol", ts, durs[i], obs.A("step", i+1))
+		tr.SpanAt(name, "protocol", ts, durs[i], obs.A("step", i+1))
 		ts += durs[i]
 	}
 }
@@ -250,13 +263,12 @@ func (r *Runtime) traceMove(bd *MoveBreakdown, src, dst, length, lookupCyc, scan
 // repeatedly moves ("the runtime selects a page that overlaps the
 // allocation with the most pointer escapes").
 func (r *Runtime) WorstCasePage() (uint64, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	r.Flush()
 	var best *Allocation
+	bestN := -1
 	r.Table.ForEach(func(a *Allocation) bool {
-		if best == nil || len(a.Escapes) > len(best.Escapes) {
-			best = a
+		if n := a.EscapeCount(); n > bestN {
+			best, bestN = a, n
 		}
 		return true
 	})

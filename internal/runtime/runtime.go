@@ -51,6 +51,8 @@ type Stats struct {
 	SwapIns       *obs.Counter
 	Moves         *obs.Counter // completed kernel-initiated moves
 	MoveCycles    *obs.Counter // total modeled cycles across all moves
+	MemoHits      *obs.Gauge   // shard-memo fast-path hits on escape resolution
+	MemoMisses    *obs.Gauge   // shard-memo misses (full tree descent)
 }
 
 func newStats(reg *obs.Registry) Stats {
@@ -66,6 +68,8 @@ func newStats(reg *obs.Registry) Stats {
 		SwapIns:       reg.Counter("carat.runtime.swap_ins"),
 		Moves:         reg.Counter("carat.runtime.moves"),
 		MoveCycles:    reg.Counter("carat.runtime.move_cycles"),
+		MemoHits:      reg.Gauge("carat.runtime.table.memo_hits"),
+		MemoMisses:    reg.Gauge("carat.runtime.table.memo_misses"),
 	}
 }
 
@@ -84,6 +88,15 @@ const (
 // Runtime is the CARAT runtime linked into the program (§4.2). It keeps
 // the Allocation Table and escape map current via the injected callbacks,
 // and executes the kernel's protection and mapping change requests.
+//
+// Concurrency: the table is internally sharded (see AllocationTable), so
+// the tracking callbacks take no runtime-wide lock — TrackEscape appends
+// to a per-thread EscapeBuffer and the occasional flush runs under the
+// shard locks. opMu serializes the heavyweight map-changing operations
+// (moves, swaps, protect) against each other; stateMu guards the cold
+// registration state. No lock is ever held while user callbacks (move and
+// invalidation listeners) run, so a listener may freely re-enter
+// TrackAlloc/TrackFree or even start another move.
 type Runtime struct {
 	Table *AllocationTable
 	Stats Stats
@@ -92,36 +105,78 @@ type Runtime struct {
 	// histogram of per-move total cycles (carat.runtime.move_cycles_hist).
 	Obs      *obs.Registry
 	moveHist *obs.Histogram
-	tr       *obs.Tracer
 
-	mem   *kernel.PhysMem
-	world World
+	mem *kernel.PhysMem
 
-	mu sync.Mutex
+	// opMu serializes moves, swaps, and protect flips. It is released
+	// before listeners fire.
+	opMu sync.Mutex
 
-	// Escape batching (§4.2: "The Allocation Map changes slowly, while the
-	// Allocation to Escape Map changes quickly. By batching the latter, we
-	// can mitigate redundant/outdated work.")
-	batch     []escapeEvent
-	batchMax  int
-	MoveStats []MoveBreakdown
-
-	// moveListeners are notified, world still stopped, after a move has
-	// patched memory and registers; the VM uses this to rebase its own
-	// non-program bookkeeping (heap break, stack bases, global addresses).
+	// stateMu guards the fields below (registration-time state and the
+	// swap-slot directory).
+	stateMu       sync.Mutex
+	tr            *obs.Tracer
+	world         World
+	bufs          []*EscapeBuffer
 	moveListeners []func(src, dst, length uint64)
+	invListeners  []func(base, length uint64)
 
 	// swapSlots holds evicted allocations (see swap.go); a nil entry is a
-	// slot that has been swapped back in.
+	// slot that has been swapped back in. Guarded by opMu.
 	swapSlots []*swapRecord
+
+	// MoveStats collects one breakdown per completed move. Appends happen
+	// under opMu; readers (experiment harnesses) read between runs.
+	MoveStats []MoveBreakdown
+
+	// defBuf is the escape buffer behind the plain TrackEscape entry
+	// point; batchMax is the per-buffer flush threshold.
+	defBuf   *EscapeBuffer
+	batchMax int
 }
 
 // AddMoveListener registers fn to run after every completed move, while
-// the world is still stopped.
+// the world is still stopped. Listeners run outside all runtime locks: a
+// listener may re-enter the runtime (TrackAlloc, TrackFree, even another
+// move).
 func (r *Runtime) AddMoveListener(fn func(src, dst, length uint64)) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
 	r.moveListeners = append(r.moveListeners, fn)
+}
+
+// AddInvalidationListener registers fn to run after an operation changed
+// the address map without going through the move protocol — swap-out and
+// swap-in — with the affected byte range. The VM uses this to invalidate
+// its per-thread guard/translation caches; mmpolicy-driven swaps reach the
+// VM the same way. Listeners run outside all runtime locks.
+func (r *Runtime) AddInvalidationListener(fn func(base, length uint64)) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	r.invListeners = append(r.invListeners, fn)
+}
+
+func (r *Runtime) copyMoveListeners() []func(src, dst, length uint64) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	out := make([]func(src, dst, length uint64), len(r.moveListeners))
+	copy(out, r.moveListeners)
+	return out
+}
+
+func (r *Runtime) copyInvListeners() []func(base, length uint64) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	out := make([]func(base, length uint64), len(r.invListeners))
+	copy(out, r.invListeners)
+	return out
+}
+
+// notifyInvalidate runs the invalidation listeners for [base, base+length).
+func (r *Runtime) notifyInvalidate(base, length uint64) {
+	for _, fn := range r.copyInvListeners() {
+		fn(base, length)
+	}
 }
 
 type escapeEvent struct {
@@ -146,7 +201,7 @@ func NewWith(mem *kernel.PhysMem, world World, reg *obs.Registry) *Runtime {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Runtime{
+	r := &Runtime{
 		Table:    NewAllocationTable(),
 		Stats:    newStats(reg),
 		Obs:      reg,
@@ -155,39 +210,49 @@ func NewWith(mem *kernel.PhysMem, world World, reg *obs.Registry) *Runtime {
 		world:    world,
 		batchMax: DefaultBatchSize,
 	}
+	r.defBuf = r.NewEscapeBuffer()
+	return r
 }
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (r *Runtime) SetTracer(tr *obs.Tracer) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
 	r.tr = tr
+}
+
+func (r *Runtime) tracer() *obs.Tracer {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.tr
 }
 
 // SetWorld installs the thread controller (the VM does this at startup).
 func (r *Runtime) SetWorld(w World) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
 	r.world = w
+}
+
+func (r *Runtime) getWorld() World {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.world
 }
 
 // TrackAlloc is the carat.alloc callback: a new allocation [base,
 // base+length) exists.
 func (r *Runtime) TrackAlloc(base, length uint64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.trackAllocLocked(base, length, false)
+	return r.trackAlloc(base, length, false)
 }
 
 // TrackStatic records a load-time (static) allocation: a global, the
 // stack, or program code.
 func (r *Runtime) TrackStatic(base, length uint64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.trackAllocLocked(base, length, true)
+	return r.trackAlloc(base, length, true)
 }
 
-func (r *Runtime) trackAllocLocked(base, length uint64, static bool) error {
+func (r *Runtime) trackAlloc(base, length uint64, static bool) error {
 	if _, err := r.Table.Insert(base, length, static); err != nil {
 		return err
 	}
@@ -198,11 +263,9 @@ func (r *Runtime) trackAllocLocked(base, length uint64, static bool) error {
 
 // TrackFree is the carat.free callback.
 func (r *Runtime) TrackFree(base uint64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	// Pending escapes may reference the dying allocation: flush first so
 	// stale batch entries cannot resurrect it.
-	r.flushLocked()
+	r.Flush()
 	a := r.Table.Remove(base)
 	if a == nil {
 		return fmt.Errorf("runtime: free of untracked allocation %#x", base)
@@ -218,36 +281,83 @@ func (r *Runtime) TrackFree(base uint64) error {
 	return nil
 }
 
-// TrackEscape is the carat.escape callback: memory location loc now holds
-// the pointer value val. Events are batched; the batch drains at the flush
-// threshold, at world stops, and at queries.
-func (r *Runtime) TrackEscape(loc, val uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// EscapeBuffer is a per-thread escape-event batch (§4.2: "The Allocation
+// Map changes slowly, while the Allocation to Escape Map changes quickly.
+// By batching the latter, we can mitigate redundant/outdated work.").
+// Each VM thread owns one, so the hot tracking path contends on nothing
+// wider than its own buffer; the batch drains into the sharded table at
+// the flush threshold, at world stops, and at queries.
+type EscapeBuffer struct {
+	r      *Runtime
+	mu     sync.Mutex
+	events []escapeEvent
+}
+
+// NewEscapeBuffer creates and registers a per-thread escape buffer. The
+// runtime drains all registered buffers at world stops and queries.
+func (r *Runtime) NewEscapeBuffer() *EscapeBuffer {
+	b := &EscapeBuffer{r: r}
+	r.stateMu.Lock()
+	r.bufs = append(r.bufs, b)
+	r.stateMu.Unlock()
+	return b
+}
+
+// Track appends one escape event; the buffer self-flushes at the batch
+// threshold.
+func (b *EscapeBuffer) Track(loc, val uint64) {
+	r := b.r
 	r.Stats.EscapeEvents.Inc()
 	r.Stats.TrackingCycle.Add(cycEscapeEnq)
-	r.batch = append(r.batch, escapeEvent{loc, val})
-	if len(r.batch) >= r.batchMax {
-		r.flushLocked()
+	b.mu.Lock()
+	b.events = append(b.events, escapeEvent{loc, val})
+	full := len(b.events) >= r.batchMax
+	b.mu.Unlock()
+	if full {
+		b.Flush()
 	}
 }
 
-// Flush drains the escape batch into the table.
-func (r *Runtime) Flush() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+// Flush drains this buffer into the table.
+func (b *EscapeBuffer) Flush() {
+	b.mu.Lock()
+	drain := append([]escapeEvent(nil), b.events...)
+	b.events = b.events[:0]
+	b.mu.Unlock()
+	b.r.apply(drain)
 }
 
-func (r *Runtime) flushLocked() {
-	if len(r.batch) == 0 {
+func (b *EscapeBuffer) footprint() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return uint64(cap(b.events)) * 16
+}
+
+// TrackEscape is the carat.escape callback: memory location loc now holds
+// the pointer value val. Events are batched through the default buffer;
+// threaded callers use a dedicated EscapeBuffer instead.
+func (r *Runtime) TrackEscape(loc, val uint64) { r.defBuf.Track(loc, val) }
+
+// Flush drains every registered escape buffer into the table.
+func (r *Runtime) Flush() {
+	r.stateMu.Lock()
+	bufs := append([]*EscapeBuffer(nil), r.bufs...)
+	r.stateMu.Unlock()
+	for _, b := range bufs {
+		b.Flush()
+	}
+}
+
+// apply drains one batch into the sharded table. Within a batch only the
+// last write to a location matters: dedupe so outdated work is dropped
+// (the batching win the paper describes).
+func (r *Runtime) apply(events []escapeEvent) {
+	if len(events) == 0 {
 		return
 	}
-	// Within a batch only the last write to a location matters: dedupe so
-	// outdated work is dropped (the batching win the paper describes).
-	last := make(map[uint64]uint64, len(r.batch))
-	order := make([]uint64, 0, len(r.batch))
-	for _, e := range r.batch {
+	last := make(map[uint64]uint64, len(events))
+	order := make([]uint64, 0, len(events))
+	for _, e := range events {
 		if _, seen := last[e.loc]; !seen {
 			order = append(order, e.loc)
 		}
@@ -264,9 +374,11 @@ func (r *Runtime) flushLocked() {
 		}
 		r.Stats.TrackingCycle.Add(cycEscapeProc)
 	}
-	r.batch = r.batch[:0]
 	r.Stats.BatchFlushes.Inc()
 	r.Stats.EscapesLive.Set(uint64(r.Table.EscapeCount()))
+	hits, misses := r.Table.MemoStats()
+	r.Stats.MemoHits.Set(hits)
+	r.Stats.MemoMisses.Set(misses)
 }
 
 // UntrackStackRange drops every non-static allocation fully inside
@@ -274,9 +386,7 @@ func (r *Runtime) flushLocked() {
 // calls it when a function activation returns, destroying its allocas
 // (§4.1.2: "The runtime handles static and stack allocations as well").
 func (r *Runtime) UntrackStackRange(lo, hi uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	r.Flush()
 	var dead []uint64
 	for _, a := range r.Table.Overlapping(lo, hi) {
 		if !a.Static && a.Base >= lo && a.End() <= hi {
@@ -295,23 +405,26 @@ func (r *Runtime) UntrackStackRange(lo, hi uint64) {
 const tombstoneBytes = 48
 
 // MemoryOverheadBytes reports the tracking structures' footprint
-// (Figure 6): live table + escape map, the batch buffer, and the retained
+// (Figure 6): live table + escape map, the batch buffers, and the retained
 // tombstones of freed allocations.
 func (r *Runtime) MemoryOverheadBytes() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.Table.MemoryFootprint() + uint64(cap(r.batch))*16 + r.Stats.Frees.Get()*tombstoneBytes
+	r.stateMu.Lock()
+	bufs := append([]*EscapeBuffer(nil), r.bufs...)
+	r.stateMu.Unlock()
+	var batch uint64
+	for _, b := range bufs {
+		batch += b.footprint()
+	}
+	return r.Table.MemoryFootprint() + batch + r.Stats.Frees.Get()*tombstoneBytes
 }
 
 // EscapeHistogram returns, for each tracked allocation, its escape count —
 // the raw data behind Figure 5.
 func (r *Runtime) EscapeHistogram() []int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	r.Flush()
 	var out []int
 	r.Table.ForEach(func(a *Allocation) bool {
-		out = append(out, len(a.Escapes))
+		out = append(out, a.EscapeCount())
 		return true
 	})
 	return out

@@ -173,19 +173,19 @@ func TestEscapeRetargeting(t *testing.T) {
 	if !tb.AddEscape(0x9000, 0x1010) {
 		t.Fatal("escape to tracked allocation rejected")
 	}
-	if len(a.Escapes) != 1 {
+	if a.EscapeCount() != 1 {
 		t.Fatal("escape not recorded")
 	}
 	// Overwrite the same location with a pointer to b.
 	tb.AddEscape(0x9000, 0x2020)
-	if len(a.Escapes) != 0 || len(b.Escapes) != 1 {
+	if a.EscapeCount() != 0 || b.EscapeCount() != 1 {
 		t.Error("escape not retargeted")
 	}
 	if tb.EscapeCount() != 1 {
 		t.Errorf("escape count = %d, want 1", tb.EscapeCount())
 	}
 	tb.RemoveEscape(0x9000)
-	if tb.EscapeCount() != 0 || len(b.Escapes) != 0 {
+	if tb.EscapeCount() != 0 || b.EscapeCount() != 0 {
 		t.Error("RemoveEscape failed")
 	}
 	if err := tb.CheckInvariants(); err != nil {
@@ -386,7 +386,7 @@ func TestHandleMovePatchesEverything(t *testing.T) {
 	}
 	// No escape may still point into the vacated range (DESIGN invariant).
 	rt.Table.ForEach(func(a *Allocation) bool {
-		for loc := range a.Escapes {
+		for _, loc := range a.EscapeLocs() {
 			v := k.Mem.Load64(loc)
 			if v >= res.Src && v < res.Src+res.Pages*kernel.PageSize {
 				t.Errorf("escape at %#x still points into vacated range: %#x", loc, v)

@@ -52,33 +52,45 @@ func DecodeSwapPoison(addr uint64) (slot, off uint64, ok bool) {
 // all of its escapes and in-register pointers to poison addresses. The
 // vacated bytes are zeroed (the kernel is free to reuse the frames).
 func (r *Runtime) SwapOut(base uint64) (uint64, error) {
-	regs := r.world.StopTheWorld()
-	defer r.world.ResumeTheWorld()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	w := r.getWorld()
+	regs := w.StopTheWorld()
+	defer w.ResumeTheWorld()
+	slot, length, err := r.swapOutLocked(base, regs)
+	if err != nil {
+		return 0, err
+	}
+	// The address map changed without a move: tell invalidation listeners
+	// (the VM's guard caches) which bytes went away. Outside all locks.
+	r.notifyInvalidate(base, length)
+	return slot, nil
+}
+
+func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, error) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.Flush()
 
 	a := r.Table.Covering(base)
 	if a == nil || a.Base != base {
-		return 0, fmt.Errorf("runtime: swap-out of untracked allocation %#x", base)
+		return 0, 0, fmt.Errorf("runtime: swap-out of untracked allocation %#x", base)
 	}
 	if a.Len > maxSwapLen {
-		return 0, fmt.Errorf("runtime: allocation too large to swap (%d bytes)", a.Len)
+		return 0, 0, fmt.Errorf("runtime: allocation too large to swap (%d bytes)", a.Len)
 	}
 	slot := uint64(len(r.swapSlots))
 	if slot >= 1<<16 {
-		return 0, fmt.Errorf("runtime: out of swap slots")
+		return 0, 0, fmt.Errorf("runtime: out of swap slots")
 	}
 
 	rec := &swapRecord{length: a.Len, escapes: make(map[uint64]uint64), static: a.Static}
 	data, err := r.mem.ReadAt(base, a.Len)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	rec.data = data
 
 	// Patch escapes to poison and remember their offsets.
-	for loc := range a.Escapes {
+	for _, loc := range r.Table.EscapeLocsOf(a) {
 		val := r.mem.Load64(loc)
 		if val >= base && val < base+a.Len {
 			off := val - base
@@ -97,19 +109,19 @@ func (r *Runtime) SwapOut(base uint64) (uint64, error) {
 	}
 	r.Table.Remove(base)
 	if err := r.mem.Zero(base, a.Len); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	r.swapSlots = append(r.swapSlots, rec)
 	r.Stats.SwapOuts.Inc()
-	r.tr.Instant("swap.out", "paging",
+	r.tracer().Instant("swap.out", "paging",
 		obs.A("slot", slot), obs.A("bytes", a.Len), obs.A("escapes", len(rec.escapes)))
-	return slot, nil
+	return slot, a.Len, nil
 }
 
 // SwappedLen returns the byte length of the allocation in a swap slot.
 func (r *Runtime) SwappedLen(slot uint64) (uint64, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
 	if slot >= uint64(len(r.swapSlots)) || r.swapSlots[slot] == nil {
 		return 0, fmt.Errorf("runtime: bad swap slot %d", slot)
 	}
@@ -120,22 +132,34 @@ func (r *Runtime) SwappedLen(slot uint64) (uint64, error) {
 // least SwappedLen bytes) and patches every poisoned pointer — in memory
 // and in registers — forward to the new location.
 func (r *Runtime) SwapIn(slot, newBase uint64) error {
-	regs := r.world.StopTheWorld()
-	defer r.world.ResumeTheWorld()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.flushLocked()
+	w := r.getWorld()
+	regs := w.StopTheWorld()
+	defer w.ResumeTheWorld()
+	length, err := r.swapInLocked(slot, newBase, regs)
+	if err != nil {
+		return err
+	}
+	// The destination range now maps live data it did not before: stale
+	// cache entries covering it must go. Outside all locks.
+	r.notifyInvalidate(newBase, length)
+	return nil
+}
+
+func (r *Runtime) swapInLocked(slot, newBase uint64, regs []RegSet) (uint64, error) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.Flush()
 
 	if slot >= uint64(len(r.swapSlots)) || r.swapSlots[slot] == nil {
-		return fmt.Errorf("runtime: swap-in of bad slot %d", slot)
+		return 0, fmt.Errorf("runtime: swap-in of bad slot %d", slot)
 	}
 	rec := r.swapSlots[slot]
 	if err := r.mem.WriteAt(newBase, rec.data); err != nil {
-		return err
+		return 0, err
 	}
 	a, err := r.Table.Insert(newBase, rec.length, rec.static)
 	if err != nil {
-		return fmt.Errorf("runtime: swap-in: %w", err)
+		return 0, fmt.Errorf("runtime: swap-in: %w", err)
 	}
 	for loc, off := range rec.escapes {
 		r.mem.Store64(loc, newBase+off)
@@ -151,12 +175,13 @@ func (r *Runtime) SwapIn(slot, newBase uint64) error {
 	}
 	r.swapSlots[slot] = nil
 	r.Stats.SwapIns.Inc()
-	r.tr.Instant("swap.in", "paging", obs.A("slot", slot), obs.A("bytes", rec.length))
-	return nil
+	r.tracer().Instant("swap.in", "paging", obs.A("slot", slot), obs.A("bytes", rec.length))
+	return rec.length, nil
 }
 
 // rebaseSwapLocs keeps swap-record escape locations valid across page and
 // allocation moves: a location inside a moved range is itself relocated.
+// Callers hold opMu.
 func (r *Runtime) rebaseSwapLocs(src, dst, length uint64) {
 	for _, rec := range r.swapSlots {
 		if rec == nil {

@@ -60,7 +60,7 @@ func TestSwapOutPatchesEscapesAndRegisters(t *testing.T) {
 	if got := world.regs[0].vals[0]; got != newBase+64 {
 		t.Errorf("register after swap-in = %#x, want %#x", got, newBase+64)
 	}
-	if a := rt.Table.Covering(newBase + 10); a == nil || len(a.Escapes) != 1 {
+	if a := rt.Table.Covering(newBase + 10); a == nil || a.EscapeCount() != 1 {
 		t.Error("allocation not reconstructed with its escapes")
 	}
 	if err := rt.Table.CheckInvariants(); err != nil {
@@ -195,7 +195,7 @@ func TestSwapInAfterCompactionMoveOfEscapeHolder(t *testing.T) {
 	if got := k.Mem.Load64(loc); got != 0 {
 		t.Errorf("swap-in wrote through the stale location: %#x", got)
 	}
-	if a := rt.Table.Covering(newBase); a == nil || len(a.Escapes) != 1 {
+	if a := rt.Table.Covering(newBase); a == nil || a.EscapeCount() != 1 {
 		t.Error("swapped-in allocation missing its escape")
 	}
 	if err := rt.Table.CheckInvariants(); err != nil {

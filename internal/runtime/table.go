@@ -2,22 +2,34 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
+// escShards is the number of escape shards. Escape locations are hashed
+// across shards so concurrent trackers (the multi-process pressure
+// workloads) contend on different locks; 16 is comfortably above the
+// process counts those harnesses run.
+const escShards = 16
+
+// shardOf hashes an escape location to its shard. The low 4 bits below the
+// 16-byte allocator alignment are dropped so consecutive pointer slots
+// spread across shards.
+func shardOf(loc uint64) int { return int((loc >> 4) & (escShards - 1)) }
+
 // Allocation is one tracked memory block: a static allocation (global,
-// stack region) or a dynamic one (malloc, alloca). Escapes is the
-// Allocation to Escape Map entry: the set of memory addresses that hold a
-// pointer into this allocation (§4.2 "Tracking").
+// stack region) or a dynamic one (malloc, alloca). The escape set — the
+// Allocation to Escape Map entry of §4.2 "Tracking" — is stored sharded by
+// escape location: escs[s] holds this allocation's escapes whose location
+// hashes to shard s, and is guarded by that shard's lock.
 type Allocation struct {
 	Base uint64
 	Len  uint64
-	// Escapes holds the addresses of memory locations containing a
-	// pointer into [Base, Base+Len). Implemented as the Go analogue of
-	// the paper's C++ unordered_set.
-	Escapes map[uint64]struct{}
 	// Static marks load-time allocations (globals, stacks) that free()
 	// must never release.
 	Static bool
+
+	escs [escShards]map[uint64]struct{}
 }
 
 // End returns one past the allocation's last byte.
@@ -26,30 +38,115 @@ func (a *Allocation) End() uint64 { return a.Base + a.Len }
 // Covers reports whether addr falls inside the allocation.
 func (a *Allocation) Covers(addr uint64) bool { return addr >= a.Base && addr < a.End() }
 
-// AllocationTable is the runtime's hard-state structure: a red/black tree
-// keyed by allocation base address (§4.2), answering point queries
-// ("which allocation covers this address?") and range queries ("which
-// allocations overlap this page range?").
-type AllocationTable struct {
-	tree rbTree
-	// locToAlloc maps an escape location to the allocation its stored
-	// pointer targets, so that overwriting a pointer retargets the escape.
+// EscapeCount returns the number of tracked escapes into this allocation.
+// It reads the sharded sets unsynchronized: callers must hold the table
+// quiescent (world stopped, or single-threaded use).
+func (a *Allocation) EscapeCount() int {
+	n := 0
+	for s := range a.escs {
+		n += len(a.escs[s])
+	}
+	return n
+}
+
+// EscapeLocs returns the escape locations of this allocation, unordered.
+// Same quiescence requirement as EscapeCount.
+func (a *Allocation) EscapeLocs() []uint64 {
+	out := make([]uint64, 0, a.EscapeCount())
+	for s := range a.escs {
+		for loc := range a.escs[s] {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
+func (a *Allocation) addEsc(loc uint64) {
+	s := shardOf(loc)
+	if a.escs[s] == nil {
+		a.escs[s] = make(map[uint64]struct{})
+	}
+	a.escs[s][loc] = struct{}{}
+}
+
+func (a *Allocation) delEsc(loc uint64) {
+	delete(a.escs[shardOf(loc)], loc)
+}
+
+// escShard is one lock domain of the escape map: the reverse index for
+// locations hashing here, plus a last-allocation memo exploiting
+// TrackEscape's locality (consecutive escapes overwhelmingly target the
+// same allocation, so the memo short-circuits the rbtree descent).
+type escShard struct {
+	mu         sync.Mutex
 	locToAlloc map[uint64]*Allocation
+	memo       *Allocation
+}
+
+// AllocationTable is the runtime's hard-state structure (§4.2): a red/black
+// tree keyed by allocation base address answering point queries ("which
+// allocation covers this address?") and range queries ("which allocations
+// overlap this page range?"), plus the sharded location→allocation reverse
+// index for escapes.
+//
+// Concurrency: the tree is guarded by treeMu (allocations and frees are
+// rare next to escapes); each shard's reverse index, memo, and the escs
+// sub-maps of every allocation for that shard are guarded by the shard
+// lock. Lock order is treeMu before shard locks, shard locks in ascending
+// index order. Individual operations are atomic; multi-step sequences (the
+// move protocol) get their atomicity from the world stop, as in the paper.
+type AllocationTable struct {
+	treeMu sync.RWMutex
+	tree   rbTree
+
+	shards [escShards]escShard
 
 	// escapeCount tracks the total escapes across all allocations.
-	escapeCount int
+	escapeCount atomic.Int64
+
+	// memoHits/memoMisses count shard-memo outcomes for the
+	// carat.runtime.table.* metrics.
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
 }
 
 // NewAllocationTable returns an empty table.
 func NewAllocationTable() *AllocationTable {
-	return &AllocationTable{locToAlloc: make(map[uint64]*Allocation)}
+	t := &AllocationTable{}
+	for i := range t.shards {
+		t.shards[i].locToAlloc = make(map[uint64]*Allocation)
+	}
+	return t
 }
 
 // Len returns the number of tracked allocations.
-func (t *AllocationTable) Len() int { return t.tree.Len() }
+func (t *AllocationTable) Len() int {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	return t.tree.Len()
+}
 
 // EscapeCount returns the total number of tracked escapes.
-func (t *AllocationTable) EscapeCount() int { return t.escapeCount }
+func (t *AllocationTable) EscapeCount() int { return int(t.escapeCount.Load()) }
+
+// MemoStats returns the shard-memo hit/miss counts.
+func (t *AllocationTable) MemoStats() (hits, misses uint64) {
+	return t.memoHits.Load(), t.memoMisses.Load()
+}
+
+// lockShards takes every shard lock in order; the caller must already hold
+// treeMu (either mode) or be otherwise ordered before shard locks.
+func (t *AllocationTable) lockShards() {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+}
+
+func (t *AllocationTable) unlockShards() {
+	for i := range t.shards {
+		t.shards[i].mu.Unlock()
+	}
+}
 
 // Insert records a new allocation. Overlapping an existing allocation is
 // an error: the tracked program produced inconsistent callbacks.
@@ -57,7 +154,9 @@ func (t *AllocationTable) Insert(base, length uint64, static bool) (*Allocation,
 	if length == 0 {
 		return nil, fmt.Errorf("runtime: zero-length allocation at %#x", base)
 	}
-	if a := t.Covering(base); a != nil {
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
+	if _, a, ok := t.tree.Floor(base); ok && a.Covers(base) {
 		return nil, fmt.Errorf("runtime: allocation [%#x,%#x) overlaps existing [%#x,%#x)",
 			base, base+length, a.Base, a.End())
 	}
@@ -65,7 +164,7 @@ func (t *AllocationTable) Insert(base, length uint64, static bool) (*Allocation,
 		return nil, fmt.Errorf("runtime: allocation [%#x,%#x) overlaps following [%#x,%#x)",
 			base, base+length, next.Base, next.End())
 	}
-	a := &Allocation{Base: base, Len: length, Escapes: make(map[uint64]struct{}), Static: static}
+	a := &Allocation{Base: base, Len: length, Static: static}
 	t.tree.Insert(base, a)
 	return a, nil
 }
@@ -73,14 +172,28 @@ func (t *AllocationTable) Insert(base, length uint64, static bool) (*Allocation,
 // Remove drops the allocation based exactly at base, unlinking all of its
 // escapes. It returns the removed allocation, or nil if none was tracked.
 func (t *AllocationTable) Remove(base uint64) *Allocation {
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
 	a := t.tree.Get(base)
 	if a == nil {
 		return nil
 	}
-	for loc := range a.Escapes {
-		delete(t.locToAlloc, loc)
+	removed := 0
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for loc := range a.escs[s] {
+			delete(sh.locToAlloc, loc)
+			removed++
+		}
+		if sh.memo == a {
+			// The memo must never outlive its allocation: a stale memo
+			// would report coverage for freed (and later reused) space.
+			sh.memo = nil
+		}
+		sh.mu.Unlock()
 	}
-	t.escapeCount -= len(a.Escapes)
+	t.escapeCount.Add(int64(-removed))
 	t.tree.Delete(base)
 	return a
 }
@@ -88,6 +201,12 @@ func (t *AllocationTable) Remove(base uint64) *Allocation {
 // Covering returns the allocation containing addr, or nil. This is the
 // core query of both escape resolution and move negotiation.
 func (t *AllocationTable) Covering(addr uint64) *Allocation {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	return t.coveringLocked(addr)
+}
+
+func (t *AllocationTable) coveringLocked(addr uint64) *Allocation {
 	_, a, ok := t.tree.Floor(addr)
 	if !ok || !a.Covers(addr) {
 		return nil
@@ -98,6 +217,8 @@ func (t *AllocationTable) Covering(addr uint64) *Allocation {
 // Overlapping returns the allocations intersecting [lo, hi), in address
 // order.
 func (t *AllocationTable) Overlapping(lo, hi uint64) []*Allocation {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
 	var out []*Allocation
 	// An allocation with base < lo can still overlap: check the floor.
 	if _, a, ok := t.tree.Floor(lo); ok && a.End() > lo && a.Base < hi {
@@ -121,59 +242,110 @@ func (t *AllocationTable) Overlapping(lo, hi uint64) []*Allocation {
 // allocation, that stale escape is removed first (the location was
 // overwritten). It reports whether the target was a tracked allocation.
 func (t *AllocationTable) AddEscape(loc, target uint64) bool {
-	if prev, ok := t.locToAlloc[loc]; ok {
-		delete(prev.Escapes, loc)
-		delete(t.locToAlloc, loc)
-		t.escapeCount--
+	s := shardOf(loc)
+	sh := &t.shards[s]
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.locToAlloc[loc]; ok {
+		delete(prev.escs[s], loc)
+		delete(sh.locToAlloc, loc)
+		t.escapeCount.Add(-1)
 	}
-	a := t.Covering(target)
+	var a *Allocation
+	if m := sh.memo; m != nil && m.Covers(target) {
+		a = m
+		t.memoHits.Add(1)
+	} else {
+		a = t.coveringLocked(target)
+		t.memoMisses.Add(1)
+		if a != nil {
+			sh.memo = a
+		}
+	}
 	if a == nil {
 		return false
 	}
-	a.Escapes[loc] = struct{}{}
-	t.locToAlloc[loc] = a
-	t.escapeCount++
+	if a.escs[s] == nil {
+		a.escs[s] = make(map[uint64]struct{})
+	}
+	a.escs[s][loc] = struct{}{}
+	sh.locToAlloc[loc] = a
+	t.escapeCount.Add(1)
 	return true
 }
 
 // RemoveEscape forgets the escape at loc (the location was overwritten
 // with a non-pointer or destroyed).
 func (t *AllocationTable) RemoveEscape(loc uint64) {
-	if prev, ok := t.locToAlloc[loc]; ok {
-		delete(prev.Escapes, loc)
-		delete(t.locToAlloc, loc)
-		t.escapeCount--
+	s := shardOf(loc)
+	sh := &t.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.locToAlloc[loc]; ok {
+		delete(prev.escs[s], loc)
+		delete(sh.locToAlloc, loc)
+		t.escapeCount.Add(-1)
 	}
 }
 
 // EscapeTarget returns the allocation the escape at loc points into, if
 // tracked.
 func (t *AllocationTable) EscapeTarget(loc uint64) (*Allocation, bool) {
-	a, ok := t.locToAlloc[loc]
+	sh := &t.shards[shardOf(loc)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.locToAlloc[loc]
 	return a, ok
+}
+
+// EscapeLocsOf snapshots allocation a's escape locations under the shard
+// locks; the move and swap engines iterate the snapshot while patching.
+func (t *AllocationTable) EscapeLocsOf(a *Allocation) []uint64 {
+	var out []uint64
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for loc := range a.escs[s] {
+			out = append(out, loc)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // relinkEscape records that loc escapes into allocation a, maintaining the
 // reverse index and counts; used when swap-in reconstructs an allocation's
 // escape set.
 func (t *AllocationTable) relinkEscape(loc uint64, a *Allocation) {
-	if prev, ok := t.locToAlloc[loc]; ok {
+	s := shardOf(loc)
+	sh := &t.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.locToAlloc[loc]; ok {
 		if prev == a {
 			return
 		}
-		delete(prev.Escapes, loc)
-		t.escapeCount--
+		delete(prev.escs[s], loc)
+		t.escapeCount.Add(-1)
 	}
-	a.Escapes[loc] = struct{}{}
-	t.locToAlloc[loc] = a
-	t.escapeCount++
+	if a.escs[s] == nil {
+		a.escs[s] = make(map[uint64]struct{})
+	}
+	a.escs[s][loc] = struct{}{}
+	sh.locToAlloc[loc] = a
+	t.escapeCount.Add(1)
 }
 
 // Rebase moves allocation a (which must be tracked) so its base becomes
 // newBase, keeping escape sets attached. Escape locations are NOT
 // rewritten here; the move engine handles location rebasing since it knows
-// the moved byte range.
+// the moved byte range. Shard memos stay valid: they reference a itself,
+// and Covers reads the live Base/Len.
 func (t *AllocationTable) Rebase(a *Allocation, newBase uint64) {
+	t.treeMu.Lock()
+	defer t.treeMu.Unlock()
 	t.tree.Delete(a.Base)
 	a.Base = newBase
 	t.tree.Insert(a.Base, a)
@@ -181,30 +353,41 @@ func (t *AllocationTable) Rebase(a *Allocation, newBase uint64) {
 
 // RebaseEscapeLocs rewrites every tracked escape location within
 // [lo, hi) to location-lo+newLo, in both the per-allocation escape sets
-// and the reverse index. It returns how many locations moved. The move
-// engine calls this when the moved byte range itself contained pointers.
+// and the reverse index. A rewritten location may hash to a different
+// shard, so all shard locks are held. It returns how many locations moved.
+// The move engine calls this when the moved byte range itself contained
+// pointers.
 func (t *AllocationTable) RebaseEscapeLocs(lo, hi, newLo uint64) int {
 	type moved struct {
 		oldLoc, newLoc uint64
 		a              *Allocation
 	}
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	t.lockShards()
+	defer t.unlockShards()
 	var ms []moved
-	for loc, a := range t.locToAlloc {
-		if loc >= lo && loc < hi {
-			ms = append(ms, moved{loc, loc - lo + newLo, a})
+	for s := range t.shards {
+		for loc, a := range t.shards[s].locToAlloc {
+			if loc >= lo && loc < hi {
+				ms = append(ms, moved{loc, loc - lo + newLo, a})
+			}
 		}
 	}
 	for _, m := range ms {
-		delete(m.a.Escapes, m.oldLoc)
-		delete(t.locToAlloc, m.oldLoc)
-		m.a.Escapes[m.newLoc] = struct{}{}
-		t.locToAlloc[m.newLoc] = m.a
+		m.a.delEsc(m.oldLoc)
+		delete(t.shards[shardOf(m.oldLoc)].locToAlloc, m.oldLoc)
+		m.a.addEsc(m.newLoc)
+		t.shards[shardOf(m.newLoc)].locToAlloc[m.newLoc] = m.a
 	}
 	return len(ms)
 }
 
-// ForEach visits all allocations in address order.
+// ForEach visits all allocations in address order. The callback must not
+// call table mutators (treeMu is held for reading across the walk).
 func (t *AllocationTable) ForEach(fn func(*Allocation) bool) {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
 	t.tree.AscendAll(func(_ uint64, a *Allocation) bool { return fn(a) })
 }
 
@@ -216,13 +399,32 @@ func (t *AllocationTable) MemoryFootprint() uint64 {
 		nodeBytes  = 64 // rb node + Allocation header
 		entryBytes = 48 // one escape: set entry + reverse-map entry
 	)
-	return uint64(t.tree.Len())*nodeBytes + uint64(t.escapeCount)*entryBytes
+	t.treeMu.RLock()
+	n := uint64(t.tree.Len())
+	t.treeMu.RUnlock()
+	return n*nodeBytes + uint64(t.EscapeCount())*entryBytes
+}
+
+// MaybeCheckInvariants runs CheckInvariants only in caratdebug builds; hot
+// test loops call this so the full-table walk doesn't dominate ordinary
+// runs (satellite: debug-gated invariant checking).
+func (t *AllocationTable) MaybeCheckInvariants() error {
+	if !debugInvariants {
+		return nil
+	}
+	return t.CheckInvariants()
 }
 
 // CheckInvariants verifies the red-black tree shape, that allocations do
-// not overlap, and that the reverse escape index is consistent. Tests and
-// the property suite call this after mutation storms.
+// not overlap, that the reverse escape index is consistent, and that every
+// escape location lives in the shard its hash selects. Tests and the
+// property suite call this after mutation storms; MaybeCheckInvariants is
+// the debug-gated variant for hot loops.
 func (t *AllocationTable) CheckInvariants() error {
+	t.treeMu.RLock()
+	defer t.treeMu.RUnlock()
+	t.lockShards()
+	defer t.unlockShards()
 	if err := t.tree.checkInvariants(); err != nil {
 		return err
 	}
@@ -235,11 +437,18 @@ func (t *AllocationTable) CheckInvariants() error {
 				prev.Base, prev.End(), a.Base, a.End())
 			return false
 		}
-		count += len(a.Escapes)
-		for loc := range a.Escapes {
-			if t.locToAlloc[loc] != a {
-				bad = fmt.Errorf("runtime: reverse index missing escape %#x", loc)
-				return false
+		for s := range a.escs {
+			count += len(a.escs[s])
+			for loc := range a.escs[s] {
+				if shardOf(loc) != s {
+					bad = fmt.Errorf("runtime: escape %#x stored in shard %d, hashes to %d",
+						loc, s, shardOf(loc))
+					return false
+				}
+				if t.shards[s].locToAlloc[loc] != a {
+					bad = fmt.Errorf("runtime: reverse index missing escape %#x", loc)
+					return false
+				}
 			}
 		}
 		prev = a
@@ -248,11 +457,24 @@ func (t *AllocationTable) CheckInvariants() error {
 	if bad != nil {
 		return bad
 	}
-	if count != t.escapeCount {
-		return fmt.Errorf("runtime: escape count %d != tracked %d", count, t.escapeCount)
+	if count != int(t.escapeCount.Load()) {
+		return fmt.Errorf("runtime: escape count %d != tracked %d", count, t.escapeCount.Load())
 	}
-	if count != len(t.locToAlloc) {
-		return fmt.Errorf("runtime: reverse index size %d != escapes %d", len(t.locToAlloc), count)
+	rev := 0
+	for s := range t.shards {
+		for loc, a := range t.shards[s].locToAlloc {
+			if shardOf(loc) != s {
+				return fmt.Errorf("runtime: reverse entry %#x in shard %d, hashes to %d",
+					loc, s, shardOf(loc))
+			}
+			if _, ok := a.escs[s][loc]; !ok {
+				return fmt.Errorf("runtime: reverse entry %#x missing from allocation set", loc)
+			}
+		}
+		rev += len(t.shards[s].locToAlloc)
+	}
+	if rev != count {
+		return fmt.Errorf("runtime: reverse index size %d != escapes %d", rev, count)
 	}
 	return nil
 }

@@ -139,6 +139,22 @@ func (h *Hierarchy) Invalidate(vpn uint64) {
 	h.L2.Invalidate(vpn)
 }
 
+// InvalidateRange shoots down the byte range [base, base+length) in both
+// TLB levels and drops the paging-structure cache (its cached prefixes
+// may point at remapped structures). This is the hardware analogue of the
+// guard/translation cache's precise invalidation: map changes that do not
+// alter the region set flush only the affected pages.
+func (h *Hierarchy) InvalidateRange(base, length uint64) {
+	if length == 0 {
+		return
+	}
+	vpnLo := base >> PageShift
+	vpnHi := (base + length - 1 + PageSize) >> PageShift
+	h.L1.InvalidateRange(vpnLo, vpnHi)
+	h.L2.InvalidateRange(vpnLo, vpnHi)
+	h.walkCache = make(map[uint64]int)
+}
+
 // DTLBMPKI returns level-1 DTLB misses per 1000 instructions (Figure 2's
 // metric) given the retired instruction count.
 func (h *Hierarchy) DTLBMPKI(insns uint64) float64 {

@@ -90,6 +90,20 @@ func (t *TLB) Invalidate(vpn uint64) {
 	}
 }
 
+// InvalidateRange shoots down every entry whose vpn falls in
+// [vpnLo, vpnHi). When the range covers more pages than the TLB holds
+// entries, a full flush is cheaper than per-page probes — the same
+// heuristic real kernels use to pick flush-all over INVLPG loops.
+func (t *TLB) InvalidateRange(vpnLo, vpnHi uint64) {
+	if vpnHi-vpnLo >= uint64(t.Entries()) {
+		t.InvalidateAll()
+		return
+	}
+	for vpn := vpnLo; vpn < vpnHi; vpn++ {
+		t.Invalidate(vpn)
+	}
+}
+
 // InvalidateAll flushes the TLB (a full shootdown / CR3 write).
 func (t *TLB) InvalidateAll() {
 	for _, set := range t.sets {

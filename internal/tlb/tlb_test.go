@@ -201,3 +201,46 @@ func TestMPKIMath(t *testing.T) {
 		t.Errorf("MPKI(0) = %f", got)
 	}
 }
+
+func TestTLBInvalidateRange(t *testing.T) {
+	tb := NewTLB(64, 4)
+	for vpn := uint64(10); vpn < 20; vpn++ {
+		tb.Insert(vpn, vpn+100)
+	}
+	tb.InvalidateRange(12, 15)
+	for vpn := uint64(10); vpn < 20; vpn++ {
+		_, hit := tb.Lookup(vpn)
+		wantHit := vpn < 12 || vpn >= 15
+		if hit != wantHit {
+			t.Errorf("vpn %d: hit=%v, want %v", vpn, hit, wantHit)
+		}
+	}
+	// A range wider than the TLB's capacity degenerates to a full flush:
+	// unrelated entries go too.
+	tb.Insert(500, 600)
+	tb.InvalidateRange(0, 1000)
+	if _, hit := tb.Lookup(500); hit {
+		t.Error("full-flush range left an entry live")
+	}
+}
+
+func TestHierarchyInvalidateRange(t *testing.T) {
+	pt := NewPageTable()
+	pt.IdentityMap(0, 64)
+	h := NewHierarchy(pt)
+	// Warm pages 3..6, then shoot down bytes covering pages 4-5 only.
+	for vpn := uint64(3); vpn <= 6; vpn++ {
+		if _, _, ok := h.Translate(vpn << PageShift); !ok {
+			t.Fatalf("translate vpn %d failed", vpn)
+		}
+	}
+	h.InvalidateRange(4<<PageShift, 2*PageSize)
+	h.L1.Hits, h.L1.Misses = 0, 0
+	for vpn := uint64(3); vpn <= 6; vpn++ {
+		h.Translate(vpn << PageShift)
+	}
+	// Pages 3 and 6 still hit L1; 4 and 5 miss.
+	if h.L1.Hits != 2 || h.L1.Misses != 2 {
+		t.Errorf("after range shootdown: L1 hits=%d misses=%d, want 2/2", h.L1.Hits, h.L1.Misses)
+	}
+}

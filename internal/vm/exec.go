@@ -269,7 +269,7 @@ func (v *VM) execInstr(t *thread, fr *frame, in *ir.Instr) error {
 		for i, a := range in.Args {
 			args[i] = v.val(fr, a)
 		}
-		ret, err := v.callFunc(t, in.Callee, args)
+		ret, err := v.call(t, in.Callee, args)
 		if err != nil {
 			return err
 		}
@@ -324,21 +324,37 @@ func (v *VM) execGuard(t *thread, fr *frame, in *ir.Instr) error {
 	if int64(size) <= 0 {
 		return nil // zero-trip range guard: nothing will be accessed
 	}
-	if v.eval.Check(addr, size, perm) {
+	if v.checkGuard(t, addr, size, perm) {
 		return nil
 	}
+	return v.guardMiss(fr, in, addr, size, perm, func() uint64 { return v.val(fr, in.Args[0]) })
+}
+
+// checkGuard evaluates one guard through the thread's translation cache
+// when enabled, or the full evaluator walk otherwise. CheckCached replays
+// the recorded walk cost on a hit, so modeled cycles are byte-identical
+// either way.
+func (v *VM) checkGuard(t *thread, addr, size uint64, perm guard.Perm) bool {
+	if t.xc != nil {
+		return v.eval.CheckCached(t.xc, addr, size, perm)
+	}
+	return v.eval.Check(addr, size, perm)
+}
+
+// guardMiss is the shared cold path for a failed guard check (both
+// engines). A failed guard aborts to the kernel (§4.1.1). A swapped-pointer
+// poison address triggers the swap-in path: the kernel restores the
+// allocation, the runtime patches every poisoned pointer forward
+// (including the frame slot the guard read its address from), and the
+// guard retries. reval re-reads the guard's address operand post-patch.
+func (v *VM) guardMiss(fr *frame, in *ir.Instr, addr, size uint64, perm guard.Perm, reval func() uint64) error {
 	v.tr.Instant("guard.fault", "guard",
 		obs.A("addr", addr), obs.A("size", size), obs.A("perm", perm.String()))
-	// A failed guard aborts to the kernel (§4.1.1). A swapped-pointer
-	// poison address triggers the swap-in path: the kernel restores the
-	// allocation, the runtime patches every poisoned pointer forward
-	// (including the frame slot the guard read its address from), and the
-	// guard retries.
 	if slot, _, ok := runtime.DecodeSwapPoison(addr); ok {
 		if err := v.swapIn(slot); err != nil {
 			return &Fault{Addr: addr, Size: size, Perm: perm, Msg: "swap-in failed: " + err.Error()}
 		}
-		retryAddr := v.val(fr, in.Args[0])
+		retryAddr := reval()
 		if v.eval.Check(retryAddr, size, perm) {
 			return nil
 		}
@@ -481,7 +497,9 @@ func (v *VM) callBuiltin(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 		}
 		return 0, nil
 	case ir.FnTrackEscape:
-		v.rt.TrackEscape(args[0], args[1])
+		// Per-thread escape batch: enqueue locally, flush at yields and
+		// thread completion (plus the size-triggered self-flush).
+		t.escBuf.Track(args[0], args[1])
 		return 0, nil
 	case ir.FnPrintI64:
 		v.Output = append(v.Output, int64(args[0]))

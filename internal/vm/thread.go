@@ -45,6 +45,11 @@ type thread struct {
 	resume   chan struct{}
 	yielded  chan struct{}
 	sliceEnd uint64 // instruction count at which to yield
+
+	// xc is this thread's guard/translation cache (nil when disabled);
+	// escBuf is its escape-event batch, flushed at yields and completion.
+	xc     *guard.XCache
+	escBuf *runtime.EscapeBuffer
 }
 
 // frame is one activation record: the function's SSA "registers" plus the
@@ -105,6 +110,10 @@ func (s *scheduler) newThread(entry *ir.Func, arg uint64) (*thread, error) {
 		arg:       arg,
 		resume:    make(chan struct{}),
 		yielded:   make(chan struct{}),
+		escBuf:    s.v.rt.NewEscapeBuffer(),
+	}
+	if s.v.cfg.XCache && s.v.cfg.Mode == ModeCARAT {
+		t.xc = guard.NewXCache()
 	}
 	s.threads = append(s.threads, t)
 	go t.run()
@@ -118,15 +127,19 @@ func (t *thread) run() {
 	if len(t.entry.Params) == 1 {
 		args = []uint64{t.arg}
 	}
-	ret, err := t.v.callFunc(t, t.entry, args)
+	ret, err := t.v.call(t, t.entry, args)
 	t.result, t.err = ret, err
 	t.state = tDone
+	t.escBuf.Flush()
 	t.yielded <- struct{}{}
 }
 
 // yield hands the baton back to the scheduler and waits to be resumed.
-// Called at safepoints when the time slice expires or when blocking.
+// Called at safepoints when the time slice expires or when blocking. The
+// thread's escape batch is flushed first so escape events apply in program
+// order across the thread switch.
 func (t *thread) yield() {
+	t.escBuf.Flush()
 	t.yielded <- struct{}{}
 	<-t.resume
 }

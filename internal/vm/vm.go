@@ -62,6 +62,19 @@ type Config struct {
 	// MaxInstrs aborts runaway programs (0 = no limit).
 	MaxInstrs uint64
 
+	// Predecode selects the predecoded execution engine: each function is
+	// lowered once into a flat dispatch form (resolved register slots,
+	// immediate constants, precomputed GEP strides, direct block indices).
+	// Host-speed only: modeled results are byte-identical to the baseline
+	// interpreter.
+	Predecode bool
+
+	// XCache puts a small per-thread direct-mapped guard/translation cache
+	// in front of the guard evaluator (CARAT mode only). Hits replay the
+	// recorded walk cost, so modeled cycles are byte-identical with the
+	// cache on or off.
+	XCache bool
+
 	// Obs, when set, is the shared metrics registry for all layers of
 	// this machine (kernel, runtime, tlb, vm). A private registry is
 	// created when nil.
@@ -81,6 +94,8 @@ func DefaultConfig() Config {
 		HeapBytes:  1 << 26, // 64 MB
 		MemBytes:   1 << 28, // 256 MB
 		MaxInstrs:  2_000_000_000,
+		Predecode:  true,
+		XCache:     true,
 	}
 }
 
@@ -115,6 +130,15 @@ type VM struct {
 	globalAddr  map[*ir.Global]uint64
 	globalsBase uint64
 	globalsLen  uint64
+
+	// Predecoded-operand address tables: globalPhys[globalIdx[g]] and
+	// funcPhys[funcIdx[f]] mirror globalAddr/codeOf as flat slices so the
+	// predecoded engine resolves addresses by index. onMove rebuilds them,
+	// keeping kernel-initiated moves visible.
+	globalIdx  map[*ir.Global]int
+	globalPhys []uint64
+	funcIdx    map[*ir.Func]int
+	funcPhys   []uint64
 
 	heap  heap
 	funcs map[*ir.Func]*funcInfo
@@ -199,6 +223,7 @@ type funcInfo struct {
 	nSlots   int
 	ptrSlots []int
 	prof     *obs.FuncProfile // resolved once at load; hot-loop updates are plain adds
+	pf       *pfunc           // predecoded body, built on first pcallFunc
 }
 
 func buildFuncInfo(f *ir.Func) *funcInfo {
@@ -363,10 +388,78 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	}
 	v.eval = guard.NewEvaluator(cfg.GuardMech, proc.Regions)
 
+	// Flat address tables for the predecoded engine.
+	v.globalIdx = make(map[*ir.Global]int, len(mod.Globals))
+	v.globalPhys = make([]uint64, len(mod.Globals))
+	for i, g := range mod.Globals {
+		v.globalIdx[g] = i
+		v.globalPhys[i] = v.globalAddr[g]
+	}
+	v.funcIdx = make(map[*ir.Func]int, len(mod.Funcs))
+	v.funcPhys = make([]uint64, len(mod.Funcs))
+	for i, f := range mod.Funcs {
+		v.funcIdx[f] = i
+		v.funcPhys[i] = v.codeOf[f]
+	}
+
+	// Guard/translation cache invalidation (two tiers; see DESIGN.md).
+	// Precise range invalidation for map changes that leave the region set
+	// alone: Fig-8 page moves and allocation-granularity moves arrive
+	// through the move listener (onMove), swap in/out — including
+	// mmpolicy-driven tiering — through the invalidation listener. Region-
+	// set changes (grant/release/protect) shift search paths globally, so
+	// the MMU notifier flushes everything; the per-entry epoch stamp backs
+	// this up even if a path is missed.
+	v.rt.AddInvalidationListener(func(base, length uint64) {
+		v.invalidateXCaches(base, length)
+	})
+	proc.RegisterNotifier(kernel.NotifierFunc(func(ev kernel.MMUEvent) {
+		switch ev.Kind {
+		case kernel.EventInvalidateRange, kernel.EventAllocate:
+			v.flushXCaches()
+		}
+	}))
+	// The traditional-mode TLB hierarchy gets the same two-tier shootdown:
+	// a PTE change invalidates the remapped pages, an unmap flushes them.
+	if v.hier != nil {
+		proc.RegisterNotifier(kernel.NotifierFunc(func(ev kernel.MMUEvent) {
+			switch ev.Kind {
+			case kernel.EventPTEChange, kernel.EventInvalidateRange:
+				v.hier.InvalidateRange(ev.Base, ev.Len)
+			}
+		}))
+	}
+
 	v.sched = newScheduler(v)
 	v.rt.SetWorld(v.sched)
 	v.trackStart = v.rt.Stats.TrackingCycle.Get()
 	return v, nil
+}
+
+// invalidateXCaches drops stale entries covering [base, base+length) from
+// every thread's guard/translation cache. Runs with the world stopped.
+func (v *VM) invalidateXCaches(base, length uint64) {
+	if v.sched == nil {
+		return
+	}
+	for _, t := range v.sched.threads {
+		if t.xc != nil {
+			t.xc.InvalidateRange(base, length)
+		}
+	}
+}
+
+// flushXCaches drops every cached entry (region-set change: search paths
+// shifted globally).
+func (v *VM) flushXCaches() {
+	if v.sched == nil {
+		return
+	}
+	for _, t := range v.sched.threads {
+		if t.xc != nil {
+			t.xc.InvalidateAll()
+		}
+	}
 }
 
 // onMove rebases the VM's own bookkeeping after the kernel moved
@@ -401,6 +494,17 @@ func (v *VM) onMove(src, dst, length uint64) {
 		v.funcAt = newAt
 	}
 	v.sched.rebaseStacks(src, dst, length)
+	// Refresh the predecoded engine's flat address tables.
+	for g, i := range v.globalIdx {
+		v.globalPhys[i] = v.globalAddr[g]
+	}
+	for f, i := range v.funcIdx {
+		v.funcPhys[i] = v.codeOf[f]
+	}
+	// Both the vacated and the newly-populated ranges are stale in the
+	// per-thread guard caches.
+	v.invalidateXCaches(src, length)
+	v.invalidateXCaches(dst, length)
 }
 
 // Run executes @main to completion and returns its result (0 for void
@@ -433,7 +537,25 @@ func (v *VM) publishMetrics() {
 	v.obsReg.Counter("carat.vm.instrs").Add(v.Instrs)
 	v.obsReg.Counter("carat.vm.guard_checks").Add(v.GuardChecks)
 	v.obsReg.Counter("carat.vm.guard_faults").Add(v.eval.Faults)
+	if v.cfg.XCache && v.cfg.Mode == ModeCARAT {
+		hits, misses, invs := v.XCacheStats()
+		v.obsReg.Counter("carat.vm.xcache.hits").Add(hits)
+		v.obsReg.Counter("carat.vm.xcache.misses").Add(misses)
+		v.obsReg.Counter("carat.vm.xcache.invalidations").Add(invs)
+	}
 	v.Prof.PublishTo(v.obsReg, "carat.vm")
+}
+
+// XCacheStats sums the per-thread guard/translation cache counters.
+func (v *VM) XCacheStats() (hits, misses, invalidations uint64) {
+	for _, t := range v.sched.threads {
+		if t.xc != nil {
+			hits += t.xc.Hits
+			misses += t.xc.Misses
+			invalidations += t.xc.Invalidations
+		}
+	}
+	return hits, misses, invalidations
 }
 
 // InjectWorstCaseMove performs one kernel-initiated move of the page

@@ -1,0 +1,111 @@
+// Command benchexec runs the execution-engine microbenchmark (baseline
+// dispatch vs predecoded dispatch vs predecode + guard/translation cache)
+// and writes BENCH_exec.json (schema carat.bench.exec v1).
+//
+// It enforces two gates:
+//
+//   - the full engine (predecode+xcache) must reach -min-speedup over the
+//     baseline engine (default 2.0x), and
+//   - when -baseline names a committed reference document, the measured
+//     speedups must not regress more than -regress (default 20%) below it.
+//     Speedup ratios, not absolute wall times, are compared: ratios are
+//     stable across host machines, wall times are not.
+//
+// Usage:
+//
+//	go run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"carat/internal/bench"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_exec.json", "output path ('-' for stdout)")
+		baseline   = flag.String("baseline", "", "committed reference document to gate regressions against")
+		iters      = flag.Int("iters", 60, "outer-loop trip count of the bench kernel")
+		reps       = flag.Int("reps", 3, "repetitions per engine (best wall time kept)")
+		minSpeedup = flag.Float64("min-speedup", 2.0, "required full-engine speedup over baseline dispatch")
+		regress    = flag.Float64("regress", 0.20, "allowed fractional speedup regression vs -baseline")
+	)
+	flag.Parse()
+
+	doc, err := bench.RunExecBench(*iters, *reps)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out == "-" {
+		if err := doc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		err = doc.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, e := range doc.Engines {
+		fmt.Fprintf(os.Stderr, "benchexec: %-18s %8.1f ms  %8.2f Minstr/s\n",
+			e.Engine, e.WallMS, e.MInstrsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "benchexec: speedup predecode=%.2fx full=%.2fx\n",
+		doc.SpeedupPredecode, doc.SpeedupFull)
+
+	if doc.SpeedupFull < *minSpeedup {
+		fatal(fmt.Errorf("full-engine speedup %.2fx below required %.2fx", doc.SpeedupFull, *minSpeedup))
+	}
+
+	if *baseline != "" {
+		ref, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		floorFull := ref.SpeedupFull * (1 - *regress)
+		floorPre := ref.SpeedupPredecode * (1 - *regress)
+		if doc.SpeedupFull < floorFull {
+			fatal(fmt.Errorf("full-engine speedup %.2fx regressed >%.0f%% vs committed baseline %.2fx",
+				doc.SpeedupFull, *regress*100, ref.SpeedupFull))
+		}
+		if doc.SpeedupPredecode < floorPre {
+			fatal(fmt.Errorf("predecode speedup %.2fx regressed >%.0f%% vs committed baseline %.2fx",
+				doc.SpeedupPredecode, *regress*100, ref.SpeedupPredecode))
+		}
+		fmt.Fprintf(os.Stderr, "benchexec: within %.0f%% of committed baseline (full %.2fx, predecode %.2fx)\n",
+			*regress*100, ref.SpeedupFull, ref.SpeedupPredecode)
+	}
+}
+
+func readBaseline(path string) (*bench.ExecBenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var doc bench.ExecBenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if doc.Schema != bench.ExecBenchSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", path, doc.Schema, bench.ExecBenchSchema)
+	}
+	return &doc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchexec:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 // internal/bench).
 var supported = map[string]int{
 	"carat.bench.result": 2,
+	"carat.bench.exec":   1,
 	"carat.vm.run":       1,
 	"carat.metrics":      1,
 	"carat.trace":        1,
