@@ -5,8 +5,16 @@
 GO ?= go
 # WORKERS sets the caratbench worker-pool width for smoke (0 = GOMAXPROCS).
 WORKERS ?= 0
+# SOAK_SEEDS / SOAK_START parameterize the chaos soak (CI rotates START).
+SOAK_SEEDS ?= 8
+SOAK_START ?= 1
+# FUZZTIME is the per-target budget for the native fuzz targets.
+FUZZTIME ?= 20s
+# COVER_FLOOR is the minimum total statement coverage (percent) `make
+# cover` accepts. Raise it when coverage grows; never lower it.
+COVER_FLOOR ?= 75
 
-.PHONY: all fmt vet build test race smoke bench check
+.PHONY: all fmt vet build test race smoke bench check lint cover soak fuzz
 
 all: check
 
@@ -34,8 +42,13 @@ race:
 
 # smoke runs the full experiment suite at test scale with -json and
 # validates that the output parses and carries a supported schema version.
+# The bench output goes through an intermediate file so a caratbench
+# failure fails the target — a pipeline would report only validatejson's
+# status and mask a crashed bench.
 smoke: build
-	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) | $(GO) run ./scripts/validatejson
+	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) > smoke.json
+	$(GO) run ./scripts/validatejson smoke.json
+	@rm -f smoke.json
 
 # bench measures the execution engine (baseline dispatch vs predecode vs
 # predecode+xcache), writes BENCH_exec.json, validates its schema, and
@@ -45,5 +58,37 @@ bench: build
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 2x ./internal/bench/
 	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json
 	$(GO) run ./scripts/validatejson BENCH_exec.json
+
+# lint runs staticcheck when it is installed (CI always installs it; a
+# developer box without it gets a warning, not a failure).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
+# cover enforces the coverage floor: total statement coverage must not
+# drop below COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the floor $(COVER_FLOOR)%"; exit 1; }
+
+# soak runs seeded chaos runs (multi-process churn/defrag/tiering/swap
+# under randomized fault schedules) and requires byte-identical replay and
+# zero invariant violations per seed. See scripts/soak.
+soak: build
+	$(GO) run ./scripts/soak -seeds $(SOAK_SEEDS) -start $(SOAK_START) -out soak.json
+	$(GO) run ./scripts/validatejson soak.json
+
+# fuzz runs each native fuzz target for a short budget (the differential
+# invariants over generated programs; seeds replay in plain `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDifferentialPipeline -fuzztime $(FUZZTIME) ./internal/vm/
+	$(GO) test -run '^$$' -fuzz FuzzDifferentialMoves -fuzztime $(FUZZTIME) ./internal/vm/
+	$(GO) test -run '^$$' -fuzz FuzzGuardsAgreeOnForgedPointers -fuzztime $(FUZZTIME) ./internal/vm/
 
 check: fmt vet build test race

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"carat/internal/bench"
+	"carat/internal/fault"
 	"carat/internal/mmpolicy"
 	"carat/internal/obs"
 	"carat/internal/workload"
@@ -42,6 +43,8 @@ func main() {
 	policyFile := flag.String("policy", "", "write the policy daemon's decision log as JSON (carat.policy)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker-pool width for per-workload experiment legs (1 = sequential)")
+	faults := flag.String("faults", "",
+		"inject faults into policy experiments: seed:rate sets every injection point to rate (e.g. 42:0.01)")
 	flag.Parse()
 
 	if *list {
@@ -76,6 +79,18 @@ func main() {
 		o.PolicySink = func(doc *mmpolicy.Document) { policyDoc = doc }
 	}
 
+	if *faults != "" {
+		seed, rate, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench:", err)
+			os.Exit(2)
+		}
+		o.Fault = fault.New(seed, o.Obs)
+		for _, p := range fault.Points {
+			o.Fault.SetRate(p, rate)
+		}
+	}
+
 	var traceClose func() error
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -84,6 +99,7 @@ func main() {
 			os.Exit(1)
 		}
 		o.Trace = obs.NewTracer(f, nil)
+		o.Fault.SetTracer(o.Trace) // nil-safe when -faults is unset
 		traceClose = func() error {
 			if err := o.Trace.Close(); err != nil {
 				return err

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
@@ -46,6 +47,9 @@ type Options struct {
 	// PolicySink, when non-nil, receives the carat.policy document of each
 	// policy-daemon experiment (defrag, tiering, policy) after it runs.
 	PolicySink func(*mmpolicy.Document)
+	// Fault, when non-nil, threads a seeded fault injector through the
+	// policy-daemon experiments (caratbench's -faults flag).
+	Fault *fault.Injector
 }
 
 // DefaultOptions returns the standard configuration for scale s.

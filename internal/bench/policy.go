@@ -76,6 +76,7 @@ func Defrag(o Options) (*DefragResult, error) {
 		Policies: []mmpolicy.Policy{mmpolicy.NewDefrag(defragTargetRun)},
 		Obs:      o.Obs,
 		Trace:    o.Trace,
+		Fault:    o.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +172,7 @@ func Tiering(o Options) (*TieringResult, error) {
 		Policies: []mmpolicy.Policy{mmpolicy.NewTiering()},
 		Obs:      o.Obs,
 		Trace:    o.Trace,
+		Fault:    o.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +252,7 @@ func Policy(o Options) (*PolicyResult, error) {
 		},
 		Obs:   o.Obs,
 		Trace: o.Trace,
+		Fault: o.Fault,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/obs"
 )
@@ -17,9 +18,11 @@ type Kernel struct {
 	Stats Stats
 
 	// Obs backs Stats; tr, when set, mirrors MMU-notifier events into the
-	// trace stream.
+	// trace stream; inj, when set, injects kernel-side faults into the
+	// move negotiation (see internal/fault).
 	Obs *obs.Registry
 	tr  *obs.Tracer
+	inj *fault.Injector
 }
 
 // Stats is the kernel's typed view over its carat.kernel.* metrics. The
@@ -67,6 +70,11 @@ func NewWith(memBytes uint64, reg *obs.Registry) *Kernel {
 // SetTracer attaches an event tracer (nil disables tracing). Paging
 // events then appear in the trace as mmu.* instants.
 func (k *Kernel) SetTracer(tr *obs.Tracer) { k.tr = tr }
+
+// SetInjector attaches a fault injector (nil disables injection): the
+// kernel then vetoes a seed-determined fraction of move negotiations, the
+// way a real kernel refuses a move whose destination it cannot satisfy.
+func (k *Kernel) SetInjector(in *fault.Injector) { k.inj = in }
 
 // NonCanonical is the base of the poison address range used to mark
 // unavailable pages (§2.2): patching a pointer into this range guarantees
@@ -216,6 +224,10 @@ func (r *MoveRequest) NegotiateDst(src uint64, pages uint64) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("kernel: move source %#x not in any region", src)
 	}
+	if err := r.kernel.inj.Fail(fault.KernelVeto,
+		fmt.Sprintf("move of [%#x,+%d pages)", src, pages)); err != nil {
+		return 0, err
+	}
 	dst, err := r.kernel.Alloc.Alloc(pages)
 	if err != nil {
 		return 0, err
@@ -239,4 +251,14 @@ func (r *MoveRequest) RetireSrc(src uint64, pages uint64) error {
 // veto or approve the move"), releasing nothing.
 func (r *MoveRequest) Veto() {
 	r.kernel.Stats.MoveVetoes.Inc()
+}
+
+// AbortDst releases a destination range obtained from NegotiateDst when
+// the runtime aborts the move after negotiation: the range leaves the
+// region set, its frames return to the allocator, and an
+// EventInvalidateRange reaches the MMU notifiers so the VM's
+// guard/translation caches drop anything covering the stillborn
+// destination. Part of the move protocol's rollback path.
+func (r *MoveRequest) AbortDst(dst uint64, pages uint64) error {
+	return r.proc.ReleaseRegion(dst, pages*PageSize)
 }

@@ -116,6 +116,22 @@ func (m *PhysMem) Move(dst, src, n uint64) error {
 	return nil
 }
 
+// Checksum returns an FNV-1a hash over the entire physical memory image.
+// The soak harness compares it across replays of the same seed: the final
+// memory bytes must be identical, not merely invariant-clean.
+func (m *PhysMem) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range m.data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // Zero clears [addr, addr+n).
 func (m *PhysMem) Zero(addr, n uint64) error {
 	if !m.InBounds(addr, n) {

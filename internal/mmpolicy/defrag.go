@@ -58,11 +58,11 @@ func (p *Defrag) Tick(d *Daemon, now uint64) error {
 			// assembled; give up until the layout changes.
 			return nil
 		}
-		res, err := mp.Proc.RequestMove(addr, 1)
-		if err != nil {
-			// Vetoed (e.g. no destination fits). Skip past the owning
-			// region and keep draining what we can.
-			d.record(now, p.Name(), ActionVeto, mp.Name, addr, 0, 0, err.Error())
+		res, ok := d.tryMove(mp, p.Name(), addr, 1, now)
+		if !ok {
+			// Vetoed (e.g. no destination fits, or an injected failure),
+			// backing off, or pinned. Skip past the owning region and keep
+			// draining what we can.
 			pg = reg.End() / kernel.PageSize
 			continue
 		}

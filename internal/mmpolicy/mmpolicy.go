@@ -19,6 +19,7 @@ import (
 	"math"
 	"sync"
 
+	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/kernel"
 	"carat/internal/obs"
@@ -135,6 +136,14 @@ type Stats struct {
 	FragScore  *obs.Gauge   // FragStats.Score * 1000, updated per tick
 	LargestRun *obs.Gauge   // largest contiguous free run, pages
 	FreePages  *obs.Gauge
+
+	// Failure-policy accounting (see tryMove and FaultIn): moves retried
+	// after backoff, pages pinned after repeated failures, and swap-ins
+	// retried past injected I/O errors.
+	Retries     *obs.Counter
+	Pins        *obs.Counter
+	PinnedPages *obs.Gauge // carat.policy.pinned_pages
+	SwapRetries *obs.Counter
 }
 
 func newStats(reg *obs.Registry) Stats {
@@ -150,6 +159,11 @@ func newStats(reg *obs.Registry) Stats {
 		FragScore:  reg.Gauge("carat.policy.frag_score_milli"),
 		LargestRun: reg.Gauge("carat.policy.largest_free_run"),
 		FreePages:  reg.Gauge("carat.policy.free_pages"),
+
+		Retries:     reg.Counter("carat.policy.move_retries"),
+		Pins:        reg.Counter("carat.policy.pins"),
+		PinnedPages: reg.Gauge("carat.policy.pinned_pages"),
+		SwapRetries: reg.Counter("carat.policy.swap_retries"),
 	}
 }
 
@@ -163,6 +177,13 @@ const (
 	cycSwapBarrier = 400 // world-stop round trip for a swap
 	cycSwapPerByte = 1   // swap copy, bytes per cycle
 	cycFaultEntry  = 700 // poison-fault trap + handler dispatch
+
+	// cycSwapSlowMax bounds an injected swap slow-path delay (a seek, a
+	// congested device queue); maxSwapRetries bounds the swap-in retry
+	// loop past injected I/O errors. Sized so that at the soak harness's
+	// rate ceiling exhausting the retries is out of reach.
+	cycSwapSlowMax = 5000
+	maxSwapRetries = 16
 )
 
 // Daemon is the memory-management policy daemon. All entry points are
@@ -176,9 +197,16 @@ type Daemon struct {
 	policies  []Policy
 	stats     Stats
 	tr        *obs.Tracer
+	inj       *fault.Injector
 	ticks     int
 	decisions []Decision
 	totals    Totals
+
+	// Failure policy for issued moves (see tryMove): per-source-page
+	// failure records with exponential backoff, and the set of pages
+	// pinned after repeated failures.
+	moveFails map[uint64]*moveFailure
+	pinned    map[uint64]bool
 
 	fragBefore    *kernel.FragStats
 	fragCaptured  bool
@@ -188,7 +216,11 @@ type Daemon struct {
 // New creates a daemon over k running the given policies each tick, in
 // order. Metrics go to k's registry.
 func New(k *kernel.Kernel, policies ...Policy) *Daemon {
-	return &Daemon{K: k, policies: policies, stats: newStats(k.Obs)}
+	return &Daemon{
+		K: k, policies: policies, stats: newStats(k.Obs),
+		moveFails: make(map[uint64]*moveFailure),
+		pinned:    make(map[uint64]bool),
+	}
 }
 
 // SetTracer attaches an event tracer (nil disables tracing).
@@ -196,6 +228,22 @@ func (d *Daemon) SetTracer(tr *obs.Tracer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tr = tr
+}
+
+// SetInjector attaches a fault injector (nil disables injection). The
+// daemon itself injects swap slow-path delays; it also owns the recovery
+// side — retrying failed moves with backoff, pinning repeat offenders,
+// and retrying swap-ins past injected I/O errors.
+func (d *Daemon) SetInjector(in *fault.Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = in
+}
+
+func (d *Daemon) injector() *fault.Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inj
 }
 
 // Stats returns the daemon's metric handles.
@@ -351,10 +399,69 @@ func (d *Daemon) record(now uint64, policy, action string, proc string, base, pa
 		d.totals.MoveCycles += cycles
 	case ActionVeto:
 		d.totals.Vetoes++
+	case ActionPin:
+		d.totals.Pins++
 	}
 	d.tr.InstantAt("policy."+action, "policy", now,
 		obs.A("policy", policy), obs.A("proc", proc), obs.A("base", base),
 		obs.A("pages", pages), obs.A("cycles", cycles), obs.A("reason", reason))
+}
+
+// Failure policy for policy-issued moves: a page whose move fails is
+// retried on later ticks with exponentially growing backoff; after
+// maxMoveRetries failures the page is pinned — the daemon stops trying to
+// move it, trading layout quality for forward progress.
+const (
+	maxMoveRetries  = 4
+	retryBackoffCyc = 20_000 // first-retry backoff, doubling per failure
+)
+
+// moveFailure tracks one source page's move-failure history.
+type moveFailure struct {
+	fails     int
+	nextRetry uint64 // simulated cycle before which no retry is attempted
+}
+
+// tryMove wraps Process.RequestMove with the daemon's failure policy. On
+// success it returns the result and true; the caller records the success
+// decision (callers attach policy-specific reasons). On failure it
+// records a veto — or, after repeated failures, a pin — updates the
+// backoff state, and returns false. Pinned and backing-off pages return
+// false without a decision record, so steady-state skips do not flood the
+// document. Caller holds d.mu.
+func (d *Daemon) tryMove(mp *ManagedProc, policy string, addr, pages, now uint64) (kernel.MoveResult, bool) {
+	page := addr &^ (kernel.PageSize - 1)
+	if d.pinned[page] {
+		return kernel.MoveResult{}, false
+	}
+	f := d.moveFails[page]
+	if f != nil {
+		if now < f.nextRetry {
+			return kernel.MoveResult{}, false
+		}
+		d.stats.Retries.Inc()
+	}
+	res, err := mp.Proc.RequestMove(addr, pages)
+	if err == nil {
+		delete(d.moveFails, page)
+		return res, true
+	}
+	if f == nil {
+		f = &moveFailure{}
+		d.moveFails[page] = f
+	}
+	f.fails++
+	f.nextRetry = now + retryBackoffCyc<<(f.fails-1)
+	if f.fails >= maxMoveRetries {
+		delete(d.moveFails, page)
+		d.pinned[page] = true
+		d.stats.Pins.Inc()
+		d.stats.PinnedPages.Set(uint64(len(d.pinned)))
+		d.record(now, policy, ActionPin, mp.Name, addr, pages, 0, err.Error())
+		return kernel.MoveResult{}, false
+	}
+	d.record(now, policy, ActionVeto, mp.Name, addr, 0, 0, err.Error())
+	return kernel.MoveResult{}, false
 }
 
 // coldestSwappable returns the swappable allocation with the lowest heat
@@ -412,7 +519,7 @@ func (d *Daemon) evictColdest(policy string, skip map[uint64]bool, now uint64, r
 		// loudly, this must not happen.
 		panic(fmt.Sprintf("mmpolicy: release after swap-out: %v", err))
 	}
-	cost := uint64(cycSwapBarrier) + length*cycSwapPerByte
+	cost := uint64(cycSwapBarrier) + length*cycSwapPerByte + d.inj.Delay(fault.SwapDelay, cycSwapSlowMax)
 	mp.forget(base)
 	mp.mu.Lock()
 	mp.swapPages[slot] = pages
@@ -459,11 +566,26 @@ func (d *Daemon) FaultIn(mp *ManagedProc, poison uint64, now uint64) (uint64, ui
 			return 0, 0, fmt.Errorf("mmpolicy: swap-in grant failed after reclaim: %w", err)
 		}
 	}
-	if err := mp.RT.SwapIn(slot, newBase); err != nil {
+	// An injected swap-in I/O error is transient: the fault handler
+	// retries, paying another barrier round trip per attempt. Retrying is
+	// safe because the runtime checks injection before mutating the slot.
+	var retryCost uint64
+	err = mp.RT.SwapIn(slot, newBase)
+	for attempts := 1; err != nil && fault.Injected(err) && attempts < maxSwapRetries; attempts++ {
+		d.stats.SwapRetries.Inc()
+		retryCost += cycSwapBarrier
+		err = mp.RT.SwapIn(slot, newBase)
+	}
+	if err != nil {
+		// Give the granted frames back before surfacing the failure, so a
+		// failed fault-in leaks nothing.
+		pgs := (length + kernel.PageSize - 1) / kernel.PageSize
+		_ = mp.Proc.ReleaseRegion(newBase, pgs*kernel.PageSize)
 		return 0, 0, err
 	}
 	pages := (length + kernel.PageSize - 1) / kernel.PageSize
-	cost := cycFaultEntry + cycSwapBarrier + length*cycSwapPerByte
+	cost := cycFaultEntry + cycSwapBarrier + length*cycSwapPerByte + retryCost +
+		d.injector().Delay(fault.SwapDelay, cycSwapSlowMax)
 	mp.mu.Lock()
 	delete(mp.swapPages, slot)
 	mp.mu.Unlock()

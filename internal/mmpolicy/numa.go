@@ -45,10 +45,9 @@ func (p *NUMARebalance) Tick(d *Daemon, now uint64) error {
 				continue // already resident on the home node
 			}
 			d.K.Alloc.Prefer(start, pages)
-			res, err := mp.Proc.RequestMove(reg.Base, (reg.Len+kernel.PageSize-1)/kernel.PageSize)
+			res, ok := d.tryMove(mp, p.Name(), reg.Base, (reg.Len+kernel.PageSize-1)/kernel.PageSize, now)
 			d.K.Alloc.ClearPreference()
-			if err != nil {
-				d.record(now, p.Name(), ActionVeto, mp.Name, reg.Base, 0, 0, err.Error())
+			if !ok {
 				continue
 			}
 			moves++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/kernel"
 	"carat/internal/obs"
@@ -69,6 +70,10 @@ type HarnessConfig struct {
 	// and policy.* daemon events.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Fault, when non-nil, is threaded through the kernel, every process
+	// runtime, and the daemon: the whole machine then runs under the same
+	// seeded fault schedule (see internal/fault and scripts/soak).
+	Fault *fault.Injector
 }
 
 // WorkProc is one workload process in the harness.
@@ -110,8 +115,10 @@ const (
 func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	k := kernel.NewWith(cfg.MemBytes, cfg.Obs)
 	k.SetTracer(cfg.Trace)
+	k.SetInjector(cfg.Fault)
 	d := New(k, cfg.Policies...)
 	d.SetTracer(cfg.Trace)
+	d.SetInjector(cfg.Fault)
 	h := &Harness{K: k, D: d, tickEvery: cfg.TickEvery, nextTick: cfg.TickEvery}
 	for _, spec := range cfg.Procs {
 		if spec.MaxPages == 0 {
@@ -120,6 +127,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		p := k.NewProcess()
 		rt := runtime.NewWith(k.Mem, nil, k.Obs)
 		rt.SetTracer(cfg.Trace)
+		rt.SetInjector(cfg.Fault)
 		p.Handler = rt
 		mp := d.Attach(spec.Name, p, rt)
 		wp := &WorkProc{

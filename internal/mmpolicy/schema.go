@@ -25,6 +25,7 @@ const (
 	ActionSwapOut = "swap_out" // tiering eviction
 	ActionSwapIn  = "swap_in"  // poison-fault restore
 	ActionVeto    = "veto"     // a change request the system refused
+	ActionPin     = "pin"      // page pinned after repeated move failures
 )
 
 // Decision is one policy action the daemon took (or had vetoed).
@@ -48,6 +49,7 @@ type Totals struct {
 	SwapOuts uint64 `json:"swap_outs"`
 	SwapIns  uint64 `json:"swap_ins"`
 	Vetoes   uint64 `json:"vetoes"`
+	Pins     uint64 `json:"pins"`
 	// MoveCycles is the modeled cost of all executed decisions;
 	// DaemonCycles is the daemon's own scan/dispatch overhead.
 	MoveCycles   uint64 `json:"move_cycles"`

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"carat/internal/fault"
 	"carat/internal/kernel"
 	"carat/internal/obs"
 )
@@ -160,6 +161,14 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	}
 	pages := length / kernel.PageSize
 
+	// An abort here models the kernel cancelling its own request before a
+	// destination exists: nothing has mutated yet, so a bare veto suffices.
+	inj := r.injector()
+	if err := inj.Fail(fault.MoveAbort, "before destination negotiation"); err != nil {
+		req.Veto()
+		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move aborted: %w", err)
+	}
+
 	// Step 5: the kernel allocates and maps the destination.
 	dst, err := req.NegotiateDst(src, pages)
 	if err != nil {
@@ -167,6 +176,14 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move negotiation failed: %w", err)
 	}
 	bd.MoveCycles += pages * cycPageAlloc
+
+	// From here to the commit point at RetireSrc, every mutation is
+	// recorded in txn before it is applied, so an abort at any later step
+	// boundary rolls the address space back to the exact pre-move state.
+	txn := &moveTxn{}
+	abort := func(cause error) (kernel.MoveResult, uint64, uint64, uint64, error) {
+		return kernel.MoveResult{}, 0, 0, 0, r.rollbackMove(req, txn, src, dst, length, cause)
+	}
 
 	// Steps 7-8: patch every escape of every affected allocation so each
 	// pointer names the address its target will have after the move.
@@ -176,10 +193,17 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 			bd.PatchCycles += cycEscapePatch
 			val := r.mem.Load64(loc)
 			if val >= src && val < src+length {
+				if err := inj.Fail(fault.PatchFail, fmt.Sprintf("escape at %#x", loc)); err != nil {
+					return abort(err)
+				}
+				txn.memWrites = append(txn.memWrites, memWrite{loc: loc, old: val})
 				r.mem.Store64(loc, val-src+dst)
 				bd.EscapesPatched++
 			}
 		}
+	}
+	if err := inj.Fail(fault.MoveAbort, "after escape patch"); err != nil {
+		return abort(err)
 	}
 	// Registers (in-register pointers were dumped by the world stop).
 	for _, rs := range regs {
@@ -187,30 +211,43 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 		for i, v := range vals {
 			bd.RegCycles += cycRegScan
 			if v >= src && v < src+length {
+				txn.regWrites = append(txn.regWrites, regWrite{rs: rs, i: i, old: v})
 				rs.SetReg(i, v-src+dst)
 				bd.RegCycles += cycRegPatch
 				bd.RegsPatched++
 			}
 		}
 	}
+	if err := inj.Fail(fault.MoveAbort, "after register patch"); err != nil {
+		return abort(err)
+	}
 
 	// Table maintenance: rebase moved allocations and any escape
 	// locations that themselves live in the moved range.
 	for _, a := range affected {
 		r.Table.Rebase(a, a.Base-src+dst)
+		txn.rebased = append(txn.rebased, a)
 	}
 	moved := r.Table.RebaseEscapeLocs(src, src+length, dst)
+	txn.escMoved = true
 	bd.PatchCycles += uint64(moved) * cycEscapePatch
 	r.rebaseSwapLocs(src, dst, length)
-
-	// Steps 9-10: move the data and retire the source.
-	if err := r.mem.Move(dst, src, length); err != nil {
-		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: data move failed: %w", err)
+	txn.swapMoved = true
+	if err := inj.Fail(fault.MoveAbort, "before data copy"); err != nil {
+		return abort(err)
 	}
+
+	// Steps 9-10: move the data and retire the source. RetireSrc is the
+	// commit point — once the kernel retires the source frames the move is
+	// final.
+	if err := r.mem.Move(dst, src, length); err != nil {
+		return abort(fmt.Errorf("runtime: data move failed: %w", err))
+	}
+	txn.copied = true
 	bd.MoveCycles += length * cycPerByteMove
 	bd.PagesMoved = pages
 	if err := req.RetireSrc(src, pages); err != nil {
-		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: source retire failed: %w", err)
+		return abort(fmt.Errorf("runtime: source retire failed: %w", err))
 	}
 
 	r.MoveStats = append(r.MoveStats, bd)
@@ -219,6 +256,73 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	r.moveHist.Observe(bd.TotalCycles())
 	r.traceMove(&bd, src, dst, length, lookupCyc, scanCyc)
 	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, src, dst, length, nil
+}
+
+// moveTxn is the undo log of one in-flight move: every mutation made
+// after destination negotiation, recorded before it is applied. The
+// booleans mark the all-or-nothing table/copy steps; the write logs keep
+// original values in application order so rollback can restore them in
+// reverse.
+type moveTxn struct {
+	memWrites []memWrite    // escape-location rewrites
+	regWrites []regWrite    // saved-register rewrites
+	rebased   []*Allocation // allocations rebased src->dst
+	escMoved  bool          // escape locations rebased src->dst
+	swapMoved bool          // swap-record escape locations rebased
+	copied    bool          // data copied to dst (source zeroed)
+}
+
+type memWrite struct{ loc, old uint64 }
+
+type regWrite struct {
+	rs  RegSet
+	i   int
+	old uint64
+}
+
+// rollbackMove restores the exact pre-move state after an abort: undo the
+// data copy, rebase tables back, restore registers and memory words in
+// reverse application order, and return the negotiated destination to the
+// kernel — whose region release raises EventInvalidateRange, so the VM's
+// guard/translation caches drop anything covering the stillborn
+// destination. The abort counts as a veto in the kernel's accounting.
+// Returns the error the failed move reports, wrapping cause.
+func (r *Runtime) rollbackMove(req *kernel.MoveRequest, txn *moveTxn, src, dst, length uint64, cause error) error {
+	if txn.copied {
+		if err := r.mem.Move(src, dst, length); err != nil {
+			return fmt.Errorf("runtime: rollback copy-back failed: %v (aborting move: %w)", err, cause)
+		}
+	}
+	if txn.swapMoved {
+		r.rebaseSwapLocs(dst, src, length)
+	}
+	if txn.escMoved {
+		r.Table.RebaseEscapeLocs(dst, dst+length, src)
+	}
+	for i := len(txn.rebased) - 1; i >= 0; i-- {
+		a := txn.rebased[i]
+		r.Table.Rebase(a, a.Base-dst+src)
+	}
+	for i := len(txn.regWrites) - 1; i >= 0; i-- {
+		w := txn.regWrites[i]
+		w.rs.SetReg(w.i, w.old)
+	}
+	for i := len(txn.memWrites) - 1; i >= 0; i-- {
+		w := txn.memWrites[i]
+		r.mem.Store64(w.loc, w.old)
+	}
+	if err := req.AbortDst(dst, length/kernel.PageSize); err != nil {
+		return fmt.Errorf("runtime: rollback destination release failed: %v (aborting move: %w)", err, cause)
+	}
+	req.Veto()
+	r.Stats.MoveRollbacks.Inc()
+	r.tracer().Instant("fault.rollback", "fault",
+		obs.A("src", src), obs.A("dst", dst), obs.A("bytes", length),
+		obs.A("cause", cause.Error()))
+	if err := r.Table.MaybeCheckInvariants(); err != nil {
+		return fmt.Errorf("runtime: invariants violated after rollback: %v (aborting move: %w)", err, cause)
+	}
+	return fmt.Errorf("runtime: move aborted and rolled back: %w", cause)
 }
 
 // traceMove emits one span per Figure 8 protocol step, laid end to end on

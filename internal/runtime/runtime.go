@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"carat/internal/fault"
 	"carat/internal/kernel"
 	"carat/internal/obs"
 )
@@ -51,6 +52,8 @@ type Stats struct {
 	SwapIns       *obs.Counter
 	Moves         *obs.Counter // completed kernel-initiated moves
 	MoveCycles    *obs.Counter // total modeled cycles across all moves
+	MoveRollbacks *obs.Counter // aborted moves rolled back to the pre-move state
+	FlushRetries  *obs.Counter // escape-buffer flushes retried after an injected failure
 	MemoHits      *obs.Gauge   // shard-memo fast-path hits on escape resolution
 	MemoMisses    *obs.Gauge   // shard-memo misses (full tree descent)
 }
@@ -68,6 +71,8 @@ func newStats(reg *obs.Registry) Stats {
 		SwapIns:       reg.Counter("carat.runtime.swap_ins"),
 		Moves:         reg.Counter("carat.runtime.moves"),
 		MoveCycles:    reg.Counter("carat.runtime.move_cycles"),
+		MoveRollbacks: reg.Counter("carat.runtime.move_rollbacks"),
+		FlushRetries:  reg.Counter("carat.runtime.flush_retries"),
 		MemoHits:      reg.Gauge("carat.runtime.table.memo_hits"),
 		MemoMisses:    reg.Gauge("carat.runtime.table.memo_misses"),
 	}
@@ -116,6 +121,7 @@ type Runtime struct {
 	// swap-slot directory).
 	stateMu       sync.Mutex
 	tr            *obs.Tracer
+	inj           *fault.Injector
 	world         World
 	bufs          []*EscapeBuffer
 	moveListeners []func(src, dst, length uint64)
@@ -227,6 +233,22 @@ func (r *Runtime) tracer() *obs.Tracer {
 	return r.tr
 }
 
+// SetInjector attaches a fault injector (nil disables injection). The
+// runtime's injection points are mid-move aborts at Fig-8 step boundaries,
+// per-escape patch failures, swap I/O errors and delays, and escape-buffer
+// flush failures; see internal/fault.
+func (r *Runtime) SetInjector(in *fault.Injector) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	r.inj = in
+}
+
+func (r *Runtime) injector() *fault.Injector {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.inj
+}
+
 // SetWorld installs the thread controller (the VM does this at startup).
 func (r *Runtime) SetWorld(w World) {
 	r.stateMu.Lock()
@@ -318,12 +340,18 @@ func (b *EscapeBuffer) Track(loc, val uint64) {
 	}
 }
 
-// Flush drains this buffer into the table.
+// Flush drains this buffer into the table. An injected flush failure is
+// retried to completion: moves and swaps patch from the escape map under a
+// stopped world, so a flush that silently gave up would leave them patching
+// from stale data — the drain must land before this returns.
 func (b *EscapeBuffer) Flush() {
 	b.mu.Lock()
 	drain := append([]escapeEvent(nil), b.events...)
 	b.events = b.events[:0]
 	b.mu.Unlock()
+	for b.r.injector().Should(fault.FlushFail) {
+		b.r.Stats.FlushRetries.Inc()
+	}
 	b.r.apply(drain)
 }
 

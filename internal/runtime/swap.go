@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"carat/internal/fault"
 	"carat/internal/kernel"
 	"carat/internal/obs"
 )
@@ -81,6 +82,12 @@ func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, err
 	if slot >= 1<<16 {
 		return 0, 0, fmt.Errorf("runtime: out of swap slots")
 	}
+	// An injected I/O error models the write to the swap device failing.
+	// Checked before any mutation, so a failed swap-out leaves the
+	// allocation untouched and the caller simply skips or retries it.
+	if err := r.injector().Fail(fault.SwapOutIO, fmt.Sprintf("slot %d write", slot)); err != nil {
+		return 0, 0, err
+	}
 
 	rec := &swapRecord{length: a.Len, escapes: make(map[uint64]uint64), static: a.Static}
 	data, err := r.mem.ReadAt(base, a.Len)
@@ -152,6 +159,12 @@ func (r *Runtime) swapInLocked(slot, newBase uint64, regs []RegSet) (uint64, err
 
 	if slot >= uint64(len(r.swapSlots)) || r.swapSlots[slot] == nil {
 		return 0, fmt.Errorf("runtime: swap-in of bad slot %d", slot)
+	}
+	// An injected I/O error models the read from the swap device failing.
+	// Checked before any mutation, so the slot stays intact and the fault
+	// handler can retry the swap-in.
+	if err := r.injector().Fail(fault.SwapInIO, fmt.Sprintf("slot %d read", slot)); err != nil {
+		return 0, err
 	}
 	rec := r.swapSlots[slot]
 	if err := r.mem.WriteAt(newBase, rec.data); err != nil {

@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+)
+
+// Native Go fuzz targets over the differential-fuzz invariant: the seed IS
+// the program (genProgram is total over int64), so the fuzzer explores
+// program space by mutating seeds. The corpora below are drawn from the
+// deterministic seed ranges the table-driven differential tests sweep, so
+// `go test` without -fuzz still replays known-interesting programs. CI
+// runs each target for a short budget (see the Makefile fuzz target).
+
+// fuzzRun compiles and runs one seed at a level, returning the result.
+// Unlike runSeed it reports failures instead of t.Fatal-ing so the fuzzer
+// can minimize.
+func fuzzRun(t *testing.T, seed int64, lvl passes.Level, tweak func(*VM)) (int64, bool) {
+	m := genProgram(seed)
+	pl := passes.Build(lvl)
+	if err := pl.Run(m); err != nil {
+		t.Errorf("seed %d: passes: %v", seed, err)
+		return 0, false
+	}
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	cfg.GuardMech = guard.MechRange
+	v, err := Load(m, cfg)
+	if err != nil {
+		t.Errorf("seed %d: load: %v", seed, err)
+		return 0, false
+	}
+	if tweak != nil {
+		tweak(v)
+	}
+	ret, err := v.Run()
+	if err != nil {
+		t.Errorf("seed %d: run: %v", seed, err)
+		return 0, false
+	}
+	return ret, true
+}
+
+// FuzzDifferentialPipeline: every pipeline level computes the same result
+// as the uninstrumented program.
+func FuzzDifferentialPipeline(f *testing.F) {
+	for _, seed := range []int64{1, 7, 19, 33, 40, 50, 57, 65} {
+		f.Add(seed)
+	}
+	levels := []passes.Level{
+		passes.LevelGuardsOnly, passes.LevelGuardsOpt,
+		passes.LevelTracking, passes.LevelTrackingOnly,
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		want, ok := fuzzRun(t, seed, passes.LevelNone, nil)
+		if !ok {
+			return
+		}
+		for _, lvl := range levels {
+			if got, ok := fuzzRun(t, seed, lvl, nil); ok && got != want {
+				t.Errorf("seed %d level %d: got %d, want %d", seed, lvl, got, want)
+			}
+		}
+	})
+}
+
+// FuzzDifferentialMoves: concurrent worst-case page moves are invisible
+// to the tracked program.
+func FuzzDifferentialMoves(f *testing.F) {
+	for _, seed := range []int64{100, 111, 125, 200, 210, 220} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		want, ok := fuzzRun(t, seed, passes.LevelTracking, nil)
+		if !ok {
+			return
+		}
+		got, ok := fuzzRun(t, seed, passes.LevelTracking, func(v *VM) {
+			v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
+		})
+		if ok && got != want {
+			t.Errorf("seed %d with page moves: got %d, want %d", seed, got, want)
+		}
+	})
+}
+
+// FuzzGuardsAgreeOnForgedPointers: guard optimization must never change
+// whether an access is admitted. For a fuzzer-chosen forged address,
+// optimized guards must trap exactly when unoptimized guards do (and,
+// when both admit, the loaded value must match).
+func FuzzGuardsAgreeOnForgedPointers(f *testing.F) {
+	for _, addr := range []uint64{0, 8, 4096, 87654321000, 1 << 40, ^uint64(0) &^ 7} {
+		f.Add(addr)
+	}
+	f.Fuzz(func(t *testing.T, addr uint64) {
+		addr &^= 7 // the interpreter requires aligned 8-byte loads
+		// The IR parser reads i64 literals as signed; the bit pattern is
+		// what inttoptr cares about.
+		src := fmt.Sprintf(`module "forge"
+func @main() -> i64 {
+entry:
+  %%p = inttoptr i64 %d to ptr
+  %%v = load i64, %%p
+  ret i64 %%v
+}`, int64(addr))
+		run := func(lvl passes.Level) (int64, error) {
+			m := compile(t, src, lvl)
+			cfg := DefaultConfig()
+			cfg.MemBytes = 1 << 22
+			cfg.HeapBytes = 1 << 18
+			v, err := Load(m, cfg)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			return v.Run()
+		}
+		wantRet, wantErr := run(passes.LevelGuardsOnly)
+		for _, lvl := range []passes.Level{passes.LevelGuardsOpt, passes.LevelTracking} {
+			gotRet, gotErr := run(lvl)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Errorf("addr %#x level %d: err %v, unoptimized err %v", addr, lvl, gotErr, wantErr)
+			} else if gotErr == nil && gotRet != wantRet {
+				t.Errorf("addr %#x level %d: got %d, want %d", addr, lvl, gotRet, wantRet)
+			}
+		}
+	})
+}

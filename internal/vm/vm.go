@@ -14,6 +14,7 @@ package vm
 import (
 	"fmt"
 
+	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/kernel"
@@ -83,6 +84,12 @@ type Config struct {
 	// Trace, when set, receives simulated-cycle trace events from every
 	// layer. nil disables tracing at zero cost.
 	Trace *obs.Tracer
+
+	// Fault, when set, threads a seeded fault injector through the
+	// kernel and runtime of this machine: moves may then be vetoed or
+	// aborted mid-protocol (and rolled back), swaps may fail and retry.
+	// nil disables injection at zero cost.
+	Fault *fault.Injector
 }
 
 // DefaultConfig returns a reasonable configuration for running workloads.
@@ -287,6 +294,8 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	v.tr.BeginProcess(mod.Name)
 	k.SetTracer(v.tr)
 	v.rt.SetTracer(v.tr)
+	k.SetInjector(cfg.Fault)
+	v.rt.SetInjector(cfg.Fault)
 
 	for _, f := range mod.Funcs {
 		fi := buildFuncInfo(f)

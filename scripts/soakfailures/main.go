@@ -1,0 +1,47 @@
+// Command soakfailures prints the failed seeds from a carat.soak.result
+// report, one per line. The soak CI workflow uses it to re-run each
+// failing seed with tracing enabled before uploading artifacts.
+//
+// Usage:
+//
+//	go run ./scripts/soakfailures soak.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: soakfailures <soak.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soakfailures:", err)
+		os.Exit(1)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Seeds  []struct {
+			Seed            int64  `json:"seed"`
+			ReplayIdentical bool   `json:"replay_identical"`
+			Error           string `json:"error"`
+		} `json:"seeds"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "soakfailures:", err)
+		os.Exit(1)
+	}
+	if doc.Schema != "carat.soak.result" {
+		fmt.Fprintf(os.Stderr, "soakfailures: unexpected schema %q\n", doc.Schema)
+		os.Exit(1)
+	}
+	for _, s := range doc.Seeds {
+		if s.Error != "" || !s.ReplayIdentical {
+			fmt.Println(s.Seed)
+		}
+	}
+}

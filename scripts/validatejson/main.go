@@ -26,6 +26,7 @@ var supported = map[string]int{
 	"carat.metrics":      1,
 	"carat.trace":        1,
 	"carat.policy":       1,
+	"carat.soak.result":  1,
 }
 
 func main() {
