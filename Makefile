@@ -44,16 +44,21 @@ race:
 # validates that the output parses and carries a supported schema version.
 # The bench output goes through an intermediate file so a caratbench
 # failure fails the target — a pipeline would report only validatejson's
-# status and mask a crashed bench.
+# status and mask a crashed bench. The second leg starts caratbench with a
+# live -http telemetry server, curls /metrics and /profile, and validates
+# both (see scripts/smoke_telemetry.sh).
 smoke: build
 	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) > smoke.json
 	$(GO) run ./scripts/validatejson smoke.json
 	@rm -f smoke.json
+	sh ./scripts/smoke_telemetry.sh
 
 # bench measures the execution engine (baseline dispatch vs predecode vs
-# predecode+xcache), writes BENCH_exec.json, validates its schema, and
-# fails if the full engine is below 2x over baseline dispatch or has
-# regressed >20% against the committed reference speedups.
+# predecode+xcache vs full+telemetry), writes BENCH_exec.json, validates
+# its schema, and fails if the full engine is below 2x over baseline
+# dispatch, has regressed >20% against the committed reference speedups,
+# or loses >5% throughput with the cycle sampler and a live -http
+# telemetry server attached.
 bench: build
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 2x ./internal/bench/
 	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json

@@ -9,6 +9,7 @@
 //	caratbench -exp table3 -json        # machine-readable document on stdout
 //	caratbench -exp table3 -trace t.json -metrics m.json
 //	caratbench -exp defrag -policy p.json
+//	caratbench -exp all -http 127.0.0.1:0 -http-linger 30s
 //
 // -json replaces the text tables with one versioned JSON document
 // (schema carat.bench.result; see DESIGN.md "Observability"). -trace
@@ -16,6 +17,13 @@
 // the final metrics-registry snapshot. -policy writes the decision log of
 // the last policy-daemon experiment (defrag, tiering, policy) as a
 // carat.policy document.
+//
+// -http serves live telemetry while the experiments run: /metrics
+// (Prometheus text), /profile (cycle-sampling profiler), /trace?sec=N
+// (windowed trace capture), /healthz, and /readyz (503 until the
+// experiments finish). The bound address is printed to stderr; with
+// -http-linger the server stays up that long after the run so scrapers
+// can collect final state.
 package main
 
 import (
@@ -24,11 +32,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"carat/internal/bench"
 	"carat/internal/fault"
 	"carat/internal/mmpolicy"
 	"carat/internal/obs"
+	"carat/internal/obs/telemetry"
 	"carat/internal/workload"
 )
 
@@ -45,6 +55,10 @@ func main() {
 		"worker-pool width for per-workload experiment legs (1 = sequential)")
 	faults := flag.String("faults", "",
 		"inject faults into policy experiments: seed:rate sets every injection point to rate (e.g. 42:0.01)")
+	httpAddr := flag.String("http", "",
+		"serve live telemetry (/metrics, /profile, /trace, /healthz, /readyz) on this address (e.g. 127.0.0.1:8080, :0 picks a port)")
+	httpLinger := flag.Duration("http-linger", 0,
+		"keep the -http server up this long after the experiments finish")
 	flag.Parse()
 
 	if *list {
@@ -70,8 +84,11 @@ func main() {
 	if *only != "" {
 		o.Only = strings.Split(*only, ",")
 	}
-	if *jsonOut || *metricsFile != "" {
+	if *jsonOut || *metricsFile != "" || *httpAddr != "" {
 		o.Obs = obs.NewRegistry()
+	}
+	if *httpAddr != "" {
+		o.Sampler = obs.NewSampler(0)
 	}
 
 	var policyDoc *mmpolicy.Document
@@ -108,6 +125,17 @@ func main() {
 		}
 	}
 
+	var tele *telemetry.Server
+	if *httpAddr != "" {
+		tele = &telemetry.Server{Registry: o.Obs, Sampler: o.Sampler, Tracer: o.Trace}
+		addr, err := tele.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caratbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "caratbench: telemetry on http://%s\n", addr)
+	}
+
 	if *jsonOut {
 		err = bench.RunJSON(*exp, o, os.Stdout)
 	} else {
@@ -116,6 +144,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caratbench:", err)
 		os.Exit(1)
+	}
+	if tele != nil {
+		// Experiments are done: final metrics and the full profile are now
+		// scrapeable, which /readyz signals to automation.
+		tele.SetReady(true)
 	}
 
 	if traceClose != nil {
@@ -157,5 +190,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "caratbench: policy:", werr)
 			os.Exit(1)
 		}
+	}
+	if tele != nil {
+		time.Sleep(*httpLinger)
+		tele.Close()
 	}
 }

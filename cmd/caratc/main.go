@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	caratc [-level none|guards|guards-opt|carat|tracking-only] [-workers N] [-emit] [-stats] file.cir | file.cc
+//	caratc [-level none|guards|guards-opt|carat|tracking-only] [-workers N] [-emit] [-stats] [-metrics m.json] file.cir | file.cc
+//
+// -metrics writes the compile pipeline's metrics-registry snapshot
+// (schema carat.metrics: carat.passes.* counters and per-pass cycle
+// histograms) as JSON, the same registry the caratvm and caratbench
+// telemetry endpoints expose live.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"carat/internal/core"
 	"carat/internal/ir"
+	"carat/internal/obs"
 	"carat/internal/passes"
 	"carat/internal/signing"
 )
@@ -30,6 +36,7 @@ func main() {
 	stats := flag.Bool("stats", true, "print compilation statistics")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"functions compiled concurrently (1 = sequential; output is identical)")
+	metricsFile := flag.String("metrics", "", "write the compile-pipeline metrics snapshot as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: caratc [flags] file.cir")
@@ -51,9 +58,25 @@ func main() {
 		fatal(err)
 	}
 	c.Workers = *workers
+	reg := obs.NewRegistry()
+	c.Obs = reg
 	res, err := c.Compile(m)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			fatal(err)
+		}
+		werr := reg.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(fmt.Errorf("metrics: %w", werr))
+		}
 	}
 
 	if *emit {

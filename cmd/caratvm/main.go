@@ -8,6 +8,12 @@
 //	caratvm -json file.cir              # machine-readable run report
 //	caratvm -trace t.json file.cir      # Chrome trace_event file (Perfetto)
 //	caratvm -metrics m.json file.cir    # metrics-registry snapshot
+//	caratvm -http :0 -http-linger 30s file.cir   # live telemetry server
+//
+// -http serves /metrics (Prometheus text), /profile (cycle-sampling
+// profiler), /trace?sec=N, /healthz, and /readyz while the program runs;
+// -http-linger keeps the server up after the run so scrapers can collect
+// final state.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"carat/internal/cc"
 
@@ -25,6 +32,7 @@ import (
 	"carat/internal/guard"
 	"carat/internal/ir"
 	"carat/internal/obs"
+	"carat/internal/obs/telemetry"
 	"carat/internal/passes"
 	"carat/internal/vm"
 )
@@ -63,6 +71,10 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write the final metrics snapshot as JSON")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"functions compiled concurrently (1 = sequential; output is identical)")
+	httpAddr := flag.String("http", "",
+		"serve live telemetry (/metrics, /profile, /trace, /healthz, /readyz) on this address (e.g. 127.0.0.1:8080, :0 picks a port)")
+	httpLinger := flag.Duration("http-linger", 0,
+		"keep the -http server up this long after the run finishes")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: caratvm [flags] file.cir")
@@ -122,6 +134,22 @@ func main() {
 	// One registry spans compile and run, so carat.passes.* metrics land
 	// in the same -metrics / -json snapshot as the VM's counters.
 	cfg.Obs = obs.NewRegistry()
+
+	var tele *telemetry.Server
+	if *httpAddr != "" {
+		cfg.Sampler = obs.NewSampler(0)
+		tele = &telemetry.Server{Registry: cfg.Obs, Sampler: cfg.Sampler, Tracer: cfg.Trace}
+		addr, err := tele.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "caratvm: telemetry on http://%s\n", addr)
+		defer func() {
+			time.Sleep(*httpLinger)
+			tele.Close()
+		}()
+	}
+
 	c, err := core.NewCompiler(l)
 	if err != nil {
 		fatal(err)
@@ -135,6 +163,11 @@ func main() {
 	v, ret, err := core.NewSystem(c, cfg).Run(res)
 	if err != nil {
 		fatal(err)
+	}
+	if tele != nil {
+		// The run is over: final metrics and the full profile are now
+		// scrapeable, which /readyz signals to automation.
+		tele.SetReady(true)
 	}
 
 	if cfg.Trace != nil {

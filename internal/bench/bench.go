@@ -50,6 +50,9 @@ type Options struct {
 	// Fault, when non-nil, threads a seeded fault injector through the
 	// policy-daemon experiments (caratbench's -faults flag).
 	Fault *fault.Injector
+	// Sampler, when non-nil, attaches the cycle-sampling profiler to every
+	// VM run (one track each) and to the policy daemon ("policy" phase).
+	Sampler *obs.Sampler
 }
 
 // DefaultOptions returns the standard configuration for scale s.
@@ -130,6 +133,7 @@ func (o Options) vmConfig(mode vm.Mode, mech guard.Mechanism) vm.Config {
 	cfg.HeapBytes = o.HeapBytes
 	cfg.Obs = o.Obs
 	cfg.Trace = o.Trace
+	cfg.Sampler = o.Sampler
 	return cfg
 }
 

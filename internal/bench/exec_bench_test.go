@@ -27,7 +27,7 @@ func benchEngine(b *testing.B, predecode, xcache bool) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		v, _, err := runExecOnce(m, predecode, xcache)
+		v, _, err := runExecOnce(m, execEngine{predecode: predecode, xcache: xcache}, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,8 +51,8 @@ func TestExecBenchGate(t *testing.T) {
 	if doc.Schema != ExecBenchSchema || doc.Version != ExecBenchVersion {
 		t.Errorf("schema header %s v%d, want %s v%d", doc.Schema, doc.Version, ExecBenchSchema, ExecBenchVersion)
 	}
-	if len(doc.Engines) != 3 {
-		t.Fatalf("engines = %d, want 3", len(doc.Engines))
+	if len(doc.Engines) != 4 {
+		t.Fatalf("engines = %d, want 4", len(doc.Engines))
 	}
 	for _, e := range doc.Engines {
 		if e.Instrs == 0 || e.WallMS <= 0 {
@@ -63,7 +63,19 @@ func TestExecBenchGate(t *testing.T) {
 	if full.XCacheHits == 0 {
 		t.Error("full engine recorded no xcache hits")
 	}
+	tele := doc.Engines[3]
+	if !tele.Telemetry {
+		t.Errorf("engine %s should be the telemetry leg", tele.Engine)
+	}
+	if tele.XCacheHits == 0 {
+		t.Error("telemetry leg recorded no xcache hits")
+	}
 	if doc.SpeedupFull <= 0 {
 		t.Error("speedup not computed")
+	}
+	// The overhead figure must be computed (any finite value; the CI bench
+	// job, not this smoke test, gates its magnitude).
+	if doc.TelemetryOverheadPct >= 100 {
+		t.Errorf("telemetry overhead %.1f%% nonsensical", doc.TelemetryOverheadPct)
 	}
 }

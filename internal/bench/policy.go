@@ -48,6 +48,18 @@ func policyProcScale(o Options) int {
 // assemble — a superpage-candidate window.
 const defragTargetRun = 64
 
+// pauseLine renders the carat.runtime.pause_cycles percentiles from a
+// policy document — the bounded-pause figure of merit every world-stop
+// (move, abort, protect, swap) in the run contributes to.
+func pauseLine(w io.Writer, doc *mmpolicy.Document) {
+	if doc == nil || doc.PauseCycles == nil {
+		return
+	}
+	p := doc.PauseCycles
+	fmt.Fprintf(w, "pause cycles (%d world stops): p50 %.0f, p95 %.0f, p99 %.0f, max %d\n",
+		p.Count, p.P50, p.P95, p.P99, p.Max)
+}
+
 // DefragResult reports the defragmentation experiment.
 type DefragResult struct {
 	TargetRun  uint64             `json:"target_run"`
@@ -77,6 +89,7 @@ func Defrag(o Options) (*DefragResult, error) {
 		Obs:      o.Obs,
 		Trace:    o.Trace,
 		Fault:    o.Fault,
+		Sampler:  o.Sampler,
 	})
 	if err != nil {
 		return nil, err
@@ -142,6 +155,7 @@ func (r *DefragResult) Print(w io.Writer) {
 			r.Breakdown.PageExpand, r.Breakdown.PatchGenExec, r.Breakdown.RegisterPatch,
 			r.Breakdown.AllocAndMove, r.Breakdown.TotalCost)
 	}
+	pauseLine(w, r.Policy)
 }
 
 // TieringResult reports the hot/cold tiering experiment.
@@ -173,6 +187,7 @@ func Tiering(o Options) (*TieringResult, error) {
 		Obs:      o.Obs,
 		Trace:    o.Trace,
 		Fault:    o.Fault,
+		Sampler:  o.Sampler,
 	})
 	if err != nil {
 		return nil, err
@@ -206,6 +221,7 @@ func (r *TieringResult) Print(w io.Writer) {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\n",
 			r.SwapOuts, r.SwapIns, r.FreeBefore, r.FreeAfter, r.Ticks, r.Verified)
 	})
+	pauseLine(w, r.Policy)
 }
 
 // PolicyActionCount is one policy's slice of the decision log.
@@ -250,9 +266,10 @@ func Policy(o Options) (*PolicyResult, error) {
 			mmpolicy.NewTiering(),
 			mmpolicy.NewNUMARebalance(),
 		},
-		Obs:   o.Obs,
-		Trace: o.Trace,
-		Fault: o.Fault,
+		Obs:     o.Obs,
+		Trace:   o.Trace,
+		Fault:   o.Fault,
+		Sampler: o.Sampler,
 	})
 	if err != nil {
 		return nil, err
@@ -327,4 +344,5 @@ func (r *PolicyResult) Print(w io.Writer) {
 	})
 	fmt.Fprintf(w, "largest free run %d -> %d pages; daemon overhead %d cycles; verified=%v\n",
 		r.FragBefore.LargestRun, r.FragAfter.LargestRun, r.Totals.DaemonCycles, r.Verified)
+	pauseLine(w, r.Policy)
 }

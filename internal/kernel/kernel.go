@@ -35,6 +35,7 @@ type Stats struct {
 	PageMoves   *obs.Counter // pages moved by executed change requests
 	ProtChanges *obs.Counter // protection change requests executed
 	MoveVetoes  *obs.Counter // moves vetoed during negotiation
+	Shootdowns  *obs.Counter // invalidate/PTE-change notifier deliveries
 }
 
 func newStats(reg *obs.Registry) Stats {
@@ -44,6 +45,7 @@ func newStats(reg *obs.Registry) Stats {
 		PageMoves:   reg.Counter("carat.kernel.page_moves"),
 		ProtChanges: reg.Counter("carat.kernel.prot_changes"),
 		MoveVetoes:  reg.Counter("carat.kernel.move_vetoes"),
+		Shootdowns:  reg.Counter("carat.kernel.shootdowns"),
 	}
 }
 

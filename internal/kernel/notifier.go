@@ -65,6 +65,12 @@ func (p *Process) RegisterNotifier(n MMUNotifier) {
 }
 
 func (p *Process) notify(ev MMUEvent) {
+	// Invalidations and remaps are shootdowns: each delivery forces the
+	// receivers (guard/translation caches, the TLB hierarchy) to drop
+	// state — the kernel-side counterpart of the runtime's pause causes.
+	if ev.Kind == EventInvalidateRange || ev.Kind == EventPTEChange {
+		p.K.Stats.Shootdowns.Inc()
+	}
 	p.K.tr.Instant("mmu."+ev.Kind.String(), "paging",
 		obs.A("base", ev.Base), obs.A("len", ev.Len))
 	for _, n := range p.notifiers {

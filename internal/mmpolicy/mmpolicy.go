@@ -201,6 +201,7 @@ type Daemon struct {
 	ticks     int
 	decisions []Decision
 	totals    Totals
+	track     *obs.Track // "policy" phase stream when a sampler is attached
 
 	// Failure policy for issued moves (see tryMove): per-source-page
 	// failure records with exponential backoff, and the set of pages
@@ -228,6 +229,18 @@ func (d *Daemon) SetTracer(tr *obs.Tracer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tr = tr
+}
+
+// AttachSampler registers the daemon as a track in the cycle-sampling
+// profiler: the daemon's own scan/dispatch cycles plus the modeled cost
+// of executed decisions fold into "policy"-phase samples at each tick.
+func (d *Daemon) AttachSampler(s *obs.Sampler) {
+	if s == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.track = s.NewTrack()
 }
 
 // SetInjector attaches a fault injector (nil disables injection). The
@@ -360,6 +373,9 @@ func (d *Daemon) Tick(now uint64) (uint64, error) {
 		}
 		d.tr.SpanAt("policy."+pol.Name(), "policy", now+start, d.pendingCycles-start,
 			obs.A("tick", d.ticks))
+	}
+	if d.track != nil {
+		d.track.FoldPhase("policy", d.totals.DaemonCycles+d.totals.MoveCycles)
 	}
 	return d.collectCycles(), nil
 }

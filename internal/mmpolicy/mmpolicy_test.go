@@ -7,6 +7,7 @@ import (
 
 	"carat/internal/guard"
 	"carat/internal/kernel"
+	"carat/internal/obs"
 	"carat/internal/runtime"
 )
 
@@ -311,6 +312,55 @@ func TestHarnessIntegrityUnderAllPolicies(t *testing.T) {
 	// The clock must have advanced past the work the daemon charged.
 	if h.Cycles < doc.Totals.DaemonCycles {
 		t.Fatalf("clock %d behind daemon cost %d", h.Cycles, doc.Totals.DaemonCycles)
+	}
+}
+
+// TestHarnessPauseAttributionAndPolicyProfile: the same pressure run, with
+// the telemetry plumbing attached. World-stop pause cycles must surface in
+// the policy document with percentiles, and the daemon's "policy" phase
+// must show up in the attached sampler.
+func TestHarnessPauseAttributionAndPolicyProfile(t *testing.T) {
+	s := obs.NewSampler(2048)
+	h, err := NewHarness(HarnessConfig{
+		MemBytes:  1 << 21,
+		TickEvery: 50_000,
+		Procs: []ProcSpec{
+			{Name: "churn-a", Kind: Churn, Slots: 48, MaxPages: 4, Seed: 1},
+			{Name: "churn-b", Kind: Churn, Slots: 48, MaxPages: 4, Seed: 2},
+			{Name: "cold", Kind: ColdStore, Slots: 12, MaxPages: 2, Seed: 4},
+		},
+		Policies: []Policy{NewDefrag(64), NewTiering()},
+		Sampler:  s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(1200); err != nil {
+		t.Fatal(err)
+	}
+	doc := h.D.Report()
+	if doc.PauseCycles == nil {
+		t.Fatal("policy document has no pause_cycles histogram after moves/swaps")
+	}
+	p := doc.PauseCycles
+	if p.Count == 0 || p.P99 == 0 || p.Max == 0 {
+		t.Fatalf("pause histogram empty: %+v", p)
+	}
+	if p.P50 > p.P95 || p.P95 > p.P99 || p.P99 > float64(p.Max) {
+		t.Fatalf("pause percentiles not ordered: p50 %.0f p95 %.0f p99 %.0f max %d",
+			p.P50, p.P95, p.P99, p.Max)
+	}
+	// World stops are observe-only: the whole machine shares one registry,
+	// and every per-cause histogram must sum into the aggregate.
+	var perCause uint64
+	for _, cause := range runtime.PauseCauses {
+		perCause += h.K.Obs.Histogram(runtime.PauseHist + "." + cause).Count()
+	}
+	if perCause != p.Count {
+		t.Errorf("per-cause pause counts sum to %d, aggregate has %d", perCause, p.Count)
+	}
+	if ps := s.PhaseSamples(); ps["policy"] == 0 {
+		t.Errorf("daemon produced no policy-phase samples: %v", ps)
 	}
 }
 

@@ -74,6 +74,9 @@ type HarnessConfig struct {
 	// runtime, and the daemon: the whole machine then runs under the same
 	// seeded fault schedule (see internal/fault and scripts/soak).
 	Fault *fault.Injector
+	// Sampler, when non-nil, receives the daemon's "policy"-phase cycle
+	// samples (see Daemon.AttachSampler).
+	Sampler *obs.Sampler
 }
 
 // WorkProc is one workload process in the harness.
@@ -119,6 +122,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	d := New(k, cfg.Policies...)
 	d.SetTracer(cfg.Trace)
 	d.SetInjector(cfg.Fault)
+	d.AttachSampler(cfg.Sampler)
 	h := &Harness{K: k, D: d, tickEvery: cfg.TickEvery, nextTick: cfg.TickEvery}
 	for _, spec := range cfg.Procs {
 		if spec.MaxPages == 0 {

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"carat/internal/kernel"
+	"carat/internal/obs"
+	"carat/internal/runtime"
 )
 
 // Machine-readable policy output. Like the other carat.* documents the
@@ -70,6 +72,12 @@ type Document struct {
 	// at Report time.
 	FragBefore *kernel.FragStats `json:"frag_before,omitempty"`
 	FragAfter  *kernel.FragStats `json:"frag_after,omitempty"`
+	// PauseCycles is the carat.runtime.pause_cycles histogram at Report
+	// time: every world-stop window (moves, aborts, protection flips,
+	// swaps) across all managed processes, with p50/p95/p99. All the
+	// harness's runtimes share the kernel's registry, so this aggregates
+	// the whole machine.
+	PauseCycles *obs.HistogramSnapshot `json:"pause_cycles,omitempty"`
 }
 
 // Report assembles the versioned decision document for the run so far.
@@ -89,6 +97,9 @@ func (d *Daemon) Report() *Document {
 	}
 	fs := d.K.Alloc.FragStats()
 	doc.FragAfter = &fs
+	if ps := d.K.Obs.Histogram(runtime.PauseHist).Snapshot(); ps.Count > 0 {
+		doc.PauseCycles = &ps
+	}
 	return doc
 }
 

@@ -17,6 +17,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -115,6 +116,13 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
+// Quantile returns the value at quantile q (0 < q <= 1) estimated from
+// the live bucket counts with intra-bucket log interpolation. 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.snapshot().Quantile(q)
+}
+
 // BucketCount is one non-empty histogram bucket in a snapshot: Count
 // observations were <= Le (and greater than the previous bucket's Le).
 type BucketCount struct {
@@ -122,14 +130,70 @@ type BucketCount struct {
 	Count uint64 `json:"count"`
 }
 
-// HistogramSnapshot is a histogram's state at snapshot time.
+// HistogramSnapshot is a histogram's state at snapshot time. P50/P95/P99
+// are the standard latency quantiles, estimated from the log-scale
+// buckets with intra-bucket log interpolation (see Quantile).
 type HistogramSnapshot struct {
 	Count   uint64        `json:"count"`
 	Sum     uint64        `json:"sum"`
 	Min     uint64        `json:"min"`
 	Max     uint64        `json:"max"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
+
+// Quantile returns the value at quantile q (0 < q <= 1) estimated from the
+// snapshot's bucket counts. Because buckets are log2-scaled, the position
+// within a bucket is interpolated geometrically (log interpolation):
+// value = lo * (hi/lo)^frac, where frac is the fraction of the bucket's
+// observations below the target rank. The estimate is clamped to the
+// observed [Min, Max] envelope. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	// Target rank in [1, Count]: the ceil makes p100 land on the last
+	// observation and keeps single-observation histograms exact.
+	rank := math.Ceil(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum < rank {
+			continue
+		}
+		// Bucket holding Le covers [lo, Le] where lo is its lower bound:
+		// 0 for the zero bucket, else 2^(len-1) (the previous power of two).
+		if b.Le == 0 {
+			return 0
+		}
+		lo := float64(uint64(1) << (bits.Len64(b.Le) - 1))
+		hi := float64(b.Le)
+		frac := (rank - prev) / float64(b.Count)
+		v := lo * math.Pow(hi/lo, frac)
+		// Clamp to the observed envelope: the true extremes are known
+		// exactly, and no estimate can lie outside them.
+		v = math.Max(v, float64(s.Min))
+		v = math.Min(v, float64(s.Max))
+		return v
+	}
+	return float64(s.Max)
+}
+
+// Snapshot returns a point-in-time copy of the histogram's state,
+// including the estimated p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: h.min.Load(), Max: h.max.Load()}
@@ -138,6 +202,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, BucketCount{Le: BucketUpperBound(i), Count: n})
 		}
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

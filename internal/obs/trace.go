@@ -29,6 +29,7 @@ type Tracer struct {
 	first bool
 	pid   int
 	err   error
+	tap   func(body string)
 }
 
 // Trace document schema identifiers. The schema/version pair rides in the
@@ -40,13 +41,41 @@ const (
 
 // NewTracer starts a trace stream on w. clock supplies simulated-cycle
 // timestamps for Instant events; it may be nil until SetClock. Call Close
-// to terminate the JSON document.
+// to terminate the JSON document. A nil w makes a sink-less tracer that
+// only feeds taps (see SetTap) — the telemetry server uses this to serve
+// windowed traces without writing a file.
 func NewTracer(w io.Writer, clock func() uint64) *Tracer {
-	t := &Tracer{w: bufio.NewWriter(w), clock: clock, first: true}
-	fmt.Fprintf(t.w, "{\"schema\":%q,\"version\":%d,\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
-		TraceSchema, TraceSchemaVersion)
+	t := &Tracer{clock: clock, first: true}
+	if w != nil {
+		t.w = bufio.NewWriter(w)
+		fmt.Fprintf(t.w, "{\"schema\":%q,\"version\":%d,\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+			TraceSchema, TraceSchemaVersion)
+	}
 	return t
 }
+
+// SetTap installs (or clears, with nil) a callback that receives every
+// event body — the JSON object content without the surrounding braces —
+// in emission order. The callback runs with the tracer's lock held, so it
+// must be fast and must not call back into the tracer.
+func (t *Tracer) SetTap(tap func(body string)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tap = tap
+	t.mu.Unlock()
+}
+
+// TraceHeader returns the opening of a carat.trace v1 document, for
+// callers re-framing tapped events into a complete trace.
+func TraceHeader() string {
+	return fmt.Sprintf("{\"schema\":%q,\"version\":%d,\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+		TraceSchema, TraceSchemaVersion)
+}
+
+// TraceFooter returns the closing of a carat.trace v1 document.
+func TraceFooter() string { return "\n]}\n" }
 
 // SetClock replaces the simulated-cycle clock (the VM installs its cycle
 // counter at Load time).
@@ -178,7 +207,10 @@ func (t *Tracer) finishEvent(b *strings.Builder, args []Arg) {
 
 // event writes one event object body (without braces). Caller holds t.mu.
 func (t *Tracer) event(body string) {
-	if t.err != nil {
+	if t.tap != nil {
+		t.tap(body)
+	}
+	if t.w == nil || t.err != nil {
 		return
 	}
 	if t.first {

@@ -87,7 +87,10 @@ func (r *Runtime) HandleProtect(apply func() error) error {
 	defer r.opMu.Unlock()
 	r.Flush()
 	r.tracer().Instant("protect.apply", "protocol")
-	return apply()
+	err := apply()
+	// A protection flip does no patching: its pause is the barrier alone.
+	r.observePause("protect", cycBarrier)
+	return err
 }
 
 // HandleMove implements kernel.MoveHandler, executing steps 2-12 of
@@ -166,6 +169,7 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	inj := r.injector()
 	if err := inj.Fail(fault.MoveAbort, "before destination negotiation"); err != nil {
 		req.Veto()
+		r.observePause("move_abort", bd.TotalCycles())
 		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move aborted: %w", err)
 	}
 
@@ -173,6 +177,7 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	dst, err := req.NegotiateDst(src, pages)
 	if err != nil {
 		req.Veto()
+		r.observePause("move_abort", bd.TotalCycles())
 		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move negotiation failed: %w", err)
 	}
 	bd.MoveCycles += pages * cycPageAlloc
@@ -182,6 +187,9 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	// boundary rolls the address space back to the exact pre-move state.
 	txn := &moveTxn{}
 	abort := func(cause error) (kernel.MoveResult, uint64, uint64, uint64, error) {
+		// The world stayed stopped through the work done so far plus the
+		// rollback; bd holds the partial breakdown at the abort point.
+		r.observePause("move_abort", bd.TotalCycles())
 		return kernel.MoveResult{}, 0, 0, 0, r.rollbackMove(req, txn, src, dst, length, cause)
 	}
 
@@ -254,6 +262,7 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 	r.Stats.Moves.Inc()
 	r.Stats.MoveCycles.Add(bd.TotalCycles())
 	r.moveHist.Observe(bd.TotalCycles())
+	r.observePause("move", bd.TotalCycles())
 	r.traceMove(&bd, src, dst, length, lookupCyc, scanCyc)
 	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, src, dst, length, nil
 }

@@ -50,6 +50,7 @@ type Stats struct {
 	TrackingCycle *obs.Counter // modeled cycles spent in tracking callbacks
 	SwapOuts      *obs.Counter
 	SwapIns       *obs.Counter
+	SwapCycles    *obs.Counter // modeled world-stopped cycles across all swaps
 	Moves         *obs.Counter // completed kernel-initiated moves
 	MoveCycles    *obs.Counter // total modeled cycles across all moves
 	MoveRollbacks *obs.Counter // aborted moves rolled back to the pre-move state
@@ -69,6 +70,7 @@ func newStats(reg *obs.Registry) Stats {
 		TrackingCycle: reg.Counter("carat.runtime.tracking_cycles"),
 		SwapOuts:      reg.Counter("carat.runtime.swap_outs"),
 		SwapIns:       reg.Counter("carat.runtime.swap_ins"),
+		SwapCycles:    reg.Counter("carat.runtime.swap_cycles"),
 		Moves:         reg.Counter("carat.runtime.moves"),
 		MoveCycles:    reg.Counter("carat.runtime.move_cycles"),
 		MoveRollbacks: reg.Counter("carat.runtime.move_rollbacks"),
@@ -107,9 +109,11 @@ type Runtime struct {
 	Stats Stats
 
 	// Obs is the registry backing Stats; moveHist is the log-scale
-	// histogram of per-move total cycles (carat.runtime.move_cycles_hist).
-	Obs      *obs.Registry
-	moveHist *obs.Histogram
+	// histogram of per-move total cycles (carat.runtime.move_cycles_hist);
+	// pauseHist is the all-causes world-stop pause histogram (PauseHist).
+	Obs       *obs.Registry
+	moveHist  *obs.Histogram
+	pauseHist *obs.Histogram
 
 	mem *kernel.PhysMem
 
@@ -185,6 +189,29 @@ func (r *Runtime) notifyInvalidate(base, length uint64) {
 	}
 }
 
+// PauseHist names the all-causes world-stop pause histogram. Every
+// stop-the-world window — moves (including aborted ones), protection
+// flips, swap-outs, swap-ins — observes its modeled duration here and
+// into a per-cause histogram named PauseHist + "." + cause. The p50/p95/
+// p99 of this histogram are the bounded-pause evidence the incremental-
+// move work will be judged against; observations never feed back into
+// the VM's cycle count, so attaching the histogram cannot perturb
+// modeled results.
+const PauseHist = "carat.runtime.pause_cycles"
+
+// PauseCauses enumerates the world-stop causes the runtime attributes
+// pauses to (the per-cause histogram suffixes).
+var PauseCauses = []string{"move", "move_abort", "protect", "swap_out", "swap_in"}
+
+// observePause records one world-stop window of the given modeled length.
+// Observe-only: callers must not charge cycles to the program clock here.
+func (r *Runtime) observePause(cause string, cycles uint64) {
+	r.pauseHist.Observe(cycles)
+	r.Obs.Histogram(PauseHist + "." + cause).Observe(cycles)
+	r.tracer().Instant("pause", "protocol",
+		obs.A("cause", cause), obs.A("cycles", cycles))
+}
+
 type escapeEvent struct {
 	loc, val uint64
 }
@@ -208,13 +235,14 @@ func NewWith(mem *kernel.PhysMem, world World, reg *obs.Registry) *Runtime {
 		reg = obs.NewRegistry()
 	}
 	r := &Runtime{
-		Table:    NewAllocationTable(),
-		Stats:    newStats(reg),
-		Obs:      reg,
-		moveHist: reg.Histogram("carat.runtime.move_cycles_hist"),
-		mem:      mem,
-		world:    world,
-		batchMax: DefaultBatchSize,
+		Table:     NewAllocationTable(),
+		Stats:     newStats(reg),
+		Obs:       reg,
+		moveHist:  reg.Histogram("carat.runtime.move_cycles_hist"),
+		pauseHist: reg.Histogram(PauseHist),
+		mem:       mem,
+		world:     world,
+		batchMax:  DefaultBatchSize,
 	}
 	r.defBuf = r.NewEscapeBuffer()
 	return r

@@ -120,6 +120,13 @@ func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, err
 	}
 	r.swapSlots = append(r.swapSlots, rec)
 	r.Stats.SwapOuts.Inc()
+	// Modeled world-stop length of this swap: the barrier round trip, one
+	// patch per poisoned escape, and the copy to the swap device. Observe-
+	// only — swaps charge nothing to the program clock, so neither does the
+	// pause accounting.
+	pause := uint64(cycBarrier) + uint64(len(rec.escapes))*cycEscapePatch + a.Len*cycPerByteMove
+	r.Stats.SwapCycles.Add(pause)
+	r.observePause("swap_out", pause)
 	r.tracer().Instant("swap.out", "paging",
 		obs.A("slot", slot), obs.A("bytes", a.Len), obs.A("escapes", len(rec.escapes)))
 	return slot, a.Len, nil
@@ -188,6 +195,11 @@ func (r *Runtime) swapInLocked(slot, newBase uint64, regs []RegSet) (uint64, err
 	}
 	r.swapSlots[slot] = nil
 	r.Stats.SwapIns.Inc()
+	// Mirror of the swap-out pause model: barrier + per-pointer forward
+	// patches + the copy back from the swap device.
+	pause := uint64(cycBarrier) + uint64(len(rec.escapes))*cycEscapePatch + rec.length*cycPerByteMove
+	r.Stats.SwapCycles.Add(pause)
+	r.observePause("swap_in", pause)
 	r.tracer().Instant("swap.in", "paging", obs.A("slot", slot), obs.A("bytes", rec.length))
 	return rec.length, nil
 }

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"strings"
 
 	"carat/internal/guard"
 	"carat/internal/ir"
@@ -151,6 +152,14 @@ func (t *thread) safepoint() error {
 	if v.cfg.MaxInstrs > 0 && v.Instrs > v.cfg.MaxInstrs {
 		return fmt.Errorf("vm: instruction limit exceeded (%d)", v.cfg.MaxInstrs)
 	}
+	if v.track != nil && v.track.Due(v.Cycles) {
+		// One or more sampling intervals elapsed since the last sample:
+		// attribute them to this thread's guest stack (it held the baton
+		// for the interval that tripped the check) and settle the phase
+		// counters at the same granularity.
+		v.track.Sample(v.Cycles, t.foldedStack)
+		v.foldPhaseSamples()
+	}
 	if v.movePolicy != nil && v.moveTrigger.Due(v.Instrs) {
 		if err := v.movePolicy(); err != nil {
 			return err
@@ -165,6 +174,22 @@ func (t *thread) safepoint() error {
 		t.sliceEnd = v.Instrs + t.v.sched.quantum
 	}
 	return nil
+}
+
+// foldedStack renders this thread's live call stack root-first in the
+// folded "a;b;c" form the profiler aggregates on.
+func (t *thread) foldedStack() string {
+	if len(t.frames) == 0 {
+		return t.entry.Name
+	}
+	var b strings.Builder
+	for i, fr := range t.frames {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(fr.fn.Name)
+	}
+	return b.String()
 }
 
 // runnableOthers reports whether another thread could run.

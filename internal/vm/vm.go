@@ -85,6 +85,15 @@ type Config struct {
 	// layer. nil disables tracing at zero cost.
 	Trace *obs.Tracer
 
+	// Sampler, when set, attaches the cycle-sampling profiler: the VM
+	// registers one track and samples the running thread's guest stack
+	// every Sampler.Interval model cycles at safepoints, folding the
+	// guard/tracking/move/swap cycle counters into phase samples at the
+	// same granularity. nil disables sampling; the hot-loop cost when
+	// enabled is one comparison per safepoint. Sampling never perturbs
+	// modeled results (it only reads the cycle counters).
+	Sampler *obs.Sampler
+
 	// Fault, when set, threads a seeded fault injector through the
 	// kernel and runtime of this machine: moves may then be vetoed or
 	// aborted mid-protocol (and rolled back), swaps may fail and retry.
@@ -167,6 +176,14 @@ type VM struct {
 	allocHist *obs.Histogram
 
 	trackStart uint64 // rt.Stats.TrackingCycle at launch
+	moveStart  uint64 // rt.Stats.MoveCycles at launch
+	swapStart  uint64 // rt.Stats.SwapCycles at launch
+
+	// track is this VM's stream in the attached cycle sampler (nil when
+	// sampling is off). One track per VM, not per thread: the baton
+	// discipline means v.Cycles is a single model clock all threads share,
+	// so per-thread tracks would double-count intervals.
+	track *obs.Track
 
 	// Move injection (Figure 9): movePolicy runs at safepoints, paced on
 	// retired instructions by the same rare-migration policy the paging
@@ -442,7 +459,24 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	v.sched = newScheduler(v)
 	v.rt.SetWorld(v.sched)
 	v.trackStart = v.rt.Stats.TrackingCycle.Get()
+	v.moveStart = v.rt.Stats.MoveCycles.Get()
+	v.swapStart = v.rt.Stats.SwapCycles.Get()
+	if cfg.Sampler != nil {
+		v.track = cfg.Sampler.NewTrack()
+	}
 	return v, nil
+}
+
+// foldPhaseSamples converts the non-exec cycle counters accumulated since
+// Load into profiler samples. Counter baselines (trackStart etc.) keep a
+// shared registry's carry-over from earlier runs out of this VM's track.
+// Called at sampling points and once at the end of Run, so per-phase
+// sample totals track the counters within one interval.
+func (v *VM) foldPhaseSamples() {
+	v.track.FoldPhase("guard", v.eval.Cycles)
+	v.track.FoldPhase("escape-flush", v.rt.Stats.TrackingCycle.Get()-v.trackStart)
+	v.track.FoldPhase("move", v.rt.Stats.MoveCycles.Get()-v.moveStart)
+	v.track.FoldPhase("swap", v.rt.Stats.SwapCycles.Get()-v.swapStart)
 }
 
 // invalidateXCaches drops stale entries covering [base, base+length) from
@@ -525,6 +559,12 @@ func (v *VM) Run() (int64, error) {
 		return 0, fmt.Errorf("vm: module has no @main")
 	}
 	ret, err := v.sched.runMain(main)
+	if v.track != nil {
+		// Final exec catch-up at the pre-fold clock (the fold-ins below
+		// belong to other phases), then settle every phase's remainder.
+		v.track.Sample(v.Cycles, func() string { return "main" })
+		v.foldPhaseSamples()
+	}
 	tracking := v.rt.Stats.TrackingCycle.Get() - v.trackStart
 	v.Cycles += tracking
 	v.Prof.Cat[obs.CatTracking] += tracking

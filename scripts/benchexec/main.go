@@ -1,11 +1,15 @@
 // Command benchexec runs the execution-engine microbenchmark (baseline
-// dispatch vs predecoded dispatch vs predecode + guard/translation cache)
-// and writes BENCH_exec.json (schema carat.bench.exec v1).
+// dispatch vs predecoded dispatch vs predecode + guard/translation cache
+// vs the full engine with live telemetry attached) and writes
+// BENCH_exec.json (schema carat.bench.exec v2).
 //
-// It enforces two gates:
+// It enforces three gates:
 //
 //   - the full engine (predecode+xcache) must reach -min-speedup over the
-//     baseline engine (default 2.0x), and
+//     baseline engine (default 2.0x),
+//   - the full+telemetry leg (cycle sampler plus a listening /metrics
+//     server) must not lose more than -max-telemetry-overhead percent of
+//     full-engine throughput (default 5%), and
 //   - when -baseline names a committed reference document, the measured
 //     speedups must not regress more than -regress (default 20%) below it.
 //     Speedup ratios, not absolute wall times, are compared: ratios are
@@ -33,6 +37,8 @@ func main() {
 		reps       = flag.Int("reps", 3, "repetitions per engine (best wall time kept)")
 		minSpeedup = flag.Float64("min-speedup", 2.0, "required full-engine speedup over baseline dispatch")
 		regress    = flag.Float64("regress", 0.20, "allowed fractional speedup regression vs -baseline")
+		maxTeleOvh = flag.Float64("max-telemetry-overhead", 5.0,
+			"allowed full-engine throughput loss (percent) with sampling and -http telemetry enabled")
 	)
 	flag.Parse()
 
@@ -63,11 +69,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchexec: %-18s %8.1f ms  %8.2f Minstr/s\n",
 			e.Engine, e.WallMS, e.MInstrsPerSec)
 	}
-	fmt.Fprintf(os.Stderr, "benchexec: speedup predecode=%.2fx full=%.2fx\n",
-		doc.SpeedupPredecode, doc.SpeedupFull)
+	fmt.Fprintf(os.Stderr, "benchexec: speedup predecode=%.2fx full=%.2fx telemetry overhead=%.1f%%\n",
+		doc.SpeedupPredecode, doc.SpeedupFull, doc.TelemetryOverheadPct)
 
 	if doc.SpeedupFull < *minSpeedup {
 		fatal(fmt.Errorf("full-engine speedup %.2fx below required %.2fx", doc.SpeedupFull, *minSpeedup))
+	}
+	if doc.TelemetryOverheadPct > *maxTeleOvh {
+		fatal(fmt.Errorf("telemetry overhead %.1f%% exceeds allowed %.1f%%",
+			doc.TelemetryOverheadPct, *maxTeleOvh))
 	}
 
 	if *baseline != "" {

@@ -1,19 +1,33 @@
 // Command validatejson checks that stdin (or each file argument) is valid
 // JSON and, when the document carries a "schema" field, that the schema is
 // one this repo produces at a supported version. The Makefile smoke target
-// pipes caratbench -json output through it.
+// pipes caratbench -json output through it and points it at the files the
+// telemetry endpoints serve.
+//
+// carat.profile documents additionally get a structural check: the folded
+// stacks must reconcile with the document's own totals (see
+// internal/obs/sampler.go).
+//
+// With -prom, each input is validated as Prometheus text exposition format
+// (version 0.0.4) instead of JSON: what the /metrics telemetry endpoint
+// serves.
 //
 // Usage:
 //
 //	caratbench -exp all -json | go run ./scripts/validatejson
 //	go run ./scripts/validatejson trace.json metrics.json
+//	go run ./scripts/validatejson -prom smoke_metrics.prom
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // supported maps known schema names to the highest version this tool
@@ -21,30 +35,37 @@ import (
 // internal/bench).
 var supported = map[string]int{
 	"carat.bench.result": 2,
-	"carat.bench.exec":   1,
+	"carat.bench.exec":   2,
 	"carat.vm.run":       1,
 	"carat.metrics":      1,
 	"carat.trace":        1,
 	"carat.policy":       1,
 	"carat.soak.result":  1,
+	"carat.profile":      1,
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		if err := validate("stdin", os.Stdin); err != nil {
+	prom := flag.Bool("prom", false, "validate Prometheus text exposition format instead of JSON")
+	flag.Parse()
+	check := validate
+	if *prom {
+		check = validateProm
+	}
+	if flag.NArg() == 0 {
+		if err := check("stdin", os.Stdin); err != nil {
 			fmt.Fprintln(os.Stderr, "validatejson:", err)
 			os.Exit(1)
 		}
 		fmt.Println("stdin: ok")
 		return
 	}
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "validatejson:", err)
 			os.Exit(1)
 		}
-		err = validate(path, f)
+		err = check(path, f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "validatejson:", err)
@@ -77,5 +98,140 @@ func validate(name string, r io.Reader) error {
 		return fmt.Errorf("%s: schema %s version %d unsupported (max %d)",
 			name, doc.Schema, doc.Version, max)
 	}
+	if doc.Schema == "carat.profile" {
+		if err := validateProfile(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
 	return nil
+}
+
+// validateProfile structurally checks a carat.profile document: the folded
+// stacks must sum to total_samples, and so must the per-phase totals.
+func validateProfile(data []byte) error {
+	var doc struct {
+		IntervalCycles uint64 `json:"interval_cycles"`
+		Tracks         int    `json:"tracks"`
+		TotalSamples   uint64 `json:"total_samples"`
+		Stacks         []struct {
+			Stack   string `json:"stack"`
+			Phase   string `json:"phase"`
+			Samples uint64 `json:"samples"`
+		} `json:"stacks"`
+		PhaseTotals map[string]uint64 `json:"phase_totals"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("carat.profile: %w", err)
+	}
+	if doc.IntervalCycles == 0 {
+		return fmt.Errorf("carat.profile: interval_cycles is zero")
+	}
+	var stackSum uint64
+	for _, s := range doc.Stacks {
+		if s.Phase == "" {
+			return fmt.Errorf("carat.profile: stack %q has no phase", s.Stack)
+		}
+		stackSum += s.Samples
+	}
+	if stackSum != doc.TotalSamples {
+		return fmt.Errorf("carat.profile: stacks sum to %d samples, total_samples says %d",
+			stackSum, doc.TotalSamples)
+	}
+	var phaseSum uint64
+	for _, n := range doc.PhaseTotals {
+		phaseSum += n
+	}
+	if phaseSum != doc.TotalSamples {
+		return fmt.Errorf("carat.profile: phase_totals sum to %d samples, total_samples says %d",
+			phaseSum, doc.TotalSamples)
+	}
+	return nil
+}
+
+// validateProm checks Prometheus text exposition format: every non-comment
+// line must be `name[{labels}] value`, every sample must follow a # TYPE
+// header for its family, and histogram families must end their bucket
+// series with le="+Inf".
+func validateProm(name string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{} // family -> counter|gauge|histogram
+	samples := 0
+	lineNo := 0
+	sawInf := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		metric, value, ok := splitPromSample(line)
+		if !ok {
+			return fmt.Errorf("%s:%d: malformed sample %q", name, lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("%s:%d: bad value %q: %v", name, lineNo, value, err)
+		}
+		family := metric
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			family = metric[:i]
+			if metric[len(metric)-1] != '}' {
+				return fmt.Errorf("%s:%d: unterminated label set in %q", name, lineNo, metric)
+			}
+			if strings.Contains(metric[i:], `le="+Inf"`) {
+				sawInf[family] = true
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := typed[family]; !ok {
+			if _, ok := typed[base]; !ok {
+				return fmt.Errorf("%s:%d: sample %q has no # TYPE header", name, lineNo, family)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	for fam, typ := range typed {
+		if typ == "histogram" && !sawInf[fam+"_bucket"] {
+			return fmt.Errorf("%s: histogram %s has no le=\"+Inf\" bucket", name, fam)
+		}
+	}
+	if samples == 0 {
+		return fmt.Errorf("%s: no samples", name)
+	}
+	return nil
+}
+
+// splitPromSample splits a sample line into metric (with any label set)
+// and value, tolerating spaces inside quoted label values.
+func splitPromSample(line string) (metric, value string, ok bool) {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ' ':
+			if !inQuote {
+				rest := strings.TrimSpace(line[i:])
+				// A trailing timestamp is legal; keep only the value.
+				if j := strings.IndexByte(rest, ' '); j >= 0 {
+					rest = rest[:j]
+				}
+				return line[:i], rest, rest != ""
+			}
+		}
+	}
+	return "", "", false
 }
