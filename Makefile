@@ -14,7 +14,7 @@ FUZZTIME ?= 20s
 # cover` accepts. Raise it when coverage grows; never lower it.
 COVER_FLOOR ?= 75
 
-.PHONY: all fmt vet build test race smoke bench check lint cover soak fuzz
+.PHONY: all fmt vet build test race smoke bench check lint cover soak fuzz serve loadtest
 
 all: check
 
@@ -46,12 +46,15 @@ race:
 # failure fails the target — a pipeline would report only validatejson's
 # status and mask a crashed bench. The second leg starts caratbench with a
 # live -http telemetry server, curls /metrics and /profile, and validates
-# both (see scripts/smoke_telemetry.sh).
+# both (see scripts/smoke_telemetry.sh). The third leg boots caratd, posts
+# a module, runs it, scrapes /metrics, drives a small load pass, and
+# drains it (see scripts/smoke_server.sh).
 smoke: build
 	$(GO) run ./cmd/caratbench -exp all -scale test -json -workers $(WORKERS) > smoke.json
 	$(GO) run ./scripts/validatejson smoke.json
 	@rm -f smoke.json
 	sh ./scripts/smoke_telemetry.sh
+	sh ./scripts/smoke_server.sh
 
 # bench measures the execution engine (baseline dispatch vs predecode vs
 # predecode+xcache vs full+telemetry), writes BENCH_exec.json, validates
@@ -63,6 +66,22 @@ bench: build
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 2x ./internal/bench/
 	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json
 	$(GO) run ./scripts/validatejson BENCH_exec.json
+
+# serve builds and launches caratd in the foreground with the sample
+# config (Ctrl-C / SIGTERM drains gracefully). Override the bind with
+# SERVE_ADDR=host:port.
+SERVE_ADDR ?=
+serve: build
+	$(GO) run ./cmd/caratd -config configs/caratd.sample.json $(if $(SERVE_ADDR),-addr $(SERVE_ADDR))
+
+# loadtest boots caratd on an ephemeral port, drives LOAD_SESSIONS
+# concurrent loadgen sessions (steady + overload legs) against it, writes
+# and validates BENCH_server.load.json, then drains the daemon. Fails on
+# any digest mismatch, failed request, invariant violation, or if the
+# overload leg never saw a 429.
+LOAD_SESSIONS ?= 1000
+loadtest: build
+	sh ./scripts/loadtest.sh $(LOAD_SESSIONS)
 
 # lint runs staticcheck when it is installed (CI always installs it; a
 # developer box without it gets a warning, not a failure).

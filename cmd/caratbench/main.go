@@ -125,6 +125,9 @@ func main() {
 		}
 	}
 
+	// Bind and print the address before any experiment starts, so the
+	// bind line never interleaves with result output and harnesses can
+	// scrape the port immediately (same contract as caratvm and caratd).
 	var tele *telemetry.Server
 	if *httpAddr != "" {
 		tele = &telemetry.Server{Registry: o.Obs, Sampler: o.Sampler, Tracer: o.Trace}

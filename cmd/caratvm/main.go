@@ -82,11 +82,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := loadModule(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-
 	cfg := vm.DefaultConfig()
 	cfg.HeapBytes, cfg.StackBytes, cfg.MemBytes = *heap, *stack, *mem
 	switch *mode {
@@ -124,10 +119,11 @@ func main() {
 
 	var traceF *os.File
 	if *traceFile != "" {
-		traceF, err = os.Create(*traceFile)
+		f, err := os.Create(*traceFile)
 		if err != nil {
 			fatal(err)
 		}
+		traceF = f
 		cfg.Trace = obs.NewTracer(traceF, nil)
 	}
 
@@ -135,6 +131,10 @@ func main() {
 	// in the same -metrics / -json snapshot as the VM's counters.
 	cfg.Obs = obs.NewRegistry()
 
+	// The telemetry server comes up — and the bound address is printed —
+	// before the module is even loaded, so scrapers can attach without
+	// racing the run and the bind line never interleaves with results
+	// (same contract as caratd's "listening on" line).
 	var tele *telemetry.Server
 	if *httpAddr != "" {
 		cfg.Sampler = obs.NewSampler(0)
@@ -148,6 +148,11 @@ func main() {
 			time.Sleep(*httpLinger)
 			tele.Close()
 		}()
+	}
+
+	m, err := loadModule(flag.Arg(0))
+	if err != nil {
+		fatal(err)
 	}
 
 	c, err := core.NewCompiler(l)

@@ -71,7 +71,6 @@ type Global struct {
 	Elem    *Type   // type of the pointed-to storage
 	Init    []byte  // initial contents; nil means zero-fill (bss)
 	Mutable bool    // false for constant data
-	Addr    uint64  // physical address assigned at load time by the kernel
 	PtrInit []int64 // byte offsets within the storage that hold pointers
 }
 

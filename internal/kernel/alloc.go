@@ -1,14 +1,27 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 )
+
+// ErrNoMemory is wrapped by every allocation failure caused by exhaustion
+// or fragmentation of physical memory (as opposed to caller mistakes like
+// a zero-page request). The caratd admission layer matches on it to map
+// transient memory pressure to 429 responses.
+var ErrNoMemory = errors.New("kernel: out of physical memory")
 
 // PageAllocator hands out physical page frames. It supports contiguous
 // multi-page allocation with a first-fit scan over a bitmap, which is all
 // the CARAT kernel needs: region-sized contiguous grants for code, data,
 // stack, and heap, plus single-page allocations for demand paging.
+//
+// All methods are safe for concurrent use: one allocator is shared by
+// every process of a machine, and under caratd processes are created and
+// torn down from concurrent request goroutines.
 type PageAllocator struct {
+	mu      sync.Mutex
 	bitmap  []uint64 // 1 = in use
 	pages   uint64
 	free    uint64
@@ -39,7 +52,11 @@ func NewPageAllocator(n uint64) *PageAllocator {
 }
 
 // FreePages returns the number of currently free page frames.
-func (a *PageAllocator) FreePages() uint64 { return a.free }
+func (a *PageAllocator) FreePages() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free
+}
 
 // TotalPages returns the managed page count.
 func (a *PageAllocator) TotalPages() uint64 { return a.pages }
@@ -60,8 +77,10 @@ func (a *PageAllocator) Alloc(n uint64) (uint64, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("kernel: zero-page allocation")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if n > a.free {
-		return 0, fmt.Errorf("kernel: out of memory (%d pages requested, %d free)", n, a.free)
+		return 0, fmt.Errorf("%w (%d pages requested, %d free)", ErrNoMemory, n, a.free)
 	}
 	try := func(from, to uint64) (uint64, bool) {
 		if to > a.pages {
@@ -95,7 +114,7 @@ func (a *PageAllocator) Alloc(n uint64) (uint64, error) {
 		start, ok = try(1, a.scanPos+n)
 	}
 	if !ok {
-		return 0, fmt.Errorf("kernel: no contiguous run of %d pages", n)
+		return 0, fmt.Errorf("%w: no contiguous run of %d pages", ErrNoMemory, n)
 	}
 	for p := start; p < start+n; p++ {
 		a.mark(p, true)
@@ -111,6 +130,8 @@ func (a *PageAllocator) Free(addr, n uint64) error {
 	if addr%PageSize != 0 {
 		return fmt.Errorf("kernel: free of unaligned address %#x", addr)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	start := addr / PageSize
 	if start+n > a.pages {
 		return fmt.Errorf("kernel: free beyond memory end")
@@ -129,6 +150,8 @@ func (a *PageAllocator) Free(addr, n uint64) error {
 
 // Reserved reports whether the page containing addr is allocated.
 func (a *PageAllocator) Reserved(addr uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	p := addr / PageSize
 	return p < a.pages && a.inUse(p)
 }
@@ -147,21 +170,33 @@ func (a *PageAllocator) blocked(p uint64) bool {
 // are unaffected, so a compaction pass can drain the window while keeping
 // new allocations (including move destinations) out of it.
 func (a *PageAllocator) Isolate(start, pages uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.isoStart, a.isoLen = start, pages
 }
 
 // ClearIsolation lifts the isolation window.
-func (a *PageAllocator) ClearIsolation() { a.isoLen = 0 }
+func (a *PageAllocator) ClearIsolation() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.isoLen = 0
+}
 
 // Prefer makes Alloc try the page window [start, start+pages) before the
 // regular next-fit scan, until ClearPreference. Allocations that do not
 // fit the window fall back to the whole arena.
 func (a *PageAllocator) Prefer(start, pages uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.prefStart, a.prefLen = start, pages
 }
 
 // ClearPreference lifts the placement preference.
-func (a *PageAllocator) ClearPreference() { a.prefStart, a.prefLen = 0, 0 }
+func (a *PageAllocator) ClearPreference() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.prefStart, a.prefLen = 0, 0
+}
 
 // FragStats summarizes external fragmentation from the raw bitmap (the
 // isolation window does not count as busy here): the free-run histogram
@@ -183,6 +218,8 @@ type FragStats struct {
 // FragStats scans the bitmap and returns the current fragmentation
 // picture.
 func (a *PageAllocator) FragStats() FragStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	fs := FragStats{TotalPages: a.pages, FreePages: a.free}
 	var run uint64
 	endRun := func() {

@@ -1,12 +1,31 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"carat/internal/fault"
 	"carat/internal/guard"
 	"carat/internal/obs"
 )
+
+// ErrQuota is wrapped by page-grant failures caused by a Limiter: the
+// process asked for frames its quota does not cover. Distinct from
+// ErrNoMemory (the machine itself is out of frames) so a multi-tenant
+// server can answer "your quota" and "global pressure" differently.
+var ErrQuota = errors.New("kernel: page quota exceeded")
+
+// Limiter is an optional per-process admission hook on page grants. A
+// multi-tenant host (cmd/caratd) installs one per tenant: every region
+// grant — including move destinations negotiated by the runtime — first
+// reserves its page count, and every release returns it. ReservePages
+// errors should wrap ErrQuota. Implementations must be safe for
+// concurrent use; one Limiter is typically shared by all of a tenant's
+// processes.
+type Limiter interface {
+	ReservePages(n uint64) error
+	ReleasePages(n uint64)
+}
 
 // Kernel owns physical memory and page frames, and manages CARAT processes:
 // it grants regions, accepts change requests, and coordinates moves with
@@ -136,6 +155,9 @@ type Process struct {
 	Regions *guard.RegionSet
 	Handler MoveHandler
 
+	// limiter, when set, meters this process's page grants (see Limiter).
+	limiter Limiter
+
 	// notifiers receive MMU-notifier-style paging events (see notifier.go).
 	notifiers []MMUNotifier
 }
@@ -145,20 +167,46 @@ func (k *Kernel) NewProcess() *Process {
 	return &Process{K: k, Regions: guard.NewRegionSet()}
 }
 
+// SetLimiter installs a page-grant limiter (nil removes it). Call before
+// the first grant: the limiter only meters grants made while installed,
+// and releases are only reported for pages it metered in.
+func (p *Process) SetLimiter(l Limiter) { p.limiter = l }
+
+// reservePages charges n pages against the limiter (no-op without one).
+func (p *Process) reservePages(n uint64) error {
+	if p.limiter == nil {
+		return nil
+	}
+	return p.limiter.ReservePages(n)
+}
+
+// releasePages returns n pages to the limiter (no-op without one).
+func (p *Process) releasePages(n uint64) {
+	if p.limiter != nil {
+		p.limiter.ReleasePages(n)
+	}
+}
+
 // GrantRegion allocates sizeBytes of contiguous physical memory (rounded
 // up to pages), adds it to the process's region set with permission p, and
 // returns its base address.
 func (p *Process) GrantRegion(sizeBytes uint64, perm guard.Perm) (uint64, error) {
 	pages := (sizeBytes + PageSize - 1) / PageSize
+	if err := p.reservePages(pages); err != nil {
+		return 0, err
+	}
 	base, err := p.K.Alloc.Alloc(pages)
 	if err != nil {
+		p.releasePages(pages)
 		return 0, err
 	}
 	p.K.Stats.PageAllocs.Add(pages)
 	if err := p.K.Mem.Zero(base, pages*PageSize); err != nil {
+		p.releasePages(pages)
 		return 0, err
 	}
 	if err := p.Regions.Add(guard.Region{Base: base, Len: pages * PageSize, Perm: perm}); err != nil {
+		p.releasePages(pages)
 		return 0, err
 	}
 	p.notify(MMUEvent{Kind: EventAllocate, Base: base, Len: pages * PageSize})
@@ -176,8 +224,25 @@ func (p *Process) ReleaseRegion(base, length uint64) error {
 		return err
 	}
 	p.K.Stats.PageFrees.Add(length / PageSize)
+	p.releasePages(length / PageSize)
 	p.notify(MMUEvent{Kind: EventInvalidateRange, Base: base, Len: length})
 	return nil
+}
+
+// ReleaseAll frees every region still in the process's region set —
+// process teardown for a long-running host that loads and retires many
+// processes over one shared physical memory. Safe to call on a partially
+// loaded process (e.g. after a mid-load grant failure); a second call is
+// a no-op.
+func (p *Process) ReleaseAll() error {
+	regs := append([]guard.Region(nil), p.Regions.Regions()...)
+	var firstErr error
+	for _, r := range regs {
+		if err := p.ReleaseRegion(r.Base, r.Len); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // RequestProtect executes a protection change request through the runtime's
@@ -230,13 +295,20 @@ func (r *MoveRequest) NegotiateDst(src uint64, pages uint64) (uint64, error) {
 		fmt.Sprintf("move of [%#x,+%d pages)", src, pages)); err != nil {
 		return 0, err
 	}
+	// The destination counts against the quota until RetireSrc returns the
+	// source: a move transiently needs both ranges resident.
+	if err := r.proc.reservePages(pages); err != nil {
+		return 0, err
+	}
 	dst, err := r.kernel.Alloc.Alloc(pages)
 	if err != nil {
+		r.proc.releasePages(pages)
 		return 0, err
 	}
 	r.kernel.Stats.PageAllocs.Add(pages)
 	if err := r.proc.Regions.Add(guard.Region{Base: dst, Len: pages * PageSize, Perm: reg.Perm}); err != nil {
 		_ = r.kernel.Alloc.Free(dst, pages)
+		r.proc.releasePages(pages)
 		return 0, err
 	}
 	return dst, nil

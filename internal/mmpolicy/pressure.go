@@ -60,6 +60,12 @@ type ProcSpec struct {
 // HarnessConfig sizes the simulated machine and its workloads.
 type HarnessConfig struct {
 	MemBytes uint64
+	// Kernel, when non-nil, attaches the harness to an existing machine
+	// instead of creating a private one (MemBytes is then ignored, and the
+	// kernel's tracer/injector are left to its owner). caratd uses this to
+	// run the policy daemon and its ballast processes over the same
+	// physical memory that serves tenant requests.
+	Kernel *kernel.Kernel
 	// TickEvery wakes the daemon each time the clock advances this many
 	// cycles (0 disables auto-ticking; drive Daemon.Tick by hand).
 	TickEvery uint64
@@ -116,9 +122,12 @@ const (
 // cfg.Policies, and one managed process per spec. Stream and ColdStore
 // processes pre-allocate their slots.
 func NewHarness(cfg HarnessConfig) (*Harness, error) {
-	k := kernel.NewWith(cfg.MemBytes, cfg.Obs)
-	k.SetTracer(cfg.Trace)
-	k.SetInjector(cfg.Fault)
+	k := cfg.Kernel
+	if k == nil {
+		k = kernel.NewWith(cfg.MemBytes, cfg.Obs)
+		k.SetTracer(cfg.Trace)
+		k.SetInjector(cfg.Fault)
+	}
 	d := New(k, cfg.Policies...)
 	d.SetTracer(cfg.Trace)
 	d.SetInjector(cfg.Fault)

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"carat/internal/kernel"
+)
+
+// Quota bounds what one tenant may consume. Zero values mean "unlimited"
+// for that dimension.
+type Quota struct {
+	// MaxConcurrent caps how many of the tenant's requests may execute at
+	// once (each request is one kernel.Process on the shared machine).
+	MaxConcurrent int `json:"max_concurrent"`
+	// MaxPages caps the tenant's live physical pages across all of its
+	// concurrent processes — the "max live allocations" quota. Enforced by
+	// the kernel at grant time through the Limiter interface.
+	MaxPages uint64 `json:"max_pages"`
+	// MaxCycles caps the modeled cycles of a single request; runs past the
+	// budget abort at the next safepoint.
+	MaxCycles uint64 `json:"max_cycles"`
+}
+
+// tenant is the server-side state for one tenant name. It implements
+// kernel.Limiter, so every page the tenant's processes grant is charged
+// here — including transient move destinations.
+type tenant struct {
+	name  string
+	quota Quota
+
+	mu      sync.Mutex
+	pages   uint64 // live pages across all of the tenant's processes
+	running int    // requests currently executing
+}
+
+// ReservePages implements kernel.Limiter.
+func (t *tenant) ReservePages(n uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quota.MaxPages > 0 && t.pages+n > t.quota.MaxPages {
+		return fmt.Errorf("%w: tenant %q over %d live pages (%d held, %d requested)",
+			kernel.ErrQuota, t.name, t.quota.MaxPages, t.pages, n)
+	}
+	t.pages += n
+	return nil
+}
+
+// ReleasePages implements kernel.Limiter.
+func (t *tenant) ReleasePages(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.pages {
+		n = t.pages // defensive: never underflow
+	}
+	t.pages -= n
+}
+
+// acquireSlot claims one of the tenant's concurrent-request slots.
+func (t *tenant) acquireSlot() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quota.MaxConcurrent > 0 && t.running >= t.quota.MaxConcurrent {
+		return fmt.Errorf("%w: tenant %q at %d concurrent requests",
+			kernel.ErrQuota, t.name, t.quota.MaxConcurrent)
+	}
+	t.running++
+	return nil
+}
+
+func (t *tenant) releaseSlot() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running > 0 {
+		t.running--
+	}
+}
+
+// LivePages reports the tenant's current page footprint (for tests).
+func (t *tenant) LivePages() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pages
+}
+
+// tenantFor returns (creating on first sight) the state for name. Tenants
+// named in Config.Tenants get their configured quota; everyone else gets
+// the default.
+func (s *Server) tenantFor(name string) *tenant {
+	if name == "" {
+		name = "anonymous"
+	}
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	q := s.cfg.DefaultQuota
+	if cq, ok := s.cfg.Tenants[name]; ok {
+		q = cq
+	}
+	t := &tenant{name: name, quota: q}
+	s.tenants[name] = t
+	return t
+}

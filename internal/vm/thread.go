@@ -152,6 +152,9 @@ func (t *thread) safepoint() error {
 	if v.cfg.MaxInstrs > 0 && v.Instrs > v.cfg.MaxInstrs {
 		return fmt.Errorf("vm: instruction limit exceeded (%d)", v.cfg.MaxInstrs)
 	}
+	if v.cfg.MaxCycles > 0 && v.Cycles > v.cfg.MaxCycles {
+		return fmt.Errorf("vm: cycle budget exceeded (%d)", v.cfg.MaxCycles)
+	}
 	if v.track != nil && v.track.Due(v.Cycles) {
 		// One or more sampling intervals elapsed since the last sample:
 		// attribute them to this thread's guest stack (it held the baton

@@ -46,8 +46,27 @@ type Config struct {
 	StackBytes uint64
 	HeapBytes  uint64
 
-	// MemBytes sizes the machine's physical memory.
+	// MemBytes sizes the machine's physical memory. Ignored when Kernel is
+	// set.
 	MemBytes uint64
+
+	// Kernel, when set, loads the process into an existing machine instead
+	// of creating a private one: caratd runs every tenant request as a
+	// kernel.Process over one shared PhysMem. The shared kernel's tracer
+	// and fault injector are left untouched (Trace/Fault below then apply
+	// only to this VM's runtime), and the caller is responsible for
+	// Release() after the run so the machine gets its pages back.
+	Kernel *kernel.Kernel
+
+	// Limiter, when set, meters every page grant of this process against a
+	// quota (kernel.ErrQuota on breach). Used by caratd for per-tenant
+	// max-live-allocation limits.
+	Limiter kernel.Limiter
+
+	// MaxCycles aborts the run once the modeled cycle clock passes the
+	// budget (0 = no limit). Checked at safepoints, like MaxInstrs; the
+	// caratd per-tenant "max cycles per request" quota.
+	MaxCycles uint64
 
 	// Paging, when set in traditional mode, receives page touches for the
 	// Table 2 demand-paging accounting.
@@ -282,11 +301,31 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 		return nil, fmt.Errorf("vm: load: %w", err)
 	}
 	reg := cfg.Obs
+	shared := cfg.Kernel != nil
 	if reg == nil {
-		reg = obs.NewRegistry()
+		if shared {
+			reg = cfg.Kernel.Obs
+		} else {
+			reg = obs.NewRegistry()
+		}
 	}
-	k := kernel.NewWith(cfg.MemBytes, reg)
+	var k *kernel.Kernel
+	if shared {
+		k = cfg.Kernel
+	} else {
+		k = kernel.NewWith(cfg.MemBytes, reg)
+	}
 	proc := k.NewProcess()
+	if cfg.Limiter != nil {
+		proc.SetLimiter(cfg.Limiter)
+	}
+	// On a shared machine a failed load must hand its partial grants back.
+	loaded := false
+	defer func() {
+		if !loaded {
+			_ = proc.ReleaseAll()
+		}
+	}()
 	v := &VM{
 		cfg:        cfg,
 		mod:        mod,
@@ -309,9 +348,13 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	// cycle counter; each run opens its own trace process lane.
 	v.tr.SetClock(func() uint64 { return v.Cycles })
 	v.tr.BeginProcess(mod.Name)
-	k.SetTracer(v.tr)
+	if !shared {
+		// A shared kernel's tracer/injector belong to its owner; wiring a
+		// per-request tracer into it would race with concurrent loads.
+		k.SetTracer(v.tr)
+		k.SetInjector(cfg.Fault)
+	}
 	v.rt.SetTracer(v.tr)
-	k.SetInjector(cfg.Fault)
 	v.rt.SetInjector(cfg.Fault)
 
 	for _, f := range mod.Funcs {
@@ -374,7 +417,6 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 		off := globalsBase
 		for _, g := range mod.Globals {
 			v.globalAddr[g] = off
-			g.Addr = off
 			if len(g.Init) > 0 {
 				if err := k.Mem.WriteAt(off, g.Init); err != nil {
 					return nil, err
@@ -464,8 +506,14 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	if cfg.Sampler != nil {
 		v.track = cfg.Sampler.NewTrack()
 	}
+	loaded = true
 	return v, nil
 }
+
+// Release frees every page region the process still holds, returning the
+// memory (and any quota reservations) to the machine. Required after each
+// run on a shared kernel; a no-op on the second call.
+func (v *VM) Release() error { return v.proc.ReleaseAll() }
 
 // foldPhaseSamples converts the non-exec cycle counters accumulated since
 // Load into profiler samples. Counter baselines (trackStart etc.) keep a
@@ -520,7 +568,6 @@ func (v *VM) onMove(src, dst, length uint64) {
 	for g, a := range v.globalAddr {
 		if na := reb(a); na != a {
 			v.globalAddr[g] = na
-			g.Addr = na
 		}
 	}
 	if nb := reb(v.globalsBase); nb != v.globalsBase {

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Load test: boot caratd with the sample config on an ephemeral port, run
+# scripts/loadgen against it (steady + overload legs), validate the
+# carat.server.load document, and drain the daemon. Invoked by
+# `make loadtest`; the session count is $1 (default 1000).
+set -eu
+
+GO=${GO:-go}
+SESSIONS=${1:-1000}
+OUT=${OUT:-BENCH_server.load.json}
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/caratd" ./cmd/caratd
+$GO build -o "$tmp/loadgen" ./scripts/loadgen
+
+"$tmp/caratd" -config configs/caratd.sample.json -addr 127.0.0.1:0 2>"$tmp/stderr.log" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|^caratd: listening on http://||p' "$tmp/stderr.log" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "loadtest: caratd died:"; cat "$tmp/stderr.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "loadtest: no bind line in stderr"; cat "$tmp/stderr.log"; exit 1; }
+
+"$tmp/loadgen" -addr "$addr" -sessions "$SESSIONS" -requests 3 -burst 192 -out "$OUT"
+$GO run ./scripts/validatejson "$OUT"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "loadtest: caratd exited nonzero after drain:"; cat "$tmp/stderr.log"; exit 1; }
+pid=""
+echo "loadtest: ok — report in $OUT"

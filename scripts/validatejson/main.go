@@ -34,14 +34,16 @@ import (
 // understands (kept in sync with the constants in internal/obs and
 // internal/bench).
 var supported = map[string]int{
-	"carat.bench.result": 2,
-	"carat.bench.exec":   2,
-	"carat.vm.run":       1,
-	"carat.metrics":      1,
-	"carat.trace":        1,
-	"carat.policy":       1,
-	"carat.soak.result":  1,
-	"carat.profile":      1,
+	"carat.bench.result":  2,
+	"carat.bench.exec":    2,
+	"carat.vm.run":        1,
+	"carat.metrics":       1,
+	"carat.trace":         1,
+	"carat.policy":        1,
+	"carat.soak.result":   1,
+	"carat.profile":       1,
+	"carat.server.result": 1,
+	"carat.server.load":   1,
 }
 
 func main() {
@@ -102,6 +104,64 @@ func validate(name string, r io.Reader) error {
 		if err := validateProfile(data); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+	}
+	if doc.Schema == "carat.server.load" {
+		if err := validateServerLoad(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// validateServerLoad structurally checks a carat.server.load document:
+// every leg's outcome counts must sum to its attempts, latency quantiles
+// must be ordered, and the cache hit rate must be a valid fraction.
+func validateServerLoad(data []byte) error {
+	var doc struct {
+		Sessions int `json:"sessions"`
+		Legs     []struct {
+			Name      string `json:"name"`
+			Requests  uint64 `json:"requests"`
+			OK        uint64 `json:"ok"`
+			Rejected  uint64 `json:"rejected_429"`
+			Failed    uint64 `json:"failed"`
+			LatencyMS struct {
+				P50 float64 `json:"p50"`
+				P99 float64 `json:"p99"`
+			} `json:"latency_ms"`
+		} `json:"legs"`
+		ModuleCache struct {
+			HitRate float64 `json:"hit_rate"`
+		} `json:"module_cache"`
+		DigestMismatches *uint64 `json:"digest_mismatches"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("carat.server.load: %w", err)
+	}
+	if doc.Sessions <= 0 {
+		return fmt.Errorf("carat.server.load: sessions must be positive")
+	}
+	if len(doc.Legs) == 0 {
+		return fmt.Errorf("carat.server.load: no legs")
+	}
+	for _, leg := range doc.Legs {
+		if leg.Name == "" {
+			return fmt.Errorf("carat.server.load: leg without a name")
+		}
+		if leg.OK+leg.Rejected+leg.Failed != leg.Requests {
+			return fmt.Errorf("carat.server.load: leg %q: ok+rejected_429+failed = %d, requests says %d",
+				leg.Name, leg.OK+leg.Rejected+leg.Failed, leg.Requests)
+		}
+		if leg.OK > 0 && leg.LatencyMS.P50 > leg.LatencyMS.P99 {
+			return fmt.Errorf("carat.server.load: leg %q: p50 %.3f > p99 %.3f",
+				leg.Name, leg.LatencyMS.P50, leg.LatencyMS.P99)
+		}
+	}
+	if doc.ModuleCache.HitRate < 0 || doc.ModuleCache.HitRate > 1 {
+		return fmt.Errorf("carat.server.load: hit_rate %f outside [0,1]", doc.ModuleCache.HitRate)
+	}
+	if doc.DigestMismatches == nil {
+		return fmt.Errorf("carat.server.load: digest_mismatches missing")
 	}
 	return nil
 }
