@@ -42,6 +42,7 @@ func run() error {
 		memBytes     = flag.Uint64("mem", 0, "shared physical memory bytes (overrides config)")
 		maxInflight  = flag.Int("max-inflight", 0, "machine-wide concurrent request cap (overrides config)")
 		noBallast    = flag.Bool("no-ballast", false, "disable the background mmpolicy ballast service")
+		pauseBudget  = flag.Uint64("pausebudget", 0, "max world-stop pause in cycles per tenant run: 0 keeps legacy full stops (overrides config)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	)
 	flag.Parse()
@@ -67,6 +68,9 @@ func run() error {
 	}
 	if *noBallast {
 		cfg.Ballast.Disabled = true
+	}
+	if *pauseBudget != 0 {
+		cfg.PauseBudgetCycles = *pauseBudget
 	}
 
 	s, err := server.New(cfg)

@@ -53,6 +53,11 @@ type Options struct {
 	// Sampler, when non-nil, attaches the cycle-sampling profiler to every
 	// VM run (one track each) and to the policy daemon ("policy" phase).
 	Sampler *obs.Sampler
+	// PauseBudget, when non-zero, runs the policy-daemon experiments'
+	// processes under the incremental move protocol with the largest batch
+	// whose worst-case pause fits the budget (caratbench's -pausebudget
+	// flag). 0 keeps the legacy full-stop protocol.
+	PauseBudget uint64
 }
 
 // DefaultOptions returns the standard configuration for scale s.

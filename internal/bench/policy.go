@@ -56,8 +56,16 @@ func pauseLine(w io.Writer, doc *mmpolicy.Document) {
 		return
 	}
 	p := doc.PauseCycles
-	fmt.Fprintf(w, "pause cycles (%d world stops): p50 %.0f, p95 %.0f, p99 %.0f, max %d\n",
+	fmt.Fprintf(w, "pause cycles (%d world stops): p50 %.0f, p95 %.0f, p99 %.0f, max %d",
 		p.Count, p.P50, p.P95, p.P99, p.Max)
+	if doc.PauseBudgetCycles > 0 {
+		status := "within"
+		if p.Max > doc.PauseBudgetCycles {
+			status = "OVER"
+		}
+		fmt.Fprintf(w, " [budget %d: %s]", doc.PauseBudgetCycles, status)
+	}
+	fmt.Fprintln(w)
 }
 
 // DefragResult reports the defragmentation experiment.
@@ -85,11 +93,12 @@ func Defrag(o Options) (*DefragResult, error) {
 			{Name: "churn-b", Kind: mmpolicy.Churn, Slots: 48 * s, MaxPages: 4, Seed: 12},
 			{Name: "churn-c", Kind: mmpolicy.Churn, Slots: 48 * s, MaxPages: 4, Seed: 13},
 		},
-		Policies: []mmpolicy.Policy{mmpolicy.NewDefrag(defragTargetRun)},
-		Obs:      o.Obs,
-		Trace:    o.Trace,
-		Fault:    o.Fault,
-		Sampler:  o.Sampler,
+		Policies:    []mmpolicy.Policy{mmpolicy.NewDefrag(defragTargetRun)},
+		Obs:         o.Obs,
+		Trace:       o.Trace,
+		Fault:       o.Fault,
+		Sampler:     o.Sampler,
+		PauseBudget: o.PauseBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -183,11 +192,12 @@ func Tiering(o Options) (*TieringResult, error) {
 			{Name: "cold", Kind: mmpolicy.ColdStore, Slots: 72 * s, MaxPages: 2, Seed: 22},
 			{Name: "churn", Kind: mmpolicy.Churn, Slots: 96 * s, MaxPages: 3, Seed: 23},
 		},
-		Policies: []mmpolicy.Policy{mmpolicy.NewTiering()},
-		Obs:      o.Obs,
-		Trace:    o.Trace,
-		Fault:    o.Fault,
-		Sampler:  o.Sampler,
+		Policies:    []mmpolicy.Policy{mmpolicy.NewTiering()},
+		Obs:         o.Obs,
+		Trace:       o.Trace,
+		Fault:       o.Fault,
+		Sampler:     o.Sampler,
+		PauseBudget: o.PauseBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -266,10 +276,11 @@ func Policy(o Options) (*PolicyResult, error) {
 			mmpolicy.NewTiering(),
 			mmpolicy.NewNUMARebalance(),
 		},
-		Obs:     o.Obs,
-		Trace:   o.Trace,
-		Fault:   o.Fault,
-		Sampler: o.Sampler,
+		Obs:         o.Obs,
+		Trace:       o.Trace,
+		Fault:       o.Fault,
+		Sampler:     o.Sampler,
+		PauseBudget: o.PauseBudget,
 	})
 	if err != nil {
 		return nil, err

@@ -54,12 +54,18 @@ const (
 	// FlushFail fails one attempt to drain an escape buffer into the
 	// allocation table; the buffer retries until the flush lands.
 	FlushFail Point = "escape.flush"
+	// MoveBatch aborts an incremental move at a batch boundary — the
+	// window close where mutator threads briefly resume between patch
+	// batches. Only checked when the incremental protocol is enabled; the
+	// runtime rolls the move back exactly as for MoveAbort.
+	MoveBatch Point = "move.batch_boundary"
 )
 
 // Points lists every injection point, in a fixed order (rate schedules and
 // reports iterate it).
 var Points = []Point{
 	KernelVeto, MoveAbort, PatchFail, SwapOutIO, SwapInIO, SwapDelay, FlushFail,
+	MoveBatch,
 }
 
 // Error is the error an injected fault produces. Injected faults model

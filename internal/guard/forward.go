@@ -1,0 +1,92 @@
+package guard
+
+import "fmt"
+
+// Forwarding window: the read barrier that lets incremental moves resume
+// mutator threads between patch batches. While a move is in flight the
+// address space is intentionally inconsistent — some escapes already name
+// the destination while the data still lives at the source (before the
+// copy), and stale pointers may still name the source after the data has
+// moved (after the copy). The window records the in-flight [src,dst,len)
+// pair and which side is authoritative, and Forward rewrites any access
+// that lands on the non-authoritative side.
+//
+// The window piggybacks on the region-set epoch: OpenForward, FlipForward,
+// and CloseForward each bump Epoch, so every per-thread xcache entry and
+// per-set mechanism cache stamped with an older epoch misses and re-walks.
+// That is the whole invalidation story — no extra flush protocol. Epoch
+// bumps are host-speed events only (an xcache hit replays the exact modeled
+// cycles of the walk it cached), so opening and closing windows never
+// perturbs modeled results.
+type forwardWindow struct {
+	active  bool
+	flipped bool // false: dst forwards to src (data at src); true: src forwards to dst
+	src     uint64
+	dst     uint64
+	length  uint64
+}
+
+// OpenForward opens the forwarding window for an in-flight move of
+// [src, src+length) to [dst, dst+length). Until FlipForward, the source
+// side is authoritative: accesses to the destination range forward back to
+// the source (patched pointers already name dst while the bytes are still
+// at src). Only one window may be open at a time; a nested open is a
+// protocol violation and is rejected.
+func (s *RegionSet) OpenForward(src, dst, length uint64) error {
+	if s.fwd.active {
+		return fmt.Errorf("guard: forwarding window already open ([%#x,%#x) -> %#x)",
+			s.fwd.src, s.fwd.src+s.fwd.length, s.fwd.dst)
+	}
+	if length == 0 {
+		return fmt.Errorf("guard: empty forwarding window")
+	}
+	s.fwd = forwardWindow{active: true, src: src, dst: dst, length: length}
+	s.Epoch++
+	return nil
+}
+
+// FlipForward marks the destination authoritative: the data has been
+// copied, so from here until CloseForward accesses to the (stale) source
+// range forward to the destination.
+func (s *RegionSet) FlipForward() {
+	if !s.fwd.active {
+		return
+	}
+	s.fwd.flipped = true
+	s.Epoch++
+}
+
+// CloseForward ends the window (move committed at RetireSrc, or rolled
+// back). Safe to call when no window is open.
+func (s *RegionSet) CloseForward() {
+	if !s.fwd.active {
+		return
+	}
+	s.fwd = forwardWindow{}
+	s.Epoch++
+}
+
+// ForwardActive reports whether a forwarding window is open.
+func (s *RegionSet) ForwardActive() bool { return s.fwd.active }
+
+// Forward translates addr through the open forwarding window: an address on
+// the non-authoritative side of the in-flight move is redirected to its
+// image on the authoritative side. Identity when no window is open or addr
+// is outside both ranges.
+func (s *RegionSet) Forward(addr uint64) uint64 {
+	if !s.fwd.active {
+		return addr
+	}
+	if s.fwd.flipped {
+		// Data is at dst: stale source pointers forward src -> dst.
+		if addr >= s.fwd.src && addr < s.fwd.src+s.fwd.length {
+			return addr - s.fwd.src + s.fwd.dst
+		}
+		return addr
+	}
+	// Data is still at src: patched pointers forward dst -> src.
+	if addr >= s.fwd.dst && addr < s.fwd.dst+s.fwd.length {
+		return addr - s.fwd.dst + s.fwd.src
+	}
+	return addr
+}

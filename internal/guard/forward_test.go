@@ -1,0 +1,150 @@
+package guard
+
+import "testing"
+
+func TestForwardIdentityWhenClosed(t *testing.T) {
+	s := NewRegionSet()
+	for _, a := range []uint64{0, 0x1000, 0xdeadbeef} {
+		if got := s.Forward(a); got != a {
+			t.Errorf("Forward(%#x) with no window = %#x", a, got)
+		}
+	}
+	if s.ForwardActive() {
+		t.Error("ForwardActive true with no window")
+	}
+}
+
+func TestForwardDstToSrcBeforeFlip(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.OpenForward(0x1000, 0x9000, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	// Destination addresses forward back to the source (data not yet moved).
+	if got := s.Forward(0x9000); got != 0x1000 {
+		t.Errorf("Forward(dst base) = %#x, want 0x1000", got)
+	}
+	if got := s.Forward(0x9fff); got != 0x1fff {
+		t.Errorf("Forward(dst mid) = %#x, want 0x1fff", got)
+	}
+	// Source and unrelated addresses pass through.
+	if got := s.Forward(0x1234); got != 0x1234 {
+		t.Errorf("Forward(src) = %#x, want identity", got)
+	}
+	if got := s.Forward(0xb000); got != 0xb000 {
+		t.Errorf("Forward(past dst end) = %#x, want identity", got)
+	}
+}
+
+func TestForwardSrcToDstAfterFlip(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.OpenForward(0x1000, 0x9000, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	s.FlipForward()
+	if got := s.Forward(0x1000); got != 0x9000 {
+		t.Errorf("Forward(src base) after flip = %#x, want 0x9000", got)
+	}
+	if got := s.Forward(0x2fff); got != 0xafff {
+		t.Errorf("Forward(src end-1) after flip = %#x, want 0xafff", got)
+	}
+	if got := s.Forward(0x9000); got != 0x9000 {
+		t.Errorf("Forward(dst) after flip = %#x, want identity", got)
+	}
+	if got := s.Forward(0x3000); got != 0x3000 {
+		t.Errorf("Forward(past src end) after flip = %#x, want identity", got)
+	}
+}
+
+func TestForwardCloseRestoresIdentity(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.OpenForward(0x1000, 0x9000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseForward()
+	if s.ForwardActive() {
+		t.Error("window still active after CloseForward")
+	}
+	if got := s.Forward(0x9000); got != 0x9000 {
+		t.Errorf("Forward after close = %#x, want identity", got)
+	}
+	// Closing an already-closed window is a no-op, not a panic.
+	s.CloseForward()
+}
+
+func TestForwardNestedOpenRejected(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.OpenForward(0x1000, 0x9000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenForward(0x2000, 0xa000, 0x1000); err == nil {
+		t.Fatal("nested OpenForward accepted")
+	}
+	// The original window must be untouched by the rejected open.
+	if got := s.Forward(0x9000); got != 0x1000 {
+		t.Errorf("original window broken after rejected open: Forward(0x9000) = %#x", got)
+	}
+	if err := s.OpenForward(0, 0x1000, 0); err == nil {
+		t.Error("zero-length OpenForward accepted")
+	}
+}
+
+func TestForwardTransitionsBumpEpoch(t *testing.T) {
+	s := NewRegionSet()
+	e0 := s.Epoch
+	if err := s.OpenForward(0x1000, 0x9000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch <= e0 {
+		t.Error("OpenForward did not bump epoch")
+	}
+	e1 := s.Epoch
+	s.FlipForward()
+	if s.Epoch <= e1 {
+		t.Error("FlipForward did not bump epoch")
+	}
+	e2 := s.Epoch
+	s.CloseForward()
+	if s.Epoch <= e2 {
+		t.Error("CloseForward did not bump epoch")
+	}
+	// Flip/Close with no window must not bump the epoch.
+	e3 := s.Epoch
+	s.FlipForward()
+	s.CloseForward()
+	if s.Epoch != e3 {
+		t.Error("no-op flip/close bumped epoch")
+	}
+}
+
+// An open forwarding window invalidates xcache entries purely through the
+// epoch stamp: a hit requires an exact epoch match, so entries filled
+// before OpenForward can never serve an access that raced into the window.
+func TestForwardInvalidatesXCacheViaEpoch(t *testing.T) {
+	s := NewRegionSet()
+	if err := s.Add(Region{Base: 0x1000, Len: 0x2000, Perm: PermRW}); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(MechRange, s)
+	c := NewXCache()
+	if !ev.CheckCached(c, 0x1100, 8, PermRead) {
+		t.Fatal("check failed")
+	}
+	if !ev.CheckCached(c, 0x1100, 8, PermRead) {
+		t.Fatal("check failed")
+	}
+	if c.Hits != 1 {
+		t.Fatalf("expected 1 hit before window, got %d", c.Hits)
+	}
+	if err := s.OpenForward(0x1000, 0x9000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.CheckCached(c, 0x1100, 8, PermRead) {
+		t.Fatal("check failed")
+	}
+	if c.Hits != 1 {
+		t.Errorf("stale entry served across OpenForward (hits %d)", c.Hits)
+	}
+	if c.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (initial fill, refill after epoch bump)", c.Misses)
+	}
+}

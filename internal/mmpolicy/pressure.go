@@ -83,6 +83,13 @@ type HarnessConfig struct {
 	// Sampler, when non-nil, receives the daemon's "policy"-phase cycle
 	// samples (see Daemon.AttachSampler).
 	Sampler *obs.Sampler
+	// PauseBudget, when non-zero, is the max-pause budget in modeled
+	// cycles: every process runtime switches to the incremental bounded-
+	// pause move protocol with the largest batch whose worst-case pause
+	// (runtime.PauseBound) fits the budget. 0 keeps the legacy full-stop
+	// protocol. Modeled cycles and memory digests are identical either way;
+	// only the pause histogram changes shape.
+	PauseBudget uint64
 }
 
 // WorkProc is one workload process in the harness.
@@ -132,6 +139,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	d.SetTracer(cfg.Trace)
 	d.SetInjector(cfg.Fault)
 	d.AttachSampler(cfg.Sampler)
+	d.PauseBudget = cfg.PauseBudget
 	h := &Harness{K: k, D: d, tickEvery: cfg.TickEvery, nextTick: cfg.TickEvery}
 	for _, spec := range cfg.Procs {
 		if spec.MaxPages == 0 {
@@ -141,6 +149,9 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		rt := runtime.NewWith(k.Mem, nil, k.Obs)
 		rt.SetTracer(cfg.Trace)
 		rt.SetInjector(cfg.Fault)
+		if cfg.PauseBudget > 0 {
+			rt.SetIncremental(runtime.BatchForBudget(cfg.PauseBudget))
+		}
 		p.Handler = rt
 		mp := d.Attach(spec.Name, p, rt)
 		wp := &WorkProc{

@@ -19,7 +19,9 @@ import (
 const Schema = "carat.policy"
 
 // SchemaVersion is the current document format version.
-const SchemaVersion = 1
+// v2 adds pause_p99_cycles and pause_budget_cycles (the bounded-pause
+// protocol's headline number and its knob); pause_cycles existed in v1.
+const SchemaVersion = 2
 
 // Decision actions.
 const (
@@ -78,6 +80,14 @@ type Document struct {
 	// harness's runtimes share the kernel's registry, so this aggregates
 	// the whole machine.
 	PauseCycles *obs.HistogramSnapshot `json:"pause_cycles,omitempty"`
+	// PauseP99Cycles (v2) surfaces the p99 pause as a first-class column so
+	// policy comparisons don't have to dig into the histogram; it equals
+	// PauseCycles.P99 (0 when no pauses were recorded).
+	PauseP99Cycles float64 `json:"pause_p99_cycles"`
+	// PauseBudgetCycles (v2) records the max-pause budget the run was
+	// configured with (HarnessConfig.PauseBudget); 0 means the legacy
+	// full-stop protocol with no bound.
+	PauseBudgetCycles uint64 `json:"pause_budget_cycles"`
 }
 
 // Report assembles the versioned decision document for the run so far.
@@ -97,8 +107,10 @@ func (d *Daemon) Report() *Document {
 	}
 	fs := d.K.Alloc.FragStats()
 	doc.FragAfter = &fs
+	doc.PauseBudgetCycles = d.PauseBudget
 	if ps := d.K.Obs.Histogram(runtime.PauseHist).Snapshot(); ps.Count > 0 {
 		doc.PauseCycles = &ps
+		doc.PauseP99Cycles = ps.P99
 	}
 	return doc
 }

@@ -42,6 +42,69 @@ func TestQuantileConstant(t *testing.T) {
 	}
 }
 
+func TestQuantileSingleBucketReturnsBound(t *testing.T) {
+	// All observations land in one log2 bucket ([8,15]): interpolating
+	// inside it would manufacture spread, so mid-range quantiles return the
+	// bucket bound clamped to the observed envelope.
+	var h Histogram
+	for _, v := range []uint64{9, 11, 14} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		if got := h.Quantile(q); got != 14 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want bucket bound clamped to Max 14", q, got)
+		}
+	}
+	if got := h.Quantile(0); got != 9 {
+		t.Errorf("single-bucket Quantile(0) = %v, want Min 9", got)
+	}
+}
+
+func TestQuantileEmptySnapshotBuckets(t *testing.T) {
+	// A snapshot with a count but no buckets (can arise from a hand-built
+	// document) must return 0 rather than divide across nothing.
+	s := HistogramSnapshot{Count: 5}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("bucketless snapshot Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := uint64(1); v <= 100; v++ {
+		a.Observe(v)
+		whole.Observe(v)
+	}
+	for v := uint64(500); v <= 600; v++ {
+		b.Observe(v)
+		whole.Observe(v)
+	}
+	var merged Histogram
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+	ms, ws := merged.Snapshot(), whole.Snapshot()
+	if ms.Count != ws.Count || ms.Sum != ws.Sum || ms.Min != ws.Min || ms.Max != ws.Max {
+		t.Errorf("merged summary %+v != direct %+v", ms, ws)
+	}
+	if len(ms.Buckets) != len(ws.Buckets) {
+		t.Fatalf("merged has %d buckets, direct has %d", len(ms.Buckets), len(ws.Buckets))
+	}
+	for i := range ms.Buckets {
+		if ms.Buckets[i] != ws.Buckets[i] {
+			t.Errorf("bucket %d: merged %+v != direct %+v", i, ms.Buckets[i], ws.Buckets[i])
+		}
+	}
+	if ms.P50 != ws.P50 || ms.P95 != ws.P95 || ms.P99 != ws.P99 {
+		t.Errorf("merged percentiles %v/%v/%v != direct %v/%v/%v",
+			ms.P50, ms.P95, ms.P99, ws.P50, ws.P95, ws.P99)
+	}
+	var empty Histogram
+	empty.Merge(HistogramSnapshot{})
+	if empty.Count() != 0 {
+		t.Errorf("merging an empty snapshot observed something: count %d", empty.Count())
+	}
+}
+
 func TestQuantileUniform(t *testing.T) {
 	var h Histogram
 	for v := uint64(1); v <= 1000; v++ {

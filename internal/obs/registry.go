@@ -160,6 +160,16 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if q >= 1 {
 		return float64(s.Max)
 	}
+	if len(s.Buckets) == 1 {
+		// Every observation shares one bucket: interpolating across it
+		// would manufacture spread the data does not have (and divides
+		// across a zero-width range when the bucket holds one value).
+		// Return the bucket's upper bound clamped to the envelope.
+		v := float64(s.Buckets[0].Le)
+		v = math.Max(v, float64(s.Min))
+		v = math.Min(v, float64(s.Max))
+		return v
+	}
 	// Target rank in [1, Count]: the ceil makes p100 land on the last
 	// observation and keeps single-observation histograms exact.
 	rank := math.Ceil(q * float64(s.Count))
@@ -206,6 +216,42 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)
 	return s
+}
+
+// Merge folds a snapshot taken from another histogram into h, as if every
+// observation behind the snapshot had been observed here. Bucket shapes are
+// identical across all Histograms (fixed log2 scale), so the fold is exact.
+// The server uses this to roll per-request registries into tenant-visible
+// totals — counters merge by addition, histograms merge with Merge.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	for _, b := range s.Buckets {
+		i := bits.Len64(b.Le)
+		if i >= HistogramBuckets {
+			i = HistogramBuckets - 1
+		}
+		h.buckets[i].Add(b.Count)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+	if !h.minInit.Load() && h.minInit.CompareAndSwap(false, true) {
+		h.min.Store(s.Min)
+		return
+	}
+	for {
+		cur := h.min.Load()
+		if s.Min >= cur || h.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
 }
 
 func (h *Histogram) reset() {

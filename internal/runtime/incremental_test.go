@@ -1,0 +1,252 @@
+package runtime
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"carat/internal/fault"
+	"carat/internal/guard"
+	"carat/internal/kernel"
+)
+
+// buildDenseMoveFixture is buildMoveFixture with enough in-range escapes
+// that an incremental move crosses several batch boundaries: one allocation
+// on the to-be-moved page with escapeCount pointers to it parked on a later
+// page, plus a pointer-bearing register file.
+func buildDenseMoveFixture(t *testing.T, escapeCount int) (*kernel.Kernel, *kernel.Process, *Runtime, *fakeWorld, *fakeRegs, uint64) {
+	t.Helper()
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(4*kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocA := base + 64
+	if err := rt.TrackAlloc(allocA, 1024); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < escapeCount; i++ {
+		loc := base + 2*kernel.PageSize + uint64(i)*8
+		val := allocA + uint64(i)*8
+		k.Mem.Store64(loc, val)
+		rt.TrackEscape(loc, val)
+	}
+	rt.Flush()
+	regs := &fakeRegs{vals: []uint64{allocA + 96, 12345, allocA + 128}}
+	world := &fakeWorld{regs: []*fakeRegs{regs}}
+	rt.SetWorld(world)
+	return k, p, rt, world, regs, base
+}
+
+// TestIncrementalMoveMatchesLegacy runs the same move under the legacy and
+// the incremental protocol and requires the end states to be identical:
+// memory image, regions, table, registers, free frames, the per-move
+// breakdown, and the program-clock contribution. Only the pause attribution
+// may differ — and in incremental mode every recorded pause must respect
+// the PauseBound guarantee.
+func TestIncrementalMoveMatchesLegacy(t *testing.T) {
+	const escapes = 24
+	const batch = MinMoveBatch
+
+	type result struct {
+		snap machineSnap
+		bd   MoveBreakdown
+		mc   uint64
+	}
+	run := func(incremental bool) (result, *Runtime, *fakeWorld) {
+		k, p, rt, world, regs, base := buildDenseMoveFixture(t, escapes)
+		if incremental {
+			rt.SetIncremental(batch)
+		}
+		if _, err := p.RequestMove(base, 1); err != nil {
+			t.Fatalf("move (incremental=%v): %v", incremental, err)
+		}
+		if len(rt.MoveStats) != 1 {
+			t.Fatalf("move stats = %d entries", len(rt.MoveStats))
+		}
+		return result{
+			snap: snapshot(k, p, rt, regs),
+			bd:   rt.MoveStats[0],
+			mc:   rt.Stats.MoveCycles.Get(),
+		}, rt, world
+	}
+
+	legacy, lrt, lworld := run(false)
+	incr, irt, iworld := run(true)
+
+	if !reflect.DeepEqual(legacy.snap, incr.snap) {
+		t.Errorf("end states differ:\n legacy      %+v\n incremental %+v", legacy.snap, incr.snap)
+	}
+	if legacy.bd != incr.bd {
+		t.Errorf("move breakdowns differ:\n legacy      %+v\n incremental %+v", legacy.bd, incr.bd)
+	}
+	if legacy.mc != incr.mc {
+		t.Errorf("program-clock move cycles differ: legacy %d, incremental %d", legacy.mc, incr.mc)
+	}
+
+	// Pause structure: legacy is one whole-operation stop; incremental is
+	// several bounded windows, none exceeding the bound.
+	if lworld.batchStops != 0 || lrt.Stats.BatchPauses.Get() != 0 {
+		t.Errorf("legacy move opened batch windows: stops %d, pauses %d",
+			lworld.batchStops, lrt.Stats.BatchPauses.Get())
+	}
+	if iworld.batchStops == 0 {
+		t.Error("incremental move crossed no batch boundary despite dense escapes")
+	}
+	if iworld.batchStops != iworld.batchResumes {
+		t.Errorf("batch stops/resumes unpaired: %d/%d", iworld.batchStops, iworld.batchResumes)
+	}
+	windows := irt.Stats.BatchPauses.Get()
+	if want := uint64(iworld.batchStops + 1); windows != want {
+		t.Errorf("batch pauses = %d, want boundaries+1 = %d", windows, want)
+	}
+	lh := lrt.Obs.Histogram(PauseHist).Snapshot()
+	ih := irt.Obs.Histogram(PauseHist).Snapshot()
+	bound := PauseBound(batch)
+	if ih.Max > bound {
+		t.Errorf("incremental pause max %d exceeds PauseBound(%d) = %d", ih.Max, batch, bound)
+	}
+	if lh.Max <= bound {
+		t.Errorf("legacy pause max %d unexpectedly within the incremental bound %d — fixture too small", lh.Max, bound)
+	}
+	// Legacy attributes the whole operation (including page allocation and
+	// the data copy) to one pause; incremental attributes only the metered
+	// stop-window work — the prototype cost minus the opening barrier —
+	// plus one barrier per window. The difference is exactly the off-pause
+	// movement cost and the extra barrier round trips.
+	if lh.Sum != legacy.bd.TotalCycles() {
+		t.Errorf("legacy pause sum %d != whole-operation cycles %d", lh.Sum, legacy.bd.TotalCycles())
+	}
+	wantSum := incr.bd.PrototypeCycles() - cycBarrier + windows*cycBarrier
+	if ih.Sum != wantSum {
+		t.Errorf("incremental pause sum %d, want metered work + %d barriers = %d", ih.Sum, windows, wantSum)
+	}
+}
+
+// TestIncrementalAbortAtEveryBatchBoundary arms fault.MoveBatch at each
+// boundary an incremental move crosses, in turn, and requires the PR-5 undo
+// log to restore the machine bit-identically — then the same move must
+// succeed once the fault is exhausted. This is the per-batch extension of
+// TestAbortAtEveryStepBoundaryRollsBack.
+func TestIncrementalAbortAtEveryBatchBoundary(t *testing.T) {
+	const escapes = 24
+	const batch = MinMoveBatch
+
+	// Discover how many boundaries a clean run crosses.
+	_, p0, rt0, world0, _, base0 := buildDenseMoveFixture(t, escapes)
+	rt0.SetIncremental(batch)
+	if _, err := p0.RequestMove(base0, 1); err != nil {
+		t.Fatalf("clean incremental move: %v", err)
+	}
+	boundaries := world0.batchStops
+	if boundaries < 2 {
+		t.Fatalf("fixture crosses only %d boundaries; need >= 2 for a meaningful sweep", boundaries)
+	}
+
+	for nth := 1; nth <= boundaries; nth++ {
+		k, p, rt, _, regs, base := buildDenseMoveFixture(t, escapes)
+		rt.SetIncremental(batch)
+		inj := fault.New(1, nil)
+		rt.SetInjector(inj)
+
+		before := snapshot(k, p, rt, regs)
+		vetoesBefore := k.Stats.MoveVetoes.Get()
+
+		inj.Arm(fault.MoveBatch, nth)
+		_, err := p.RequestMove(base, 1)
+		if err == nil {
+			t.Fatalf("boundary %d: armed batch abort did not fail the move", nth)
+		}
+		if !fault.Injected(err) {
+			t.Fatalf("boundary %d: move error lost the injected fault: %v", nth, err)
+		}
+		if !strings.Contains(err.Error(), "aborted at batch boundary") {
+			t.Errorf("boundary %d: unexpected abort error: %v", nth, err)
+		}
+
+		after := snapshot(k, p, rt, regs)
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("boundary %d: state differs after rollback:\n before %+v\n after  %+v", nth, before, after)
+		}
+		if err := rt.Table.CheckInvariants(); err != nil {
+			t.Errorf("boundary %d: %v", nth, err)
+		}
+		if got := k.Stats.MoveVetoes.Get(); got != vetoesBefore+1 {
+			t.Errorf("boundary %d: move vetoes = %d, want %d", nth, got, vetoesBefore+1)
+		}
+		if got := rt.Stats.MoveRollbacks.Get(); got != 1 {
+			t.Errorf("boundary %d: rollbacks = %d, want 1", nth, got)
+		}
+
+		// Fault exhausted: the identical request must now succeed.
+		res, err := p.RequestMove(base, 1)
+		if err != nil {
+			t.Fatalf("boundary %d: move after batch abort: %v", nth, err)
+		}
+		if res.Dst == res.Src {
+			t.Errorf("boundary %d: successful move did not relocate the page", nth)
+		}
+	}
+}
+
+// TestBatchBoundaryFaultInertInLegacyMode: the MoveBatch point is only
+// checked when incremental windows are open, so a legacy move must sail
+// past an armed batch fault (and consume nothing from it).
+func TestBatchBoundaryFaultInertInLegacyMode(t *testing.T) {
+	_, p, rt, _, _, base := buildDenseMoveFixture(t, 24)
+	inj := fault.New(1, nil)
+	rt.SetInjector(inj)
+	inj.Arm(fault.MoveBatch, 1)
+	if _, err := p.RequestMove(base, 1); err != nil {
+		t.Fatalf("legacy move tripped over an armed batch fault: %v", err)
+	}
+}
+
+// TestIncrementalSwapPauseBounded: swaps run their escape-poisoning under
+// the same bounded windows (without boundary faults — they have no undo
+// log and need none).
+func TestIncrementalSwapPauseBounded(t *testing.T) {
+	const batch = MinMoveBatch
+	k, p, rt := newTestRuntime(t)
+	base, err := p.GrantRegion(kernel.PageSize, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.TrackAlloc(base, 2048); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		loc := base + 2048 + uint64(i)*8
+		k.Mem.Store64(loc, base+uint64(i)*8)
+		rt.TrackEscape(loc, base+uint64(i)*8)
+	}
+	rt.Flush()
+	k.Mem.Store64(base, 0xBEEF)
+	rt.SetWorld(&fakeWorld{})
+	rt.SetIncremental(batch)
+
+	slot, err := rt.SwapOut(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SwapIn(slot, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Mem.Load64(base); got != 0xBEEF {
+		t.Errorf("data after swap round trip = %#x, want 0xBEEF", got)
+	}
+	if rt.Stats.BatchPauses.Get() == 0 {
+		t.Error("incremental swaps opened no batch windows")
+	}
+	// Escapes outside the allocation don't get poisoned... only pointers
+	// into [base, base+2048) count, which all 16 are.
+	hist := rt.Obs.Histogram(PauseHist).Snapshot()
+	if bound := PauseBound(batch); hist.Max > bound {
+		t.Errorf("incremental swap pause max %d exceeds PauseBound(%d) = %d", hist.Max, batch, bound)
+	}
+	// SwapCycles keeps the legacy whole-operation formula in both modes.
+	wantSwap := 2 * (uint64(cycBarrier) + 16*cycEscapePatch + 2048*cycPerByteMove)
+	if got := rt.Stats.SwapCycles.Get(); got != wantSwap {
+		t.Errorf("swap cycles = %d, want legacy formula %d", got, wantSwap)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"carat/internal/fault"
+	"carat/internal/guard"
 	"carat/internal/kernel"
 	"carat/internal/obs"
 )
@@ -122,39 +123,105 @@ func (r *Runtime) HandleMove(req *kernel.MoveRequest) (kernel.MoveResult, error)
 	return res, nil
 }
 
+// handleMoveLocked drives the move as a phase state machine: expand,
+// negotiate, patch escapes, patch registers, rebase tables, copy, commit.
+// In legacy mode the world stays stopped end to end and the whole modeled
+// cost is one pause. In incremental mode (SetIncremental) the pause meter
+// slices the patch phases into bounded windows separated by ResumeBatch/
+// StopBatch round trips, with the guard-level forwarding window keeping
+// accesses that race into the half-patched state correct in between.
+// Phase order, every fault-injection draw, and every program-clock formula
+// are identical in both modes: incremental changes pause *attribution*
+// only, so modeled cycles and memory digests stay byte-identical per seed.
 func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kernel.MoveResult, uint64, uint64, uint64, error) {
 	r.opMu.Lock()
 	defer r.opMu.Unlock()
 	r.Flush()
 
-	var bd MoveBreakdown
-	bd.ExpandCycles += cycBarrier
+	st := &moveState{
+		r:     r,
+		req:   req,
+		regs:  regs,
+		inj:   r.injector(),
+		meter: r.newPauseMeter("move", true),
+	}
+	st.bd.ExpandCycles += cycBarrier
 
+	for _, phase := range []func() error{
+		st.phaseExpand,
+		st.phaseNegotiate,
+		st.phasePatchEscapes,
+		st.phasePatchRegisters,
+		st.phaseRebase,
+		st.phaseCopy,
+		st.phaseCommit,
+	} {
+		if err := phase(); err != nil {
+			return st.fail(err)
+		}
+	}
+
+	r.MoveStats = append(r.MoveStats, st.bd)
+	r.Stats.Moves.Inc()
+	r.Stats.MoveCycles.Add(st.bd.TotalCycles())
+	r.moveHist.Observe(st.bd.TotalCycles())
+	st.meter.finish(st.bd.TotalCycles())
+	r.traceMove(&st.bd, st.src, st.dst, st.length, st.lookupCyc, st.scanCyc)
+	return kernel.MoveResult{Src: st.src, Dst: st.dst, Pages: st.pages}, st.src, st.dst, st.length, nil
+}
+
+// moveState carries one in-flight move through its phases. The undo log
+// (txn) is nil until destination negotiation succeeds: a failure before
+// that point needs only a veto, a failure after it rolls back.
+type moveState struct {
+	r     *Runtime
+	req   *kernel.MoveRequest
+	regs  []RegSet
+	inj   *fault.Injector
+	meter *pauseMeter
+
+	bd MoveBreakdown
 	// lookupCyc/scanCyc split ExpandCycles for trace attribution only;
 	// both still flow into bd.ExpandCycles unchanged.
-	var lookupCyc, scanCyc uint64
+	lookupCyc, scanCyc uint64
 
-	// Step 5/6: expand [src, src+len) until its boundaries split no
-	// allocation (allocations must move in their entirety, §4.3).
-	src := req.Src
-	length := req.Pages * kernel.PageSize
-	var affected []*Allocation
+	src, dst, length uint64
+	pages            uint64
+	affected         []*Allocation
+	txn              *moveTxn
+	fwd              *guard.RegionSet // set holding our open forwarding window
+}
+
+// phaseExpand implements steps 5/6: expand [src, src+len) until its
+// boundaries split no allocation (allocations must move in their entirety,
+// §4.3). The table is re-queried on every iteration, so in incremental
+// mode a window boundary inside this phase is safe: allocation churn from
+// briefly-resumed mutators is folded into the next query.
+func (st *moveState) phaseExpand() error {
+	st.src = st.req.Src
+	st.length = st.req.Pages * kernel.PageSize
 	for {
-		bd.ExpandCycles += cycTableLookup
-		lookupCyc += cycTableLookup
-		affected = r.Table.Overlapping(src, src+length)
-		bd.ExpandCycles += uint64(len(affected)) * cycPerAllocScan
-		scanCyc += uint64(len(affected)) * cycPerAllocScan
+		st.bd.ExpandCycles += cycTableLookup
+		st.lookupCyc += cycTableLookup
+		if err := st.meter.add(cycTableLookup); err != nil {
+			return err
+		}
+		st.affected = st.r.Table.Overlapping(st.src, st.src+st.length)
+		st.bd.ExpandCycles += uint64(len(st.affected)) * cycPerAllocScan
+		st.scanCyc += uint64(len(st.affected)) * cycPerAllocScan
+		if err := st.meter.addBulk(len(st.affected), cycPerAllocScan); err != nil {
+			return err
+		}
 		grew := false
-		if len(affected) > 0 {
-			if first := affected[0]; first.Base < src {
-				delta := src - alignDown(first.Base)
-				src -= delta
-				length += delta
+		if len(st.affected) > 0 {
+			if first := st.affected[0]; first.Base < st.src {
+				delta := st.src - alignDown(first.Base)
+				st.src -= delta
+				st.length += delta
 				grew = true
 			}
-			if last := affected[len(affected)-1]; last.End() > src+length {
-				length = alignUp(last.End()) - src
+			if last := st.affected[len(st.affected)-1]; last.End() > st.src+st.length {
+				st.length = alignUp(last.End()) - st.src
 				grew = true
 			}
 		}
@@ -162,109 +229,159 @@ func (r *Runtime) handleMoveLocked(req *kernel.MoveRequest, regs []RegSet) (kern
 			break
 		}
 	}
-	pages := length / kernel.PageSize
+	st.pages = st.length / kernel.PageSize
 
 	// An abort here models the kernel cancelling its own request before a
 	// destination exists: nothing has mutated yet, so a bare veto suffices.
-	inj := r.injector()
-	if err := inj.Fail(fault.MoveAbort, "before destination negotiation"); err != nil {
-		req.Veto()
-		r.observePause("move_abort", bd.TotalCycles())
-		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move aborted: %w", err)
+	if err := st.inj.Fail(fault.MoveAbort, "before destination negotiation"); err != nil {
+		return fmt.Errorf("runtime: move aborted: %w", err)
 	}
+	return nil
+}
 
-	// Step 5: the kernel allocates and maps the destination.
-	dst, err := req.NegotiateDst(src, pages)
+// phaseNegotiate implements step 5: the kernel allocates and maps the
+// destination. On success the undo log opens — every later mutation is
+// recorded before it is applied — and, in incremental mode, so does the
+// forwarding window: patched pointers will name the destination while the
+// data still lives at the source, and the window forwards those accesses
+// back until the copy lands.
+func (st *moveState) phaseNegotiate() error {
+	dst, err := st.req.NegotiateDst(st.src, st.pages)
 	if err != nil {
-		req.Veto()
-		r.observePause("move_abort", bd.TotalCycles())
-		return kernel.MoveResult{}, 0, 0, 0, fmt.Errorf("runtime: move negotiation failed: %w", err)
+		return fmt.Errorf("runtime: move negotiation failed: %w", err)
 	}
-	bd.MoveCycles += pages * cycPageAlloc
-
-	// From here to the commit point at RetireSrc, every mutation is
-	// recorded in txn before it is applied, so an abort at any later step
-	// boundary rolls the address space back to the exact pre-move state.
-	txn := &moveTxn{}
-	abort := func(cause error) (kernel.MoveResult, uint64, uint64, uint64, error) {
-		// The world stayed stopped through the work done so far plus the
-		// rollback; bd holds the partial breakdown at the abort point.
-		r.observePause("move_abort", bd.TotalCycles())
-		return kernel.MoveResult{}, 0, 0, 0, r.rollbackMove(req, txn, src, dst, length, cause)
-	}
-
-	// Steps 7-8: patch every escape of every affected allocation so each
-	// pointer names the address its target will have after the move.
-	for _, a := range affected {
-		bd.AllocsMoved++
-		for _, loc := range r.Table.EscapeLocsOf(a) {
-			bd.PatchCycles += cycEscapePatch
-			val := r.mem.Load64(loc)
-			if val >= src && val < src+length {
-				if err := inj.Fail(fault.PatchFail, fmt.Sprintf("escape at %#x", loc)); err != nil {
-					return abort(err)
-				}
-				txn.memWrites = append(txn.memWrites, memWrite{loc: loc, old: val})
-				r.mem.Store64(loc, val-src+dst)
-				bd.EscapesPatched++
+	st.dst = dst
+	st.bd.MoveCycles += st.pages * cycPageAlloc
+	st.txn = &moveTxn{}
+	if st.meter.incremental() {
+		if rs := st.req.Regions(); rs != nil {
+			if err := rs.OpenForward(st.src, st.dst, st.length); err == nil {
+				st.fwd = rs
 			}
 		}
 	}
-	if err := inj.Fail(fault.MoveAbort, "after escape patch"); err != nil {
-		return abort(err)
+	return nil
+}
+
+// phasePatchEscapes implements steps 7-8: patch every escape of every
+// affected allocation so each pointer names the address its target will
+// have after the move. This is the phase incremental batching exists for —
+// escape density is what scales the pause (Table 3).
+func (st *moveState) phasePatchEscapes() error {
+	for _, a := range st.affected {
+		st.bd.AllocsMoved++
+		for _, loc := range st.r.Table.EscapeLocsOf(a) {
+			st.bd.PatchCycles += cycEscapePatch
+			if err := st.meter.add(cycEscapePatch); err != nil {
+				return err
+			}
+			val := st.r.mem.Load64(loc)
+			if val >= st.src && val < st.src+st.length {
+				if err := st.inj.Fail(fault.PatchFail, fmt.Sprintf("escape at %#x", loc)); err != nil {
+					return err
+				}
+				st.txn.memWrites = append(st.txn.memWrites, memWrite{loc: loc, old: val})
+				st.r.mem.Store64(loc, val-st.src+st.dst)
+				st.bd.EscapesPatched++
+			}
+		}
 	}
-	// Registers (in-register pointers were dumped by the world stop).
-	for _, rs := range regs {
+	return st.inj.Fail(fault.MoveAbort, "after escape patch")
+}
+
+// phasePatchRegisters patches in-register pointers (dumped by the opening
+// world stop; the RegSet handles stay valid across batch boundaries). A
+// register patch is word-atomic, so a boundary between two registers is
+// safe: the patched ones read through the forwarding window.
+func (st *moveState) phasePatchRegisters() error {
+	for _, rs := range st.regs {
 		vals := rs.Regs()
 		for i, v := range vals {
-			bd.RegCycles += cycRegScan
-			if v >= src && v < src+length {
-				txn.regWrites = append(txn.regWrites, regWrite{rs: rs, i: i, old: v})
-				rs.SetReg(i, v-src+dst)
-				bd.RegCycles += cycRegPatch
-				bd.RegsPatched++
+			st.bd.RegCycles += cycRegScan
+			if err := st.meter.add(cycRegScan); err != nil {
+				return err
+			}
+			if v >= st.src && v < st.src+st.length {
+				st.txn.regWrites = append(st.txn.regWrites, regWrite{rs: rs, i: i, old: v})
+				rs.SetReg(i, v-st.src+st.dst)
+				st.bd.RegCycles += cycRegPatch
+				if err := st.meter.add(cycRegPatch); err != nil {
+					return err
+				}
+				st.bd.RegsPatched++
 			}
 		}
 	}
-	if err := inj.Fail(fault.MoveAbort, "after register patch"); err != nil {
-		return abort(err)
-	}
+	return st.inj.Fail(fault.MoveAbort, "after register patch")
+}
 
-	// Table maintenance: rebase moved allocations and any escape
-	// locations that themselves live in the moved range.
-	for _, a := range affected {
-		r.Table.Rebase(a, a.Base-src+dst)
-		txn.rebased = append(txn.rebased, a)
+// phaseRebase performs the table maintenance: rebase moved allocations and
+// any escape locations that themselves live in the moved range.
+func (st *moveState) phaseRebase() error {
+	for _, a := range st.affected {
+		st.r.Table.Rebase(a, a.Base-st.src+st.dst)
+		st.txn.rebased = append(st.txn.rebased, a)
 	}
-	moved := r.Table.RebaseEscapeLocs(src, src+length, dst)
-	txn.escMoved = true
-	bd.PatchCycles += uint64(moved) * cycEscapePatch
-	r.rebaseSwapLocs(src, dst, length)
-	txn.swapMoved = true
-	if err := inj.Fail(fault.MoveAbort, "before data copy"); err != nil {
-		return abort(err)
+	moved := st.r.Table.RebaseEscapeLocs(st.src, st.src+st.length, st.dst)
+	st.txn.escMoved = true
+	st.bd.PatchCycles += uint64(moved) * cycEscapePatch
+	if err := st.meter.addBulk(moved, cycEscapePatch); err != nil {
+		return err
 	}
+	st.r.rebaseSwapLocs(st.src, st.dst, st.length)
+	st.txn.swapMoved = true
+	return st.inj.Fail(fault.MoveAbort, "before data copy")
+}
 
-	// Steps 9-10: move the data and retire the source. RetireSrc is the
-	// commit point — once the kernel retires the source frames the move is
-	// final.
-	if err := r.mem.Move(dst, src, length); err != nil {
-		return abort(fmt.Errorf("runtime: data move failed: %w", err))
+// phaseCopy implements step 9: move the data. The copy is charged to the
+// program clock in both modes, but attributed off-pause in incremental
+// mode — a production runtime copies concurrently under the forwarding
+// window, and the flip to the destination happens inside the final stop.
+func (st *moveState) phaseCopy() error {
+	if err := st.r.mem.Move(st.dst, st.src, st.length); err != nil {
+		return fmt.Errorf("runtime: data move failed: %w", err)
 	}
-	txn.copied = true
-	bd.MoveCycles += length * cycPerByteMove
-	bd.PagesMoved = pages
-	if err := req.RetireSrc(src, pages); err != nil {
-		return abort(fmt.Errorf("runtime: source retire failed: %w", err))
+	st.txn.copied = true
+	st.bd.MoveCycles += st.length * cycPerByteMove
+	st.bd.PagesMoved = st.pages
+	if st.fwd != nil {
+		// Data is at the destination now: stale source pointers forward.
+		st.fwd.FlipForward()
 	}
+	return nil
+}
 
-	r.MoveStats = append(r.MoveStats, bd)
-	r.Stats.Moves.Inc()
-	r.Stats.MoveCycles.Add(bd.TotalCycles())
-	r.moveHist.Observe(bd.TotalCycles())
-	r.observePause("move", bd.TotalCycles())
-	r.traceMove(&bd, src, dst, length, lookupCyc, scanCyc)
-	return kernel.MoveResult{Src: src, Dst: dst, Pages: pages}, src, dst, length, nil
+// phaseCommit implements step 10: retire the source frames. RetireSrc is
+// the commit point — once the kernel retires the source the move is final
+// and the forwarding window closes.
+func (st *moveState) phaseCommit() error {
+	if err := st.req.RetireSrc(st.src, st.pages); err != nil {
+		return fmt.Errorf("runtime: source retire failed: %w", err)
+	}
+	st.closeForward()
+	return nil
+}
+
+func (st *moveState) closeForward() {
+	if st.fwd != nil {
+		st.fwd.CloseForward()
+		st.fwd = nil
+	}
+}
+
+// fail unwinds a failed phase. Before destination negotiation (txn nil)
+// nothing has mutated: a bare veto suffices. After it, the undo log rolls
+// the address space back to the exact pre-move state. The pause observed
+// at the abort covers the work since the last window boundary (legacy:
+// the whole partial breakdown), matching the committed abort attribution.
+func (st *moveState) fail(cause error) (kernel.MoveResult, uint64, uint64, uint64, error) {
+	st.meter.abort("move_abort", st.bd.TotalCycles())
+	if st.txn == nil {
+		st.req.Veto()
+		return kernel.MoveResult{}, 0, 0, 0, cause
+	}
+	st.closeForward()
+	return kernel.MoveResult{}, 0, 0, 0, st.r.rollbackMove(st.req, st.txn, st.src, st.dst, st.length, cause)
 }
 
 // moveTxn is the undo log of one in-flight move: every mutation made

@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"fmt"
+
+	"carat/internal/fault"
+)
+
+// The pause meter: bounded-window pause attribution for the incremental
+// move/swap protocol.
+//
+// The legacy protocol stops the world once and observes the whole
+// operation's modeled cost as a single pause. The incremental protocol
+// keeps the same phases, the same fault-injection draw order, and the same
+// program-clock formulas, but slices the stop-window *work* — table
+// lookups, allocation scans, escape patches, register patches, metadata
+// rebases — into windows of at most one batch, separated by ResumeBatch/
+// StopBatch round trips on a BoundedWorld. Each window observes
+// cycBarrier + (work in window) into the pause histograms, so no recorded
+// pause ever exceeds PauseBound(batch).
+//
+// Work that a production implementation performs concurrently with the
+// mutators — destination page allocation and the data copy, both protected
+// by the guard-level forwarding window — is charged to the program clock
+// exactly as in legacy mode but attributed off-pause.
+
+// DefaultMoveBatch is the default incremental batch size: escape patches
+// per stop window.
+const DefaultMoveBatch = 8
+
+// MinMoveBatch is the smallest accepted batch size. The window budget
+// (MinMoveBatch * cycEscapePatch = 220 cycles) must exceed the largest
+// single metered work item (a table lookup, cycTableLookup = 130), so a
+// lone item can never blow the bounded-pause guarantee.
+const MinMoveBatch = 4
+
+// PauseBound returns the worst-case single pause of the incremental
+// protocol at the given batch size: one barrier round trip plus one full
+// batch of patch work. The soak harness's bounded-pause gate asserts the
+// observed pause maximum against this.
+func PauseBound(batch int) uint64 {
+	if batch < MinMoveBatch {
+		batch = MinMoveBatch
+	}
+	return cycBarrier + uint64(batch)*cycEscapePatch
+}
+
+// BatchForBudget returns the largest batch size whose PauseBound stays
+// within budget modeled cycles (the mmpolicy max-pause knob). Budgets too
+// small for even the minimum batch clamp to MinMoveBatch.
+func BatchForBudget(budget uint64) int {
+	min := PauseBound(MinMoveBatch)
+	if budget <= min {
+		return MinMoveBatch
+	}
+	return int((budget - cycBarrier) / cycEscapePatch)
+}
+
+// pauseMeter accumulates the stop-window work of one map-changing
+// operation. In legacy mode (bw nil) it is inert: the caller observes the
+// single whole-operation pause itself via finish/abort. In incremental
+// mode it closes a window whenever the next work item would overflow the
+// batch budget: observe the window's pause, resume the mutators, check the
+// batch-boundary fault point, and stop again for the next batch.
+type pauseMeter struct {
+	r     *Runtime
+	cause string
+	bw    BoundedWorld // nil => legacy single-window attribution
+	inj   *fault.Injector
+	chunk uint64 // work-cycle budget per window
+	acc   uint64 // work accumulated in the open window
+
+	// checkBoundary consults fault.MoveBatch at every window close. Moves
+	// set it (the undo log makes a boundary abort safe); swaps do not
+	// (they mutate nothing until their single commit step).
+	checkBoundary bool
+}
+
+// newPauseMeter builds the meter for one operation. Incremental windows
+// engage only when SetIncremental is on AND the installed world supports
+// bounded stops.
+func (r *Runtime) newPauseMeter(cause string, checkBoundary bool) *pauseMeter {
+	m := &pauseMeter{r: r, cause: cause}
+	batch := r.IncrementalBatch()
+	if batch <= 0 {
+		return m
+	}
+	bw, ok := r.getWorld().(BoundedWorld)
+	if !ok {
+		return m
+	}
+	m.bw = bw
+	m.chunk = uint64(batch) * cycEscapePatch
+	m.inj = r.injector()
+	m.checkBoundary = checkBoundary
+	return m
+}
+
+// incremental reports whether this meter runs bounded windows.
+func (m *pauseMeter) incremental() bool { return m.bw != nil }
+
+// add charges c cycles of stop-window work, closing the window first if c
+// would overflow it. The returned error is a batch-boundary abort.
+func (m *pauseMeter) add(c uint64) error {
+	if m.bw == nil {
+		return nil
+	}
+	if m.acc > 0 && m.acc+c > m.chunk {
+		if err := m.boundary(); err != nil {
+			return err
+		}
+	}
+	m.acc += c
+	return nil
+}
+
+// addBulk charges n items of c cycles each, allowing window boundaries
+// between items.
+func (m *pauseMeter) addBulk(n int, c uint64) error {
+	for i := 0; i < n; i++ {
+		if err := m.add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boundary closes the current window: observe its pause, resume the
+// mutators to their next safepoints, and stop again for the next batch.
+// The RegSet handles from the operation's opening stop stay valid across
+// the round trip (BoundedWorld contract), so patching continues on the
+// same snapshots. An injected fault.MoveBatch fires here — the only place
+// an incremental operation can abort that the legacy protocol cannot.
+func (m *pauseMeter) boundary() error {
+	m.closeWindow()
+	m.bw.ResumeBatch()
+	var err error
+	if m.checkBoundary {
+		if ferr := m.inj.Fail(fault.MoveBatch, m.cause+" batch boundary"); ferr != nil {
+			err = fmt.Errorf("runtime: %s aborted at batch boundary: %w", m.cause, ferr)
+		}
+	}
+	m.bw.StopBatch()
+	return err
+}
+
+func (m *pauseMeter) closeWindow() {
+	m.r.observePause(m.cause, cycBarrier+m.acc)
+	m.r.Stats.BatchPauses.Inc()
+	m.acc = 0
+}
+
+// finish observes the final window of a successful operation. legacyTotal
+// is the whole-operation modeled pause recorded when incremental windows
+// are off — byte-identical to the committed legacy attribution.
+func (m *pauseMeter) finish(legacyTotal uint64) {
+	if m.bw == nil {
+		m.r.observePause(m.cause, legacyTotal)
+		return
+	}
+	m.closeWindow()
+}
+
+// abort observes the window in which the operation failed under the abort
+// cause. In incremental mode, windows closed before the abort were already
+// published under the operation's own cause; only the aborting window
+// lands in the abort histogram.
+func (m *pauseMeter) abort(cause string, legacyTotal uint64) {
+	if m.bw == nil {
+		m.r.observePause(cause, legacyTotal)
+		return
+	}
+	m.r.observePause(cause, cycBarrier+m.acc)
+	m.r.Stats.BatchPauses.Inc()
+	m.acc = 0
+}

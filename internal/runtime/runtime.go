@@ -27,12 +27,48 @@ type RegSet interface {
 	SetReg(i int, v uint64)
 }
 
-// noWorld is used when the runtime runs without live threads (unit tests,
-// offline table manipulation).
-type noWorld struct{}
+// BoundedWorld is a World that can also pause in bounded batches: stop,
+// run one patch batch, resume, repeat. The incremental move/swap protocol
+// (SetIncremental) uses it to cap every mutator pause at one batch plus
+// the barrier round trip instead of the whole patch+copy.
+//
+// Contract (verified by the internal/worldtest conformance suite):
+//
+//   - StopBatch stops the world exactly like StopTheWorld and returns the
+//     same thread register snapshots; ResumeBatch releases it.
+//   - RegSet handles returned by any stop stay valid across ResumeBatch/
+//     StopBatch cycles — patching may continue on the same snapshots, and
+//     values written through them are visible after the next stop.
+//   - Nested stops are rejected: calling StopTheWorld or StopBatch while
+//     the world is already stopped panics. The move protocol never nests
+//     stops; a nest means re-entrancy the protocol cannot survive.
+type BoundedWorld interface {
+	World
+	// StopBatch stops the world for one incremental batch.
+	StopBatch() []RegSet
+	// ResumeBatch releases a batch stop, letting every thread run to its
+	// next safepoint.
+	ResumeBatch()
+}
 
-func (noWorld) StopTheWorld() []RegSet { return nil }
-func (noWorld) ResumeTheWorld()        {}
+// noWorld is used when the runtime runs without live threads (unit tests,
+// offline table manipulation, the mmpolicy pressure harness). It is a
+// BoundedWorld so the incremental protocol works — there is simply nobody
+// to stop — and it enforces the no-nested-stops contract.
+type noWorld struct{ stopped bool }
+
+func (w *noWorld) StopTheWorld() []RegSet {
+	if w.stopped {
+		panic("runtime: nested world stop")
+	}
+	w.stopped = true
+	return nil
+}
+func (w *noWorld) ResumeTheWorld() { w.stopped = false }
+func (w *noWorld) StopBatch() []RegSet {
+	return w.StopTheWorld()
+}
+func (w *noWorld) ResumeBatch() { w.stopped = false }
 
 // Stats is the runtime's typed view over its obs.Registry metrics
 // (Figures 5-7). Each field is a live handle into the registry under the
@@ -54,6 +90,7 @@ type Stats struct {
 	Moves         *obs.Counter // completed kernel-initiated moves
 	MoveCycles    *obs.Counter // total modeled cycles across all moves
 	MoveRollbacks *obs.Counter // aborted moves rolled back to the pre-move state
+	BatchPauses   *obs.Counter // bounded stop windows opened by the incremental protocol
 	FlushRetries  *obs.Counter // escape-buffer flushes retried after an injected failure
 	MemoHits      *obs.Gauge   // shard-memo fast-path hits on escape resolution
 	MemoMisses    *obs.Gauge   // shard-memo misses (full tree descent)
@@ -74,6 +111,7 @@ func newStats(reg *obs.Registry) Stats {
 		Moves:         reg.Counter("carat.runtime.moves"),
 		MoveCycles:    reg.Counter("carat.runtime.move_cycles"),
 		MoveRollbacks: reg.Counter("carat.runtime.move_rollbacks"),
+		BatchPauses:   reg.Counter("carat.runtime.batch_pauses"),
 		FlushRetries:  reg.Counter("carat.runtime.flush_retries"),
 		MemoHits:      reg.Gauge("carat.runtime.table.memo_hits"),
 		MemoMisses:    reg.Gauge("carat.runtime.table.memo_misses"),
@@ -143,6 +181,41 @@ type Runtime struct {
 	// point; batchMax is the per-buffer flush threshold.
 	defBuf   *EscapeBuffer
 	batchMax int
+
+	// moveBatch, when positive, enables the incremental bounded-pause
+	// move/swap protocol with that many escape patches per stop window
+	// (see pause.go). Zero is the committed legacy full-stop protocol.
+	// Guarded by stateMu.
+	moveBatch int
+}
+
+// SetIncremental enables the incremental bounded-pause protocol with the
+// given patch batch size (escape patches per stop window); batch <= 0
+// disables it, restoring the legacy full-stop protocol. Batches below
+// MinMoveBatch are clamped up so the bounded-pause guarantee (PauseBound)
+// covers every metered work item. The protocol only engages when the
+// installed World is a BoundedWorld; otherwise moves fall back to legacy
+// attribution. Incremental mode never changes the program clock or the
+// fault-injection draw sequence — modeled cycles and memory digests are
+// byte-identical with the flag on or off.
+func (r *Runtime) SetIncremental(batch int) {
+	if batch > 0 && batch < MinMoveBatch {
+		batch = MinMoveBatch
+	}
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	if batch <= 0 {
+		batch = 0
+	}
+	r.moveBatch = batch
+}
+
+// IncrementalBatch returns the configured incremental batch size (0 when
+// the legacy protocol is active).
+func (r *Runtime) IncrementalBatch() int {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	return r.moveBatch
 }
 
 // AddMoveListener registers fn to run after every completed move, while
@@ -229,7 +302,7 @@ func New(mem *kernel.PhysMem, world World) *Runtime {
 // NewWith is New with an explicit metrics registry (created if nil).
 func NewWith(mem *kernel.PhysMem, world World, reg *obs.Registry) *Runtime {
 	if world == nil {
-		world = noWorld{}
+		world = &noWorld{}
 	}
 	if reg == nil {
 		reg = obs.NewRegistry()

@@ -96,6 +96,12 @@ func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, err
 	}
 	rec.data = data
 
+	// Swaps take no batch-boundary faults: they mutate nothing the undo log
+	// could restore (the poison patches are each individually reversible,
+	// and a half-poisoned allocation is safe — poisoned pointers fault into
+	// the swap-in path, unpoisoned ones still see live data at base).
+	meter := r.newPauseMeter("swap_out", false)
+
 	// Patch escapes to poison and remember their offsets.
 	for _, loc := range r.Table.EscapeLocsOf(a) {
 		val := r.mem.Load64(loc)
@@ -103,6 +109,7 @@ func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, err
 			off := val - base
 			r.mem.Store64(loc, swapPoison(slot, off))
 			rec.escapes[loc] = off
+			meter.add(cycEscapePatch) // never errors: no boundary fault point
 		}
 	}
 	// Patch registers.
@@ -124,9 +131,12 @@ func (r *Runtime) swapOutLocked(base uint64, regs []RegSet) (uint64, uint64, err
 	// patch per poisoned escape, and the copy to the swap device. Observe-
 	// only — swaps charge nothing to the program clock, so neither does the
 	// pause accounting.
+	// SwapCycles keeps the whole-operation formula in both modes; the pause
+	// meter only re-attributes it. In incremental mode the copy to the swap
+	// device is off-pause (it happens under I/O, not under the stop).
 	pause := uint64(cycBarrier) + uint64(len(rec.escapes))*cycEscapePatch + a.Len*cycPerByteMove
 	r.Stats.SwapCycles.Add(pause)
-	r.observePause("swap_out", pause)
+	meter.finish(pause)
 	r.tracer().Instant("swap.out", "paging",
 		obs.A("slot", slot), obs.A("bytes", a.Len), obs.A("escapes", len(rec.escapes)))
 	return slot, a.Len, nil
@@ -181,9 +191,11 @@ func (r *Runtime) swapInLocked(slot, newBase uint64, regs []RegSet) (uint64, err
 	if err != nil {
 		return 0, fmt.Errorf("runtime: swap-in: %w", err)
 	}
+	meter := r.newPauseMeter("swap_in", false)
 	for loc, off := range rec.escapes {
 		r.mem.Store64(loc, newBase+off)
 		r.Table.relinkEscape(loc, a)
+		meter.add(cycEscapePatch) // never errors: no boundary fault point
 	}
 	for _, rs := range regs {
 		vals := rs.Regs()
@@ -199,7 +211,7 @@ func (r *Runtime) swapInLocked(slot, newBase uint64, regs []RegSet) (uint64, err
 	// patches + the copy back from the swap device.
 	pause := uint64(cycBarrier) + uint64(len(rec.escapes))*cycEscapePatch + rec.length*cycPerByteMove
 	r.Stats.SwapCycles.Add(pause)
-	r.observePause("swap_in", pause)
+	meter.finish(pause)
 	r.tracer().Instant("swap.in", "paging", obs.A("slot", slot), obs.A("bytes", rec.length))
 	return rec.length, nil
 }

@@ -35,6 +35,7 @@ import (
 	"carat/internal/obs"
 	"carat/internal/obs/telemetry"
 	"carat/internal/passes"
+	rt "carat/internal/runtime"
 	"carat/internal/signing"
 	"carat/internal/vm"
 )
@@ -76,6 +77,13 @@ type Config struct {
 
 	// Ballast configures the background mmpolicy service.
 	Ballast BallastConfig `json:"ballast"`
+
+	// PauseBudgetCycles, when non-zero, runs every request's runtime under
+	// the incremental bounded-pause move protocol with the largest batch
+	// whose worst-case pause (runtime.PauseBound) fits the budget. Zero
+	// keeps the legacy full-stop protocol. Either way the pause histograms
+	// land tenant-visible on /metrics; modeled results are identical.
+	PauseBudgetCycles uint64 `json:"pause_budget_cycles"`
 
 	// Obs, when non-nil, is the metrics registry (a private one is created
 	// otherwise). The telemetry endpoints serve whichever is used.
@@ -533,18 +541,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// registry after the run, so /metrics still sees machine-wide totals.
 	runReg := obs.NewRegistry()
 	v, err := vm.Load(entry.mod, vm.Config{
-		Mode:       vm.ModeCARAT,
-		GuardMech:  guard.MechRange,
-		Kernel:     s.kern,
-		Limiter:    ten,
-		Capsule:    true,
-		HeapBytes:  s.cfg.HeapBytes,
-		StackBytes: s.cfg.StackBytes,
-		MaxInstrs:  s.cfg.MaxInstrs,
-		MaxCycles:  ten.quota.MaxCycles,
-		Predecode:  true,
-		XCache:     true,
-		Obs:        runReg,
+		Mode:        vm.ModeCARAT,
+		GuardMech:   guard.MechRange,
+		Kernel:      s.kern,
+		Limiter:     ten,
+		Capsule:     true,
+		HeapBytes:   s.cfg.HeapBytes,
+		StackBytes:  s.cfg.StackBytes,
+		MaxInstrs:   s.cfg.MaxInstrs,
+		MaxCycles:   ten.quota.MaxCycles,
+		Predecode:   true,
+		XCache:      true,
+		Obs:         runReg,
+		Incremental: s.cfg.PauseBudgetCycles > 0,
+		MoveBatch:   rt.BatchForBudget(s.cfg.PauseBudgetCycles),
 	})
 	if err != nil {
 		switch {
@@ -564,8 +574,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Counters in a fresh registry are exact per-run totals; adding
 		// them into the shared registry keeps carat.vm.* / carat.runtime.*
 		// machine-wide on /metrics without contaminating any run's deltas.
-		for name, val := range runReg.Snapshot().Counters {
+		// Histograms merge bucket-wise the same way — this is what makes
+		// the runtime's pause histograms (carat.runtime.pause_cycles*)
+		// tenant-visible on /metrics, so a tenant can read the p99 pause
+		// its requests actually experienced.
+		snap := runReg.Snapshot()
+		for name, val := range snap.Counters {
 			s.reg.Counter(name).Add(val)
+		}
+		for name, hs := range snap.Histograms {
+			s.reg.Histogram(name).Merge(hs)
 		}
 	}()
 

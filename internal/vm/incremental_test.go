@@ -1,0 +1,238 @@
+package vm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+	"carat/internal/runtime"
+	"carat/internal/worldtest"
+)
+
+// The incremental-move parity matrix: the bounded-pause protocol must be
+// observationally identical to the legacy full-stop protocol — same program
+// results, same modeled cycle clock, same physical memory image, same
+// metrics — except for the pause-attribution metrics themselves, which are
+// the whole point of the mode.
+
+// pauseMetric reports whether a metric name is pause attribution: the pause
+// histograms (all causes) and the batch-window counter. These are the only
+// metrics allowed to differ between the legacy and incremental protocols.
+func pauseMetric(name string) bool {
+	return strings.HasPrefix(name, runtime.PauseHist) || name == "carat.runtime.batch_pauses"
+}
+
+// seedDigest is everything one fuzz-seed run must reproduce across modes.
+type seedDigest struct {
+	ret     int64
+	cycles  uint64
+	memSum  uint64
+	metrics string
+}
+
+// runSeedDigest runs a fuzz seed under worst-case page moves and digests
+// the observable outcome, excluding pause-attribution metrics.
+func runSeedDigest(t *testing.T, seed int64, incremental bool) seedDigest {
+	t.Helper()
+	m := genProgram(seed)
+	pl := passes.Build(passes.LevelTracking)
+	if err := pl.Run(m); err != nil {
+		t.Fatalf("seed %d: passes: %v", seed, err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	cfg.GuardMech = guard.MechRange
+	cfg.Incremental = incremental
+	cfg.MoveBatch = runtime.MinMoveBatch // smallest batches = most boundaries
+	v, err := Load(m, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: load: %v", seed, err)
+	}
+	v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
+	ret, err := v.Run()
+	if err != nil {
+		t.Fatalf("seed %d (incremental=%v): run: %v", seed, incremental, err)
+	}
+
+	snap := v.Obs().Snapshot()
+	for name := range snap.Counters {
+		if pauseMetric(name) {
+			delete(snap.Counters, name)
+		}
+	}
+	for name := range snap.Histograms {
+		if pauseMetric(name) {
+			delete(snap.Histograms, name)
+		}
+	}
+	js, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seedDigest{
+		ret:     ret,
+		cycles:  v.Cycles,
+		memSum:  v.Kernel().Mem.Checksum(),
+		metrics: string(js),
+	}
+}
+
+// TestIncrementalParityMatrix runs the existing differential fuzz seeds
+// under {legacy, incremental} and requires byte-identical results: return
+// value, modeled cycle clock, physical memory checksum, and the full
+// metrics snapshot minus pause attribution.
+func TestIncrementalParityMatrix(t *testing.T) {
+	for seed := int64(100); seed <= 112; seed++ {
+		legacy := runSeedDigest(t, seed, false)
+		incr := runSeedDigest(t, seed, true)
+		if legacy.ret != incr.ret {
+			t.Errorf("seed %d: ret %d (legacy) != %d (incremental)", seed, legacy.ret, incr.ret)
+		}
+		if legacy.cycles != incr.cycles {
+			t.Errorf("seed %d: cycles %d (legacy) != %d (incremental)", seed, legacy.cycles, incr.cycles)
+		}
+		if legacy.memSum != incr.memSum {
+			t.Errorf("seed %d: memory checksum %#x (legacy) != %#x (incremental)", seed, legacy.memSum, incr.memSum)
+		}
+		if legacy.metrics != incr.metrics {
+			t.Errorf("seed %d: metrics diverge beyond pause attribution:\n legacy      %s\n incremental %s",
+				seed, legacy.metrics, incr.metrics)
+		}
+	}
+}
+
+// TestIncrementalPauseBoundUnderMoves: with the incremental protocol on,
+// no recorded move pause may exceed PauseBound(batch) — while the legacy
+// run of the same seed must blow through it (otherwise the fixture is too
+// small to mean anything).
+func TestIncrementalPauseBoundUnderMoves(t *testing.T) {
+	const seed = 103 // heap-using seed with worst-case moves
+	batch := runtime.MinMoveBatch
+	bound := runtime.PauseBound(batch)
+	moveHist := runtime.PauseHist + ".move"
+
+	for _, incremental := range []bool{false, true} {
+		m := genProgram(seed)
+		pl := passes.Build(passes.LevelTracking)
+		if err := pl.Run(m); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MemBytes = 1 << 23
+		cfg.HeapBytes = 1 << 19
+		cfg.Incremental = incremental
+		cfg.MoveBatch = batch
+		v, err := Load(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
+		if _, err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		hist := v.Obs().Histogram(moveHist).Snapshot()
+		if hist.Count == 0 {
+			t.Fatalf("incremental=%v: no move pauses recorded; fixture moved nothing", incremental)
+		}
+		if incremental && hist.Max > bound {
+			t.Errorf("incremental move pause max %d exceeds PauseBound(%d) = %d", hist.Max, batch, bound)
+		}
+		if !incremental && hist.Max <= bound {
+			t.Errorf("legacy move pause max %d within the incremental bound %d — fixture too small", hist.Max, bound)
+		}
+	}
+}
+
+// TestSchedulerWorldConformance drives the VM's real scheduler through the
+// shared BoundedWorld conformance suite, mid-run, with live threads parked
+// at a safepoint — the exact state HandleMove sees.
+func TestSchedulerWorldConformance(t *testing.T) {
+	m := genProgram(1)
+	pl := passes.Build(passes.LevelTracking)
+	if err := pl.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	v, err := Load(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	v.SetMovePolicy(500, func() error {
+		if !ran {
+			ran = true
+			worldtest.Conformance(t, "vm.scheduler", v.sched)
+		}
+		return nil
+	})
+	if _, err := v.Run(); err != nil {
+		t.Fatalf("run with mid-flight conformance: %v", err)
+	}
+	if !ran {
+		t.Fatal("conformance suite never ran; program too short for the move policy period")
+	}
+}
+
+// TestForwardingWindowOnAccessPath drives the epoch-barrier read path in
+// translate directly: with a window open, CARAT-mode accesses to patched
+// (destination-naming) addresses are forwarded back to the source before
+// the copy, and stale source addresses forward to the destination after the
+// flip. The VM never hits this live under the baton discipline, so the unit
+// test is the coverage.
+func TestForwardingWindowOnAccessPath(t *testing.T) {
+	m := genProgram(2)
+	pl := passes.Build(passes.LevelTracking)
+	if err := pl.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	v, err := Load(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := v.Process().Regions
+	src, err := v.Process().GrantRegion(4096, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := v.Process().GrantRegion(4096, guard.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Kernel().Mem.Store64(src, 0xFEED)
+
+	if pa, err := v.translate(dst, 8, guard.PermRead); err != nil || pa != dst {
+		t.Fatalf("identity translate with no window: %#x, %v", pa, err)
+	}
+	if err := rs.OpenForward(src, dst, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Before the copy: patched pointers name dst, data lives at src.
+	pa, err := v.translate(dst+16, 8, guard.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != src+16 {
+		t.Errorf("pre-flip access to dst+16 translated to %#x, want src+16 %#x", pa, src+16)
+	}
+	rs.FlipForward()
+	// After the copy: stale pointers name src, data lives at dst.
+	pa, err = v.translate(src+24, 8, guard.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != dst+24 {
+		t.Errorf("post-flip access to src+24 translated to %#x, want dst+24 %#x", pa, dst+24)
+	}
+	rs.CloseForward()
+	if pa, err := v.translate(src, 8, guard.PermRead); err != nil || pa != src {
+		t.Fatalf("identity translate after close: %#x, %v", pa, err)
+	}
+}

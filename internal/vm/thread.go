@@ -62,12 +62,13 @@ type frame struct {
 	spSave uint64
 }
 
-// scheduler round-robins threads and implements runtime.World.
+// scheduler round-robins threads and implements runtime.BoundedWorld.
 type scheduler struct {
 	v       *VM
 	threads []*thread
 	nextID  int64
 	quantum uint64
+	stopped bool // world currently stopped (nested stops are a protocol bug)
 }
 
 func newScheduler(v *VM) *scheduler {
@@ -273,6 +274,10 @@ func (s *scheduler) byID(id int64) *thread {
 // published — the moral equivalent of the signal-handler register dump in
 // Figure 8. It returns one RegSet per live frame set.
 func (s *scheduler) StopTheWorld() []runtime.RegSet {
+	if s.stopped {
+		panic("vm: nested world stop")
+	}
+	s.stopped = true
 	out := make([]runtime.RegSet, 0, len(s.threads))
 	for _, t := range s.threads {
 		if t.state == tDone {
@@ -285,7 +290,20 @@ func (s *scheduler) StopTheWorld() []runtime.RegSet {
 
 // ResumeTheWorld implements runtime.World; with the baton discipline
 // nothing needs releasing.
-func (s *scheduler) ResumeTheWorld() {}
+func (s *scheduler) ResumeTheWorld() { s.stopped = false }
+
+// StopBatch implements runtime.BoundedWorld: re-stop the world for the
+// next bounded patch window. Threads are still parked at the safepoints
+// where the opening StopTheWorld found them (the baton discipline means no
+// mutator ran during the window gap), so the RegSet handles handed out by
+// the opening stop remain valid — threadRegs reads through to the live
+// frames, exactly as the BoundedWorld contract requires.
+func (s *scheduler) StopBatch() []runtime.RegSet { return s.StopTheWorld() }
+
+// ResumeBatch implements runtime.BoundedWorld: end a bounded window,
+// letting mutators reach their next safepoints before the following
+// StopBatch.
+func (s *scheduler) ResumeBatch() { s.stopped = false }
 
 // rebaseStacks relocates thread stack bookkeeping after a move of
 // [src, src+length) to dst. Only threads whose stack region actually

@@ -118,6 +118,19 @@ type Config struct {
 	// aborted mid-protocol (and rolled back), swaps may fail and retry.
 	// nil disables injection at zero cost.
 	Fault *fault.Injector
+
+	// Incremental enables the bounded-pause move/swap protocol: instead of
+	// one whole-operation world stop, the runtime patches in batches of
+	// MoveBatch escapes between safepoint stops, forwarding racing accesses
+	// through the guard-level forwarding window. Modeled cycles, memory
+	// contents, and fault-injection draws are byte-identical to the legacy
+	// protocol — only pause attribution changes.
+	Incremental bool
+
+	// MoveBatch is the incremental batch size (escape patches per stop
+	// window). 0 means runtime.DefaultMoveBatch; values below
+	// runtime.MinMoveBatch clamp up. Ignored unless Incremental is set.
+	MoveBatch int
 }
 
 // DefaultConfig returns a reasonable configuration for running workloads.
@@ -217,6 +230,13 @@ func (v *VM) SetMovePolicy(period uint64, fn func() error) {
 	v.movePolicy = fn
 	v.moveTrigger = mmpolicy.NewRareMigration(period)
 }
+
+// SetIncrementalMoves switches the loaded VM's runtime to the bounded-pause
+// incremental protocol with the given batch size (escape patches per stop
+// window; 0 or negative disables, values below runtime.MinMoveBatch clamp
+// up). Equivalent to Config.Incremental/MoveBatch, for tests and harnesses
+// that flip modes after Load.
+func (v *VM) SetIncrementalMoves(batch int) { v.rt.SetIncremental(batch) }
 
 // Kernel returns the VM's kernel, for experiment harnesses that inject
 // change requests.
@@ -500,6 +520,13 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 
 	v.sched = newScheduler(v)
 	v.rt.SetWorld(v.sched)
+	if cfg.Incremental {
+		batch := cfg.MoveBatch
+		if batch == 0 {
+			batch = runtime.DefaultMoveBatch
+		}
+		v.rt.SetIncremental(batch)
+	}
 	v.trackStart = v.rt.Stats.TrackingCycle.Get()
 	v.moveStart = v.rt.Stats.MoveCycles.Get()
 	v.swapStart = v.rt.Stats.SwapCycles.Get()

@@ -44,6 +44,17 @@ type runReq struct {
 	Seed   int64  `json:"seed"`
 }
 
+// pauseSummary is the tenant-visible bounded-pause tail, scraped from the
+// server's merged carat_runtime_pause_cycles histogram: modeled cycles per
+// world-stop window across every tenant run (and the ballast service).
+type pauseSummary struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
 type latencySummary struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
@@ -80,6 +91,9 @@ type loadDoc struct {
 	InvariantViolations uint64  `json:"invariant_violations"`
 	DigestMismatches    uint64  `json:"digest_mismatches"`
 	WallMS              float64 `json:"wall_ms"`
+	// PauseCycles (compatible v1 addition) is present when the final
+	// /metrics scrape saw any world-stop pauses.
+	PauseCycles *pauseSummary `json:"pause_cycles,omitempty"`
 }
 
 // digestTable records the first digest seen per (ref, seed) and counts
@@ -420,8 +434,32 @@ func summarize(lats []float64) latencySummary {
 	return latencySummary{P50: q(0.50), P95: q(0.95), P99: q(0.99), Max: lats[len(lats)-1]}
 }
 
+// pauseFamily is the Prometheus-mangled name of the pause histogram
+// (carat.runtime.pause_cycles) whose bucket series scrapeMetrics parses.
+const pauseFamily = "carat_runtime_pause_cycles"
+
+// bucketQuantile resolves quantile p from a cumulative bucket series the
+// way the server does: the upper bound of the first bucket holding the
+// target rank. bounds and cums are parallel, in ascending le order.
+func bucketQuantile(bounds []float64, cums []uint64, count uint64, p float64) float64 {
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(count)))
+	if target == 0 {
+		target = 1
+	}
+	for i, c := range cums {
+		if c >= target {
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
 // scrapeMetrics pulls the counters the document reports from /metrics
-// (Prometheus text form; names are dot-to-underscore mangled).
+// (Prometheus text form; names are dot-to-underscore mangled), plus the
+// pause histogram's bucket series for the tenant-visible pause tail.
 func scrapeMetrics(client *http.Client, base string, doc *loadDoc) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -429,11 +467,32 @@ func scrapeMetrics(client *http.Client, base string, doc *loadDoc) error {
 	}
 	defer resp.Body.Close()
 	vals := map[string]float64{}
+	var pauseBounds []float64
+	var pauseCums []uint64
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "{") {
+			// The only labeled series we care about: the pause histogram's
+			// cumulative buckets, in ascending le order as served.
+			rest, ok := strings.CutPrefix(line, pauseFamily+`_bucket{le="`)
+			if !ok {
+				continue
+			}
+			le, val, ok := strings.Cut(rest, `"} `)
+			if !ok || le == "+Inf" { // _count carries the total
+				continue
+			}
+			bound, berr := strconv.ParseFloat(le, 64)
+			cum, cerr := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+			if berr == nil && cerr == nil {
+				pauseBounds = append(pauseBounds, bound)
+				pauseCums = append(pauseCums, cum)
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -446,6 +505,15 @@ func scrapeMetrics(client *http.Client, base string, doc *loadDoc) error {
 	}
 	if err := sc.Err(); err != nil {
 		return err
+	}
+	if count := uint64(vals[pauseFamily+"_count"]); count > 0 {
+		doc.PauseCycles = &pauseSummary{
+			Count: count,
+			Sum:   uint64(vals[pauseFamily+"_sum"]),
+			P50:   bucketQuantile(pauseBounds, pauseCums, count, 0.50),
+			P95:   bucketQuantile(pauseBounds, pauseCums, count, 0.95),
+			P99:   bucketQuantile(pauseBounds, pauseCums, count, 0.99),
+		}
 	}
 	doc.ModuleCache.Hits = uint64(vals["carat_server_module_cache_hits"])
 	doc.ModuleCache.Misses = uint64(vals["carat_server_module_cache_misses"])

@@ -30,16 +30,23 @@ while [ $i -lt 100 ]; do
 done
 [ -n "$addr" ] || { echo "server smoke: no bind line in stderr"; cat "$tmp/stderr.log"; exit 1; }
 
-# /readyz is 200 from startup until drain begins.
+# /readyz is 200 from startup until drain begins. Fail fast if the daemon
+# dies mid-poll — otherwise this loop burns its full timeout retrying a
+# dead port and the real error (in stderr.log) never surfaces.
 code=000
 i=0
 while [ $i -lt 100 ]; do
     code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz" || echo 000)
     [ "$code" = 200 ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server smoke: caratd died:"; cat "$tmp/stderr.log"; exit 1; }
     sleep 0.1
     i=$((i + 1))
 done
-[ "$code" = 200 ] || { echo "server smoke: /readyz never turned 200 (last $code)"; exit 1; }
+[ "$code" = 200 ] || {
+    echo "server smoke: /readyz never turned 200 (last $code); daemon stderr:"
+    cat "$tmp/stderr.log"
+    exit 1
+}
 
 # Precompile a module, then run it twice by ref with the same seed.
 cat >"$tmp/module.json" <<'EOF'

@@ -7,6 +7,14 @@
 // and the allocation-table invariants to hold. A failure therefore comes
 // with its reproducer: the seed.
 //
+// With -pausebudget the soak additionally runs two bounded-pause legs
+// per seed: an incremental leg under the identical fault schedule, which
+// must match the legacy leg's cycle clock and memory image exactly while
+// keeping every recorded pause within one batch plus a barrier round
+// trip, and a chaos leg that also aborts moves at batch boundaries
+// (fault.MoveBatch) and must stay deterministic and bounded while doing
+// so.
+//
 // Usage:
 //
 //	go run ./scripts/soak -seeds 32              # seeds 1..32
@@ -31,6 +39,7 @@ import (
 	"carat/internal/fault"
 	"carat/internal/mmpolicy"
 	"carat/internal/obs"
+	"carat/internal/runtime"
 )
 
 // Schema identifies the soak report format; bump Version on any
@@ -57,6 +66,18 @@ type SeedResult struct {
 
 	ReplayIdentical bool   `json:"replay_identical"`
 	Error           string `json:"error,omitempty"`
+
+	// Bounded-pause legs, populated when -pausebudget is set (compatible
+	// v1 additions). The incremental leg shares the legacy leg's fault
+	// schedule; the chaos leg additionally aborts moves at batch
+	// boundaries.
+	PauseBudget    uint64  `json:"pause_budget_cycles,omitempty"`
+	PauseBound     uint64  `json:"pause_bound_cycles,omitempty"` // one batch + barrier round trip
+	LegacyP99      float64 `json:"legacy_pause_p99,omitempty"`
+	IncrementalP99 float64 `json:"incremental_pause_p99,omitempty"`
+	IncrementalMax uint64  `json:"incremental_pause_max,omitempty"`
+	ChaosMax       uint64  `json:"chaos_pause_max,omitempty"`
+	ChaosRollbacks uint64  `json:"chaos_rollbacks,omitempty"`
 }
 
 // Document is the full soak report.
@@ -74,6 +95,14 @@ type Document struct {
 // cap at 16 attempts), so the ceilings are chosen to keep exhausting a
 // retry bound out of reach while still firing every point constantly:
 // e.g. sixteen consecutive swap-in failures at rate 0.3 is ~4e-9.
+// chaosBatchRate is the fault.MoveBatch rate for the chaos leg. It is
+// deliberately NOT in rateCeilings: batch-boundary checks only happen in
+// incremental mode, so scheduling the point would let the incremental leg
+// consume injector draws the legacy leg never sees and break the
+// cross-mode cycle/memory parity the soak asserts. The chaos leg opts in
+// explicitly and gives up cross-mode comparison in exchange.
+const chaosBatchRate = 0.10
+
 var rateCeilings = map[fault.Point]float64{
 	fault.KernelVeto: 0.20,
 	fault.MoveAbort:  0.15,
@@ -99,18 +128,24 @@ func schedule(seed int64) map[fault.Point]float64 {
 	return rates
 }
 
-// digest is everything a replay must reproduce byte-for-byte.
+// digest is everything a replay must reproduce byte-for-byte, plus the
+// pause tail the bounded-pause legs assert on.
 type digest struct {
-	cycles  uint64
-	memSum  uint64
-	metrics []byte // registry snapshot JSON (sorted keys)
-	policy  []byte // carat.policy decision document JSON
+	cycles    uint64
+	memSum    uint64
+	metrics   []byte // registry snapshot JSON (sorted keys)
+	policy    []byte // carat.policy decision document JSON
+	pauseMax  uint64
+	pauseP99  float64
+	rollbacks uint64
 }
 
 // runSeed executes one soak run: build the machine, thread the seeded
 // injector through every layer, run the workloads, verify integrity, and
 // return the digest. trace, when non-nil, receives the run's events.
-func runSeed(seed int64, steps int, rates map[fault.Point]float64, tr *obs.Tracer) (digest, SeedResult, error) {
+// pauseBudget > 0 switches every managed process to the incremental move
+// protocol sized to that budget.
+func runSeed(seed int64, steps int, rates map[fault.Point]float64, pauseBudget uint64, tr *obs.Tracer) (digest, SeedResult, error) {
 	reg := obs.NewRegistry()
 	inj := fault.New(seed, reg)
 	inj.SetTracer(tr)
@@ -137,9 +172,10 @@ func runSeed(seed int64, steps int, rates map[fault.Point]float64, tr *obs.Trace
 			mmpolicy.NewTiering(),
 			mmpolicy.NewNUMARebalance(),
 		},
-		Obs:   reg,
-		Trace: tr,
-		Fault: inj,
+		Obs:         reg,
+		Trace:       tr,
+		Fault:       inj,
+		PauseBudget: pauseBudget,
 	})
 	if err != nil {
 		return digest{}, SeedResult{}, err
@@ -167,11 +203,15 @@ func runSeed(seed int64, steps int, rates map[fault.Point]float64, tr *obs.Trace
 	if err := h.D.Report().WriteJSON(&policy); err != nil {
 		return digest{}, SeedResult{}, err
 	}
+	ps := reg.Histogram(runtime.PauseHist).Snapshot()
 	d := digest{
-		cycles:  h.Cycles,
-		memSum:  h.K.Mem.Checksum(),
-		metrics: metrics.Bytes(),
-		policy:  policy.Bytes(),
+		cycles:    h.Cycles,
+		memSum:    h.K.Mem.Checksum(),
+		metrics:   metrics.Bytes(),
+		policy:    policy.Bytes(),
+		pauseMax:  ps.Max,
+		pauseP99:  ps.P99,
+		rollbacks: reg.Counter("carat.runtime.move_rollbacks").Get(),
 	}
 	res := SeedResult{
 		Seed:        seed,
@@ -191,29 +231,96 @@ func runSeed(seed int64, steps int, rates map[fault.Point]float64, tr *obs.Trace
 	return d, res, nil
 }
 
-// soakSeed runs a seed twice and compares the digests.
-func soakSeed(seed int64, steps int, tr *obs.Tracer) SeedResult {
-	rates := schedule(seed)
-	d1, res, err := runSeed(seed, steps, rates, tr)
+// replayPair runs the same configuration twice and reports how the
+// digests diverge ("" = byte-identical).
+func replayPair(seed int64, steps int, rates map[fault.Point]float64, budget uint64, tr *obs.Tracer) (digest, SeedResult, string) {
+	d1, res, err := runSeed(seed, steps, rates, budget, tr)
 	if err != nil {
-		return SeedResult{Seed: seed, Steps: steps, Error: err.Error()}
+		return digest{}, SeedResult{Seed: seed, Steps: steps}, err.Error()
 	}
-	d2, _, err := runSeed(seed, steps, rates, nil)
+	d2, _, err := runSeed(seed, steps, rates, budget, nil)
 	if err != nil {
-		res.Error = fmt.Sprintf("replay: %v", err)
-		return res
+		return d1, res, fmt.Sprintf("replay: %v", err)
 	}
 	switch {
 	case d1.cycles != d2.cycles:
-		res.Error = fmt.Sprintf("replay diverged: cycles %d vs %d", d1.cycles, d2.cycles)
+		return d1, res, fmt.Sprintf("replay diverged: cycles %d vs %d", d1.cycles, d2.cycles)
 	case d1.memSum != d2.memSum:
-		res.Error = fmt.Sprintf("replay diverged: memory %016x vs %016x", d1.memSum, d2.memSum)
+		return d1, res, fmt.Sprintf("replay diverged: memory %016x vs %016x", d1.memSum, d2.memSum)
 	case !bytes.Equal(d1.metrics, d2.metrics):
-		res.Error = "replay diverged: metrics snapshots differ"
+		return d1, res, "replay diverged: metrics snapshots differ"
 	case !bytes.Equal(d1.policy, d2.policy):
-		res.Error = "replay diverged: policy decision logs differ"
-	default:
-		res.ReplayIdentical = true
+		return d1, res, "replay diverged: policy decision logs differ"
+	}
+	return d1, res, ""
+}
+
+// soakSeed runs a seed's legacy leg (twice, byte-compared) and, with a
+// pause budget, the incremental and chaos legs with their own replay and
+// bounded-pause assertions.
+func soakSeed(seed int64, steps int, budget uint64, tr *obs.Tracer) SeedResult {
+	rates := schedule(seed)
+	dLegacy, res, diverged := replayPair(seed, steps, rates, 0, tr)
+	if diverged != "" {
+		res.Seed, res.Steps, res.Error = seed, steps, diverged
+		return res
+	}
+	res.ReplayIdentical = true
+	if budget == 0 {
+		return res
+	}
+
+	batch := runtime.BatchForBudget(budget)
+	bound := runtime.PauseBound(batch)
+	res.PauseBudget = budget
+	res.PauseBound = bound
+	res.LegacyP99 = dLegacy.pauseP99
+
+	// Incremental leg: same fault schedule, bounded pauses. Everything the
+	// program and the fault stream can observe must match the legacy leg —
+	// the modeled cycle clock and the physical memory image — while the
+	// pause attribution (and the injector's check counter, which ticks at
+	// every batch boundary) legitimately differs.
+	dIncr, _, diverged := replayPair(seed, steps, rates, budget, nil)
+	res.IncrementalP99 = dIncr.pauseP99
+	res.IncrementalMax = dIncr.pauseMax
+	switch {
+	case diverged != "":
+		res.Error = "incremental " + diverged
+	case dIncr.cycles != dLegacy.cycles:
+		res.Error = fmt.Sprintf("mode divergence: cycles %d (legacy) vs %d (incremental)", dLegacy.cycles, dIncr.cycles)
+	case dIncr.memSum != dLegacy.memSum:
+		res.Error = fmt.Sprintf("mode divergence: memory %016x (legacy) vs %016x (incremental)", dLegacy.memSum, dIncr.memSum)
+	case dIncr.pauseMax > bound:
+		res.Error = fmt.Sprintf("pause over bound: %d > %d (batch %d + barrier)", dIncr.pauseMax, bound, batch)
+	case dIncr.pauseP99 > 0 && dLegacy.pauseP99 < 5*dIncr.pauseP99:
+		res.Error = fmt.Sprintf("p99 drop under 5x: legacy %.0f vs incremental %.0f", dLegacy.pauseP99, dIncr.pauseP99)
+	}
+	if res.Error != "" {
+		res.ReplayIdentical = false
+		return res
+	}
+
+	// Chaos leg: moves abort at batch boundaries (fault.MoveBatch armed as
+	// a scheduled rate) while every pause stays within the bound. The extra
+	// injector draws make this leg incomparable to the other two, but it
+	// must still replay byte-identically against itself.
+	chaosRates := make(map[fault.Point]float64, len(rates)+1)
+	for p, r := range rates {
+		chaosRates[p] = r
+	}
+	chaosRates[fault.MoveBatch] = chaosBatchRate
+	dChaos, _, diverged := replayPair(seed, steps, chaosRates, budget, nil)
+	res.ChaosMax = dChaos.pauseMax
+	res.ChaosRollbacks = dChaos.rollbacks
+	switch {
+	case diverged != "":
+		res.Error = "chaos " + diverged
+	case dChaos.pauseMax > bound:
+		res.Error = fmt.Sprintf("chaos pause over bound: %d > %d", dChaos.pauseMax, bound)
+	}
+	if res.Error != "" {
+		res.ReplayIdentical = false
 	}
 	return res
 }
@@ -223,6 +330,8 @@ func main() {
 	start := flag.Int64("start", 1, "first seed (CI rotates this nightly)")
 	one := flag.Int64("seed", 0, "run exactly this seed (overrides -seeds/-start)")
 	steps := flag.Int("steps", 400, "workload rounds per run")
+	pauseBudget := flag.Uint64("pausebudget", 0,
+		"run bounded-pause legs per seed: incremental (parity + pause bound + 5x p99 drop) and chaos (batch-boundary move aborts)")
 	out := flag.String("out", "", "write the carat.soak.result JSON report here")
 	traceFile := flag.String("trace", "", "write a Chrome trace of the first run of the first seed")
 	flag.Parse()
@@ -256,12 +365,17 @@ func main() {
 		if i == 0 {
 			seedTr = tr // only the first seed's first run is traced
 		}
-		res := soakSeed(seed, *steps, seedTr)
+		res := soakSeed(seed, *steps, *pauseBudget, seedTr)
 		doc.Seeds = append(doc.Seeds, res)
 		if res.Error == "" && res.ReplayIdentical {
 			doc.Passed++
 			fmt.Printf("seed %4d: ok    cycles=%d injected=%d rollbacks=%d retries=%d pins=%d\n",
 				seed, res.Cycles, res.Injected, res.Rollbacks, res.Retries, res.Pins)
+			if *pauseBudget > 0 {
+				fmt.Printf("           pause p99 %.0f -> %.0f (max %d <= bound %d), chaos max %d rollbacks %d\n",
+					res.LegacyP99, res.IncrementalP99, res.IncrementalMax, res.PauseBound,
+					res.ChaosMax, res.ChaosRollbacks)
+			}
 		} else {
 			doc.Failed++
 			fmt.Printf("seed %4d: FAIL  %s\n", seed, res.Error)

@@ -28,6 +28,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"carat/internal/runtime"
 )
 
 // supported maps known schema names to the highest version this tool
@@ -39,7 +41,7 @@ var supported = map[string]int{
 	"carat.vm.run":        1,
 	"carat.metrics":       1,
 	"carat.trace":         1,
-	"carat.policy":        1,
+	"carat.policy":        2,
 	"carat.soak.result":   1,
 	"carat.profile":       1,
 	"carat.server.result": 1,
@@ -110,6 +112,50 @@ func validate(name string, r io.Reader) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
+	if doc.Schema == "carat.policy" && doc.Version >= 2 {
+		if err := validatePolicy(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// validatePolicy structurally checks a carat.policy v2 document: the
+// first-class pause_p99_cycles column must agree with the embedded
+// pause_cycles histogram (and be zero when no pauses were recorded), and
+// a recorded pause budget must not have been blown (budgets below the
+// minimum batch clamp to MinMoveBatch, so the enforced bound — not the
+// raw budget — is what the max is held to).
+func validatePolicy(data []byte) error {
+	var doc struct {
+		PauseP99Cycles    float64 `json:"pause_p99_cycles"`
+		PauseBudgetCycles uint64  `json:"pause_budget_cycles"`
+		PauseCycles       *struct {
+			Count uint64  `json:"count"`
+			P99   float64 `json:"p99"`
+			Max   uint64  `json:"max"`
+		} `json:"pause_cycles"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("carat.policy: %w", err)
+	}
+	if doc.PauseCycles == nil || doc.PauseCycles.Count == 0 {
+		if doc.PauseP99Cycles != 0 {
+			return fmt.Errorf("carat.policy: pause_p99_cycles %.0f with no recorded pauses", doc.PauseP99Cycles)
+		}
+		return nil
+	}
+	if doc.PauseP99Cycles != doc.PauseCycles.P99 {
+		return fmt.Errorf("carat.policy: pause_p99_cycles %.0f disagrees with pause_cycles.p99 %.0f",
+			doc.PauseP99Cycles, doc.PauseCycles.P99)
+	}
+	if doc.PauseBudgetCycles > 0 {
+		bound := runtime.PauseBound(runtime.BatchForBudget(doc.PauseBudgetCycles))
+		if doc.PauseCycles.Max > bound {
+			return fmt.Errorf("carat.policy: pause max %d over the enforced bound %d (budget %d)",
+				doc.PauseCycles.Max, bound, doc.PauseBudgetCycles)
+		}
+	}
 	return nil
 }
 
@@ -134,6 +180,12 @@ func validateServerLoad(data []byte) error {
 			HitRate float64 `json:"hit_rate"`
 		} `json:"module_cache"`
 		DigestMismatches *uint64 `json:"digest_mismatches"`
+		PauseCycles      *struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+		} `json:"pause_cycles"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("carat.server.load: %w", err)
@@ -162,6 +214,15 @@ func validateServerLoad(data []byte) error {
 	}
 	if doc.DigestMismatches == nil {
 		return fmt.Errorf("carat.server.load: digest_mismatches missing")
+	}
+	if p := doc.PauseCycles; p != nil {
+		if p.Count == 0 {
+			return fmt.Errorf("carat.server.load: pause_cycles present with zero count")
+		}
+		if p.P50 > p.P95 || p.P95 > p.P99 {
+			return fmt.Errorf("carat.server.load: pause quantiles unordered: p50 %.0f, p95 %.0f, p99 %.0f",
+				p.P50, p.P95, p.P99)
+		}
 	}
 	return nil
 }
