@@ -64,7 +64,7 @@ smoke: build
 # telemetry server attached.
 bench: build
 	$(GO) test -run '^$$' -bench BenchmarkExec -benchtime 2x ./internal/bench/
-	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json
+	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json -reps 8
 	$(GO) run ./scripts/validatejson BENCH_exec.json
 
 # serve builds and launches caratd in the foreground with the sample

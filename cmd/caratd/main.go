@@ -43,6 +43,7 @@ func run() error {
 		maxInflight  = flag.Int("max-inflight", 0, "machine-wide concurrent request cap (overrides config)")
 		noBallast    = flag.Bool("no-ballast", false, "disable the background mmpolicy ballast service")
 		pauseBudget  = flag.Uint64("pausebudget", 0, "max world-stop pause in cycles per tenant run: 0 keeps legacy full stops (overrides config)")
+		closure      = flag.Bool("closure", false, "run tenant VMs on the closure compilation tier (overrides config)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	)
 	flag.Parse()
@@ -71,6 +72,9 @@ func run() error {
 	}
 	if *pauseBudget != 0 {
 		cfg.PauseBudgetCycles = *pauseBudget
+	}
+	if *closure {
+		cfg.Closure = true
 	}
 
 	s, err := server.New(cfg)

@@ -58,6 +58,10 @@ type Options struct {
 	// whose worst-case pause fits the budget (caratbench's -pausebudget
 	// flag). 0 keeps the legacy full-stop protocol.
 	PauseBudget uint64
+	// Closure runs every VM on the closure compilation tier (caratbench's
+	// -closure flag). Modeled results are byte-identical with the default
+	// predecode tier; only host wall time changes.
+	Closure bool
 }
 
 // DefaultOptions returns the standard configuration for scale s.
@@ -139,6 +143,7 @@ func (o Options) vmConfig(mode vm.Mode, mech guard.Mechanism) vm.Config {
 	cfg.Obs = o.Obs
 	cfg.Trace = o.Trace
 	cfg.Sampler = o.Sampler
+	cfg.Closure = o.Closure
 	return cfg
 }
 

@@ -17,10 +17,11 @@ import (
 
 // Execution-engine microbenchmark: measures HOST throughput (modeled
 // instructions retired per host second) of the interpreter across its
-// engine configurations — baseline dispatch, predecoded dispatch, and
-// predecode plus the guard/translation cache. The modeled results (return
-// value, cycles, guard stats) are asserted identical across engines before
-// any timing is reported: the engines are host-speed optimizations only.
+// engine configurations — baseline dispatch, predecoded dispatch,
+// predecode plus the guard/translation cache, and the closure
+// compilation tier. The modeled results (return value, cycles, guard
+// stats) are asserted identical across engines before any timing is
+// reported: the engines are host-speed optimizations only.
 
 // ExecBenchSchema identifies the exec-bench output document.
 const ExecBenchSchema = "carat.bench.exec"
@@ -28,18 +29,30 @@ const ExecBenchSchema = "carat.bench.exec"
 // ExecBenchVersion is the current document format version. v2: every
 // engine leg emits xcache_hits/xcache_misses (zero for legs without the
 // cache), and the matrix gains the full+telemetry leg with its
-// telemetry_overhead_pct summary.
-const ExecBenchVersion = 2
+// telemetry_overhead_pct summary. v3: the matrix gains the closure
+// compilation tier (with ic_hits/ic_misses/deopts per leg and the
+// speedup_closure summary), and the telemetry leg rides the closure
+// engine — the tax is measured against the fastest tier.
+const ExecBenchVersion = 3
 
 // execBenchSrc is a guard-heavy kernel: every loop iteration performs
 // several guarded loads/stores over three arrays plus enough integer work
 // to exercise the dispatch path. Compiled at LevelGuardsOnly so guards are
 // not hoisted away — this is deliberately the worst case for software
-// address translation, where the cache has the most to recover.
+// address translation, where the cache has the most to recover. The outer
+// latch calls @mix once per outer iteration (feeding the loop bound, so it
+// cannot fold away) to exercise the closure tier's call-site inline cache
+// without perturbing the inner-loop hot path.
 const execBenchSrc = `module "execbench"
 global @a : [4096 x i64]
 global @b : [4096 x i64]
 global @c : [4096 x i64]
+func @mix(%x: i64) -> i64 {
+entry:
+  %z = xor i64 %x, %x
+  %r = add i64 %z, 1
+  ret i64 %r
+}
 func @main() -> i64 {
 entry:
   br ^outer
@@ -65,7 +78,8 @@ inner:
   %ci = icmp slt i64 %i1, 4096
   condbr %ci, ^inner, ^olatch
 olatch:
-  %o1 = add i64 %o, 1
+  %s = call i64 @mix(i64 %o)
+  %o1 = add i64 %o, %s
   %co = icmp slt i64 %o1, %iters
   condbr %co, ^outer, ^done
 done:
@@ -108,6 +122,7 @@ type ExecEngineResult struct {
 	Engine    string  `json:"engine"`
 	Predecode bool    `json:"predecode"`
 	XCache    bool    `json:"xcache"`
+	Closure   bool    `json:"closure"`
 	WallMS    float64 `json:"wall_ms"`
 	// Instrs/Cycles are modeled quantities — identical across engines by
 	// construction (verified before this document is emitted).
@@ -120,6 +135,11 @@ type ExecEngineResult struct {
 	// engine runs without the cache) so consumers see one row shape.
 	XCacheHits   uint64 `json:"xcache_hits"`
 	XCacheMisses uint64 `json:"xcache_misses"`
+	// ICHits/ICMisses/Deopts are the closure tier's call-site inline-cache
+	// and deoptimization counters (zero for legs without the tier).
+	ICHits   uint64 `json:"ic_hits"`
+	ICMisses uint64 `json:"ic_misses"`
+	Deopts   uint64 `json:"deopts"`
 	// Telemetry marks the leg that ran with the cycle-sampling profiler
 	// attached and a live HTTP telemetry server listening.
 	Telemetry bool `json:"telemetry"`
@@ -134,11 +154,13 @@ type ExecBenchDoc struct {
 	Iters   int                `json:"iters"`
 	Engines []ExecEngineResult `json:"engines"`
 	// SpeedupPredecode is baseline wall time over predecode-only wall
-	// time; SpeedupFull is baseline over predecode+xcache. Ratios are
+	// time; SpeedupFull is baseline over predecode+xcache; SpeedupClosure
+	// is baseline over the closure compilation tier. Ratios are
 	// host-machine dependent in absolute terms but stable enough across
 	// runs on one machine to gate regressions.
 	SpeedupPredecode float64 `json:"speedup_predecode"`
 	SpeedupFull      float64 `json:"speedup_full"`
+	SpeedupClosure   float64 `json:"speedup_closure"`
 	// TelemetryOverheadPct is how much full-engine throughput drops when
 	// the sampler and HTTP telemetry server are enabled. It comes from a
 	// dedicated paired measurement (see measureTelemetryOverhead): ABBA
@@ -152,20 +174,23 @@ type ExecBenchDoc struct {
 
 // execEngine is one engine configuration of the matrix.
 type execEngine struct {
-	name              string
-	predecode, xcache bool
+	name                       string
+	predecode, xcache, closure bool
 	// telemetry attaches the cycle-sampling profiler and starts a live
 	// HTTP telemetry server for the duration of the leg, measuring the
 	// observability tax on the fastest engine.
 	telemetry bool
 }
 
-// execEngines is the fixed engine matrix, slowest first.
+// execEngines is the fixed engine matrix, slowest first. The telemetry
+// leg rides the closure tier so the observability tax is measured where
+// it hurts most: against the fastest engine.
 var execEngines = []execEngine{
 	{name: "baseline"},
 	{name: "predecode", predecode: true},
 	{name: "predecode+xcache", predecode: true, xcache: true},
-	{name: "full+telemetry", predecode: true, xcache: true, telemetry: true},
+	{name: "closure", predecode: true, xcache: true, closure: true},
+	{name: "closure+telemetry", predecode: true, xcache: true, closure: true, telemetry: true},
 }
 
 // runExecOnce executes the module under one engine configuration and
@@ -178,6 +203,7 @@ func runExecOnce(m *ir.Module, eng execEngine, reg *obs.Registry, sampler *obs.S
 	cfg.GuardMech = guard.MechBinarySearch
 	cfg.Predecode = eng.predecode
 	cfg.XCache = eng.xcache
+	cfg.Closure = eng.closure
 	cfg.Obs = reg
 	cfg.Sampler = sampler
 	v, err := vm.Load(m, cfg)
@@ -199,8 +225,8 @@ func runExecOnce(m *ir.Module, eng execEngine, reg *obs.Registry, sampler *obs.S
 // The telemetry-overhead figure does not reuse these walls: it gets its
 // own noise-hardened paired measurement (measureTelemetryOverhead).
 //
-// The full+telemetry leg runs with a fresh registry, a cycle sampler, and
-// a live telemetry HTTP server on a loopback port. It passes the same
+// The closure+telemetry leg runs with a fresh registry, a cycle sampler,
+// and a live telemetry HTTP server on a loopback port. It passes the same
 // modeled-result invariance check as every other leg — the proof that
 // sampling never perturbs modeled execution.
 func RunExecBench(iters, reps int) (*ExecBenchDoc, error) {
@@ -262,6 +288,7 @@ func RunExecBench(iters, reps int) (*ExecBenchDoc, error) {
 			Engine:        eng.name,
 			Predecode:     eng.predecode,
 			XCache:        eng.xcache,
+			Closure:       eng.closure,
 			Telemetry:     eng.telemetry,
 			WallMS:        float64(bests[i].Nanoseconds()) / 1e6,
 			Instrs:        bestVMs[i].Instrs,
@@ -271,10 +298,14 @@ func RunExecBench(iters, reps int) (*ExecBenchDoc, error) {
 		if eng.xcache {
 			res.XCacheHits, res.XCacheMisses, _ = bestVMs[i].XCacheStats()
 		}
+		if eng.closure {
+			_, res.Deopts, res.ICHits, res.ICMisses = bestVMs[i].ClosureStats()
+		}
 		doc.Engines = append(doc.Engines, res)
 	}
 	doc.SpeedupPredecode = doc.Engines[0].WallMS / doc.Engines[1].WallMS
 	doc.SpeedupFull = doc.Engines[0].WallMS / doc.Engines[2].WallMS
+	doc.SpeedupClosure = doc.Engines[0].WallMS / doc.Engines[3].WallMS
 	ovh, err := measureTelemetryOverhead(iters, teleReg, teleSampler)
 	if err != nil {
 		return nil, err
@@ -317,8 +348,8 @@ func measureTelemetryOverhead(iters int, reg *obs.Registry, sampler *obs.Sampler
 		}
 		return w, nil
 	}
-	plain := execEngines[2]
-	tele := execEngines[3]
+	plain := execEngines[3]
+	tele := execEngines[4]
 	set := func() (float64, error) {
 		ratios := make([]float64, 0, overheadBlocks)
 		for b := 0; b < overheadBlocks; b++ {

@@ -69,7 +69,13 @@ type Evaluator struct {
 	Faults uint64
 
 	// branch history: last direction taken at each comparison site.
+	// lpBits mirrors lastPath[0:64] as a bitset (bit idx set == true) so
+	// the xcache hit path can test "recorded path still matches history"
+	// with one mask compare instead of a replay loop; every write to
+	// lastPath below index 64 must keep it in sync, and both resets that
+	// reallocate lastPath zero it.
 	lastPath  []bool
+	lpBits    uint64
 	lastLeaf  int
 	treeEpoch uint64
 	tree      []treeNode
@@ -115,6 +121,7 @@ func (e *Evaluator) buildTree() {
 	e.treeEpoch = e.Set.Epoch
 	if n := len(e.tree); len(e.lastPath) < n {
 		e.lastPath = make([]bool, n)
+		e.lpBits = 0
 	}
 }
 
@@ -197,6 +204,7 @@ func (e *Evaluator) checkBinary(addr, size uint64, p Perm) (bool, uint64) {
 	depth := 0
 	if len(e.lastPath) < 64 {
 		e.lastPath = make([]bool, 64)
+		e.lpBits = 0
 	}
 	for lo <= hi {
 		mid := (lo + hi) / 2
@@ -206,6 +214,7 @@ func (e *Evaluator) checkBinary(addr, size uint64, p Perm) (bool, uint64) {
 		if e.lastPath[depth] != goLeft {
 			cost += costMispredict
 			e.lastPath[depth] = goLeft
+			e.lpBits ^= 1 << depth // depth < 64: lastPath is 64 long here
 			if e.recOn {
 				e.recMisp++
 			}
@@ -250,6 +259,9 @@ func (e *Evaluator) checkIfTree(addr, size uint64, p Perm) (bool, uint64) {
 		if e.lastPath[node] != goLeft {
 			cost += costMispredict
 			e.lastPath[node] = goLeft
+			if node < 64 {
+				e.lpBits ^= 1 << node
+			}
 			if e.recOn {
 				e.recMisp++
 			}

@@ -43,15 +43,103 @@ type pathStep struct {
 // the interval [lo, hi) — the intersection of the matched region with the
 // page — together with the base cost of the walk (all cycles except
 // mispredict penalties) and the walk's branch path for replay.
+//
+// Page, permission, and validity pack into one key word so the hot probes
+// match an entry with a single compare: key is xslotKey(page, perm) when
+// valid and 0 when empty (xslotKey is never 0 — bit 0 is always set).
+//
+// The first xslotInlSteps path steps pack into the slot itself (idx<<1 |
+// left), so the common shallow walk replays without chasing a separate
+// steps slice; deeper walks spill the remainder to more.
 type xslot struct {
-	valid bool
-	perm  Perm
-	page  uint64 // addr >> xcachePageShift
-	epoch uint64 // RegionSet.Epoch at fill
-	lo    uint64 // first valid byte
-	hi    uint64 // first invalid byte
-	base  uint64 // modeled cycles excluding mispredicts
-	steps []pathStep
+	key    uint64 // page<<8 | perm<<1 | 1; 0 when invalid
+	epoch  uint64 // RegionSet.Epoch at fill
+	lo     uint64 // first valid byte
+	hi     uint64 // first invalid byte
+	base   uint64 // modeled cycles excluding mispredicts
+	nsteps int32  // count of packed steps in inl
+	fast   bool   // pmask/pvals cover every step (all idx < 64, distinct)
+	inl    [xslotInlSteps]int32
+	more   []pathStep // path steps beyond inl (deep walks only)
+
+	// pmask/pvals summarize the recorded path as a bitset over predictor
+	// slots: when fast, e.lpBits&pmask == pvals means every recorded step
+	// matches live history — the walk replays at exactly base cost with no
+	// predictor updates, so the hit path can skip the replay loop.
+	pmask uint64
+	pvals uint64
+}
+
+// xslotInlSteps is how many path steps fit inline in a slot: binary-search
+// walks over realistic region counts and shallow if-tree walks fit; only
+// deep trees spill.
+const xslotInlSteps = 6
+
+// replay applies the recorded branch path against the evaluator's live
+// predictor history and returns the walk's modeled cost.
+func (s *xslot) replay(e *Evaluator) uint64 {
+	cost := s.base
+	lp := e.lastPath
+	for i := 0; i < int(s.nsteps); i++ {
+		w := s.inl[i]
+		idx, left := w>>1, w&1 != 0
+		if lp[idx] != left {
+			cost += costMispredict
+			lp[idx] = left
+			if idx < 64 {
+				e.lpBits ^= 1 << idx
+			}
+		}
+	}
+	for _, st := range s.more {
+		if lp[st.idx] != st.left {
+			cost += costMispredict
+			lp[st.idx] = st.left
+			if st.idx < 64 {
+				e.lpBits ^= 1 << st.idx
+			}
+		}
+	}
+	return cost
+}
+
+// fill populates a slot from a just-recorded walk.
+func (s *xslot) fill(key, epoch, lo, hi, base uint64, steps []pathStep) {
+	*s = xslot{key: key, epoch: epoch, lo: lo, hi: hi, base: base}
+	fast := true
+	for _, st := range steps {
+		if st.idx >= 64 || s.pmask&(1<<st.idx) != 0 {
+			fast = false // deep tree or revisited slot: mask can't summarize
+			break
+		}
+		s.pmask |= 1 << st.idx
+		if st.left {
+			s.pvals |= 1 << st.idx
+		}
+	}
+	s.fast = fast
+	if !fast {
+		s.pmask, s.pvals = 0, 0
+	}
+	n := len(steps)
+	if n > xslotInlSteps {
+		s.more = append([]pathStep(nil), steps[xslotInlSteps:]...)
+		n = xslotInlSteps
+	}
+	for i := 0; i < n; i++ {
+		w := steps[i].idx << 1
+		if steps[i].left {
+			w |= 1
+		}
+		s.inl[i] = w
+	}
+	s.nsteps = int32(n)
+}
+
+// xslotKey packs a page number and permission into the slot-match word.
+// Pages are physical-address>>12, far below 2^56, so the shift is lossless.
+func xslotKey(page uint64, p Perm) uint64 {
+	return page<<8 | uint64(p)<<1 | 1
 }
 
 // XCache is a per-thread direct-mapped guard/translation cache. It is not
@@ -78,8 +166,8 @@ func xslotIndex(page uint64, p Perm) int {
 // (search paths shift globally, so no entry can be trusted).
 func (c *XCache) InvalidateAll() {
 	for i := range c.slots {
-		if c.slots[i].valid {
-			c.slots[i].valid = false
+		if c.slots[i].key != 0 {
+			c.slots[i].key = 0
 			c.Invalidations++
 		}
 	}
@@ -96,8 +184,8 @@ func (c *XCache) InvalidateRange(base, length uint64) {
 	last := (base + length - 1) >> xcachePageShift
 	for i := range c.slots {
 		s := &c.slots[i]
-		if s.valid && s.page >= first && s.page <= last {
-			s.valid = false
+		if page := s.key >> 8; s.key != 0 && page >= first && page <= last {
+			s.key = 0
 			c.Invalidations++
 		}
 	}
@@ -108,11 +196,49 @@ func (c *XCache) InvalidateRange(base, length uint64) {
 func (c *XCache) ValidPages() []uint64 {
 	var pages []uint64
 	for i := range c.slots {
-		if c.slots[i].valid {
-			pages = append(pages, c.slots[i].page<<xcachePageShift)
+		if c.slots[i].key != 0 {
+			pages = append(pages, (c.slots[i].key>>8)<<xcachePageShift)
 		}
 	}
 	return pages
+}
+
+// CheckTranslateCached is the fused guard-check + address-translation fast
+// path used by the closure execution tier: one epoch-stamped probe that, on
+// a hit, both validates the access and proves identity translation safe, so
+// the caller can go straight to physical memory without a separate
+// translate step. The fusion is sound because a cached hit proves
+// [addr, addr+size) lies inside a granted region — granted regions are in
+// physical bounds by construction — and a hit is impossible while an
+// incremental-move forwarding window could redirect the access:
+// OpenForward/FlipForward/CloseForward each bump the epoch (invalidating
+// every earlier entry on the stamp), and no entry is ever filled while a
+// window is open (CheckCached refuses to cache then).
+//
+// On a hit it charges exactly the cycles CheckCached would have charged and
+// returns (addr, true). On any other outcome it returns (0, false) without
+// touching the hit/miss counters: the caller then takes the unfused
+// CheckCached + translate path, which counts the miss once — keeping the
+// cache counters byte-identical with the predecode tier.
+func (e *Evaluator) CheckTranslateCached(c *XCache, addr, size uint64, p Perm) (uint64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	page := addr >> xcachePageShift
+	s := &c.slots[xslotIndex(page, p)]
+	// One fused compare covers validity, page, perm, and epoch.
+	if ((s.key^xslotKey(page, p))|(s.epoch^e.Set.Epoch)) == 0 &&
+		addr >= s.lo && addr+size <= s.hi && size <= s.hi-s.lo {
+		c.Hits++
+		e.Checks++
+		if s.fast && e.lpBits&s.pmask == s.pvals {
+			e.Cycles += s.base // path matches history: zero mispredicts
+		} else {
+			e.Cycles += s.replay(e)
+		}
+		return addr, true
+	}
+	return 0, false
 }
 
 // CheckCached is Check fronted by the xcache. On a hit it charges exactly
@@ -129,18 +255,15 @@ func (e *Evaluator) CheckCached(c *XCache, addr, size uint64, p Perm) bool {
 	}
 	page := addr >> xcachePageShift
 	s := &c.slots[xslotIndex(page, p)]
-	if s.valid && s.page == page && s.perm == p && s.epoch == e.Set.Epoch &&
+	if ((s.key^xslotKey(page, p))|(s.epoch^e.Set.Epoch)) == 0 &&
 		addr >= s.lo && addr+size <= s.hi && size <= s.hi-s.lo {
 		c.Hits++
 		e.Checks++
-		cost := s.base
-		for _, st := range s.steps {
-			if e.lastPath[st.idx] != st.left {
-				cost += costMispredict
-				e.lastPath[st.idx] = st.left
-			}
+		if s.fast && e.lpBits&s.pmask == s.pvals {
+			e.Cycles += s.base
+		} else {
+			e.Cycles += s.replay(e)
 		}
-		e.Cycles += cost
 		return true
 	}
 	c.Misses++
@@ -155,6 +278,13 @@ func (e *Evaluator) CheckCached(c *XCache, addr, size uint64, p Perm) bool {
 	if !ok {
 		return false
 	}
+	if e.Set.ForwardActive() {
+		// Never cache inside a forwarding window: an entry stamped with the
+		// window's epoch would let the fused translate path bypass the
+		// forwarding redirect. The window is brief and bumps the epoch again
+		// when it closes, so nothing of value is lost.
+		return true
+	}
 	r, found := e.Set.Find(addr)
 	if !found {
 		return ok // cannot happen for a passing check; be safe
@@ -168,15 +298,6 @@ func (e *Evaluator) CheckCached(c *XCache, addr, size uint64, p Perm) bool {
 		hi = end
 	}
 	walkCost := e.Cycles - before
-	*s = xslot{
-		valid: true,
-		perm:  p,
-		page:  page,
-		epoch: e.Set.Epoch,
-		lo:    lo,
-		hi:    hi,
-		base:  walkCost - uint64(e.recMisp)*costMispredict,
-		steps: append([]pathStep(nil), e.recSteps...),
-	}
+	s.fill(xslotKey(page, p), e.Set.Epoch, lo, hi, walkCost-uint64(e.recMisp)*costMispredict, e.recSteps)
 	return true
 }

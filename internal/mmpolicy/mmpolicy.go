@@ -52,6 +52,13 @@ func (r *RareMigration) Due(now uint64) bool {
 	return true
 }
 
+// Pending reports what Due(now) would return, without arming the next
+// period. Hot paths use it to skip a safepoint entirely when no migration
+// is due: Due has no side effect in exactly the cases Pending is false.
+func (r *RareMigration) Pending(now uint64) bool {
+	return r.Period != 0 && now >= r.next
+}
+
 // Policy is one pluggable management strategy the daemon runs per tick.
 type Policy interface {
 	Name() string

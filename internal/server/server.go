@@ -85,6 +85,11 @@ type Config struct {
 	// land tenant-visible on /metrics; modeled results are identical.
 	PauseBudgetCycles uint64 `json:"pause_budget_cycles"`
 
+	// Closure runs every tenant VM on the closure compilation tier (the
+	// fastest engine; modeled results are byte-identical with the
+	// predecode tier, so this is a pure host-throughput knob).
+	Closure bool `json:"closure"`
+
 	// Obs, when non-nil, is the metrics registry (a private one is created
 	// otherwise). The telemetry endpoints serve whichever is used.
 	Obs *obs.Registry `json:"-"`
@@ -552,6 +557,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		MaxCycles:   ten.quota.MaxCycles,
 		Predecode:   true,
 		XCache:      true,
+		Closure:     s.cfg.Closure,
 		Obs:         runReg,
 		Incremental: s.cfg.PauseBudgetCycles > 0,
 		MoveBatch:   rt.BatchForBudget(s.cfg.PauseBudgetCycles),

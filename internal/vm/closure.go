@@ -1,0 +1,1317 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"carat/internal/guard"
+	"carat/internal/ir"
+	"carat/internal/obs"
+	"carat/internal/runtime"
+)
+
+// The closure execution tier. The predecoded form still pays one switch
+// dispatch plus a five-counter accounting sequence per instruction; this
+// tier lowers each pfunc one step further into chained Go closures, where
+// every basic block becomes one superinstruction closure that fuses its
+// straight-line body:
+//
+//   - per-instruction accounting is batched into one charge per "group"
+//     (a maximal run of pure instructions, optionally ended by the single
+//     observing instruction that can fault, trace, or reach a safepoint);
+//   - compare+branch pairs collapse into a fused terminator;
+//   - guard-check + load/store pairs collapse into one step whose fast path
+//     is a single fused xcache probe (guard.CheckTranslateCached) followed
+//     by a direct physical access — no separate translate, no duplicate
+//     operand read (GEP+guard+access triples fold in for free: the GEP is
+//     pure, so it rides the same batched charge);
+//   - global/function operands are baked to constant addresses;
+//   - call sites carry a monomorphic inline cache keyed by the callee's
+//     compiled body.
+//
+// Each block closure returns the next block's closure directly, so there is
+// no central dispatch loop — just a trampoline.
+//
+// The compiled form is specialized against a snapshot of mutable machine
+// state (baked global/code addresses, xcache-fusable guard paths), so every
+// cfunc is stamped with the guard RegionSet epoch at compile time. Page
+// moves, grants/releases, and the incremental protocol's forwarding windows
+// all bump that epoch; allocation-granularity moves and swap in/out do not,
+// but they also never relocate globals or code, so baked addresses stay
+// valid within an epoch. Stale epochs deopt:
+//
+//   - at function entry: recompile (one counted deopt);
+//   - at a block head: transfer the live activation to the predecode tier
+//     via pexecFrom (one counted deopt) and drop the compiled body;
+//   - after any call step (a nested call can move pages, spawn a thread —
+//     which grants a stack region — or open a forwarding window): finish
+//     the activation on the predecode tier mid-block (one counted deopt).
+//
+// Epochs can only change at safepoints and inside calls, and the baton
+// discipline means no other thread runs between a block's epoch check and
+// its next call/terminator, so these three checks are sufficient.
+//
+// Like the predecode tier, all of this is host-speed only: instruction
+// counts, modeled cycles, the cycle profile, guard evaluator state, xcache
+// hit/miss counters, and runtime callback order are byte-identical with the
+// baseline interpreter (closure_test.go and the engine-parity differential
+// tests pin this).
+
+// cenv is the per-activation state threaded through a compiled function's
+// block closures. Everything per-VM or per-function is captured by the
+// closures at compile time; cenv carries only what varies per call.
+//
+// pendN/pendCyc accumulate instruction and cycle charges not yet applied to
+// the VM-wide and per-function counters. Nothing on a block's fast path
+// reads those counters, so charges defer across whole blocks and flush
+// (cflush) only where something can observe them: block entry (before the
+// safepoint, where the sampler and move policies read), before any step
+// that can fault, trace, walk a guard, or call out, and at Ret.
+type cenv struct {
+	t        *thread
+	fr       *frame
+	xc       *guard.XCache // t.xc, cached to skip a pointer chase per access
+	ret      uint64        // return value, set by Ret terminators and deopt paths
+	pending  []pcopy       // phi copies owed to the block about to run (deopt form)
+	pendingC []ccopy       // same copies, compiled (fast form); always set together
+	tmp      []uint64
+	prof     *obs.FuncProfile
+	pendN    uint64 // instruction charges not yet applied
+	pendCyc  uint64 // cycle charges not yet applied
+}
+
+// cflush applies the deferred charges. Called at every point where the
+// counters become observable; the per-instruction tiers' invariant — all
+// instructions up to and including the observing one are charged before it
+// executes — is restored exactly at each such point.
+func (v *VM) cflush(e *cenv) {
+	if e.pendN != 0 || e.pendCyc != 0 {
+		v.Instrs += e.pendN
+		v.Cycles += e.pendCyc
+		v.Prof.Cat[obs.CatCompute] += e.pendCyc
+		e.prof.Instrs += e.pendN
+		e.prof.Cycles += e.pendCyc
+		e.pendN, e.pendCyc = 0, 0
+	}
+}
+
+// ccopy is one compiled phi assignment: regs[dst] receives regs[src], with
+// immediate/global sources resolved through the constant pool.
+type ccopy struct {
+	dst int32
+	src cop
+}
+
+// cstep executes one fused step of a block body.
+type cstep func(e *cenv) error
+
+// cpure executes one pure (infallible, non-observing) instruction. Pure
+// steps run inside a segment's batched charge closure with no per-step
+// error check — by construction nothing they lower can fail.
+type cpure func(e *cenv)
+
+// cblock is one compiled basic block. run executes the block (safepoint,
+// epoch check, pending phi copies, body steps) and returns the next block,
+// or nil when the activation completed (Ret, or a deopt that finished it on
+// the predecode tier).
+type cblock struct {
+	run func(e *cenv) (*cblock, error)
+}
+
+// cfunc is a compiled function body, valid for exactly one region epoch.
+// Constants (immediates, baked global/function addresses) live in a pool
+// appended to the frame's register file at activation entry, so every
+// compiled operand is a plain register index — no per-read branch on
+// operand kind. Pool slots sit above nslots and are invisible to the
+// per-instruction tiers and the move protocol's register patcher (which
+// walks funcInfo.ptrSlots, all below nslots).
+type cfunc struct {
+	epoch   uint64
+	blocks  []*cblock
+	pf      *pfunc
+	maxPhis int
+	nslots  int32
+	consts  []uint64
+	cindex  map[uint64]int32 // value -> pool register; compile-time only
+	nregs   int
+}
+
+// callIC is a per-call-site monomorphic inline cache: when the callee's
+// current compiled body matches, the call skips the funcInfo state checks
+// and enters the compiled form directly. The baton discipline makes the
+// unsynchronized fields safe. The epoch stamp makes a hit self-validating:
+// ic.cf was compiled at ic.epoch, so epoch equality proves it fresh.
+type callIC struct {
+	cf    *cfunc
+	epoch uint64
+}
+
+// errClosureDone signals, from a call step to its block's run loop, that
+// the activation already completed on the predecode tier (post-call epoch
+// deopt): e.ret holds the result and no further steps may run.
+var errClosureDone = errors.New("vm: closure activation completed via deopt")
+
+// cop is a compiled operand: an index into the activation's extended
+// register file. SSA slots keep their indices; constants (immediates and
+// baked global/function addresses, valid for the cfunc's epoch) resolve to
+// pool registers above nslots — so reading any operand is one branchless
+// indexed load.
+type cop int32
+
+func (o cop) get(fr *frame) uint64 { return fr.regs[o] }
+
+// constSlot interns a constant into the cfunc's pool, returning its
+// register index.
+func (cf *cfunc) constSlot(val uint64) cop {
+	if i, ok := cf.cindex[val]; ok {
+		return cop(i)
+	}
+	i := cf.nslots + int32(len(cf.consts))
+	cf.consts = append(cf.consts, val)
+	cf.cindex[val] = i
+	return cop(i)
+}
+
+// cdecode resolves a predecoded operand against the current address tables.
+func (v *VM) cdecode(cf *cfunc, p poperand) cop {
+	switch p.kind {
+	case pkSlot:
+		return cop(p.idx)
+	case pkImm:
+		return cf.constSlot(p.imm)
+	case pkGlobal:
+		return cf.constSlot(v.globalPhys[p.idx])
+	default:
+		return cf.constSlot(v.funcPhys[p.idx])
+	}
+}
+
+// cgep is one dynamic GEP index with its stride.
+type cgep struct {
+	op     cop
+	stride int64
+}
+
+// ccallFunc is the closure-tier call entry: compile on first use (or on a
+// stale epoch), fall back to the predecode tier for refused shapes.
+func (v *VM) ccallFunc(t *thread, f *ir.Func, args []uint64) (uint64, error) {
+	fi := v.funcs[f]
+	if fi.noClosure {
+		return v.pcallFunc(t, f, args)
+	}
+	cf := fi.cf
+	epoch := v.proc.Regions.Epoch
+	if cf == nil || cf.epoch != epoch {
+		if cf != nil {
+			// Stale compiled body found at entry: the world changed since
+			// compilation (recompiling is the deopt).
+			v.closureDeopts++
+		}
+		pf := fi.pf
+		if pf == nil {
+			pf = v.predecodeFunc(f, fi)
+			fi.pf = pf
+		}
+		nc, ok := v.compileClosure(f, fi, pf, epoch)
+		if !ok {
+			// Undecodable shape somewhere in the body: refuse once, run on
+			// the predecode tier permanently.
+			v.closureDeopts++
+			fi.noClosure = true
+			fi.cf = nil
+			return v.pcallFunc(t, f, args)
+		}
+		fi.cf = nc
+		cf = nc
+	}
+	return v.ccallCompiled(t, f, fi, cf, args)
+}
+
+// ccallCompiled runs one activation through a compiled body. The frame
+// prologue (profiling, frame push, alloca unwinding, depth check) is
+// byte-identical with pcallFunc; the body is the block trampoline.
+func (v *VM) ccallCompiled(t *thread, f *ir.Func, fi *funcInfo, cf *cfunc, args []uint64) (uint64, error) {
+	fi.prof.Calls++
+	fr := &frame{fn: f, fi: fi, regs: make([]uint64, cf.nregs), spSave: t.sp}
+	copy(fr.regs, args) // params occupy slots 0..len(Params)-1 in order
+	copy(fr.regs[cf.nslots:], cf.consts)
+	t.frames = append(t.frames, fr)
+	defer func() {
+		t.frames = t.frames[:len(t.frames)-1]
+		if t.sp < fr.spSave {
+			v.rt.UntrackStackRange(t.sp, fr.spSave)
+		}
+		t.sp = fr.spSave
+	}()
+	if len(t.frames) > 10000 {
+		return 0, fmt.Errorf("vm: call stack overflow in @%s", f.Name)
+	}
+	e := &cenv{t: t, fr: fr, xc: t.xc, prof: fi.prof}
+	if cf.maxPhis > 0 {
+		e.tmp = make([]uint64, cf.maxPhis)
+	}
+	blk := cf.blocks[0]
+	var err error
+	for blk != nil {
+		blk, err = blk.run(e)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return e.ret, nil
+}
+
+// cdataAddr is pdataAddr over a compiled operand: translate with one
+// swap-in retry on a poisoned pointer. Re-reading the operand after the
+// swap-in is what picks up the runtime's pointer patch (only slot operands
+// can hold poisoned heap pointers; baked operands re-read to the same
+// constant, which is correct because swap-in never moves globals or code).
+func (v *VM) cdataAddr(fr *frame, o cop, size uint64, perm guard.Perm) (uint64, error) {
+	addr := o.get(fr)
+	paddr, err := v.translate(addr, size, perm)
+	if err == nil {
+		return paddr, nil
+	}
+	if slot, _, ok := runtime.DecodeSwapPoison(addr); ok {
+		if serr := v.swapIn(slot); serr != nil {
+			return 0, &Fault{Addr: addr, Size: size, Perm: perm, Msg: "swap-in failed: " + serr.Error()}
+		}
+		return v.translate(o.get(fr), size, perm)
+	}
+	return 0, err
+}
+
+// compileClosure lowers pf into chained block closures, specialized against
+// the current epoch. Returns ok=false when any instruction carries the
+// predecoder's fallback flag (exotic shapes execute through execInstr,
+// which the closure form cannot batch soundly).
+func (v *VM) compileClosure(f *ir.Func, fi *funcInfo, pf *pfunc, epoch uint64) (*cfunc, bool) {
+	for bi := range pf.blocks {
+		for ci := range pf.blocks[bi].code {
+			if pf.blocks[bi].code[ci].fallback {
+				return nil, false
+			}
+		}
+	}
+	cf := &cfunc{
+		epoch:   epoch,
+		pf:      pf,
+		maxPhis: pf.maxPhis,
+		blocks:  make([]*cblock, len(pf.blocks)),
+		nslots:  int32(fi.nSlots),
+		cindex:  make(map[uint64]int32),
+	}
+	for i := range cf.blocks {
+		cf.blocks[i] = &cblock{}
+	}
+	for bi := range pf.blocks {
+		v.compileBlock(f, fi, pf, cf, int32(bi))
+	}
+	cf.nregs = int(cf.nslots) + len(cf.consts)
+	cf.cindex = nil
+	v.closureBlocks += uint64(len(pf.blocks))
+	return cf, true
+}
+
+// cobserving reports whether an instruction can observe or perturb machine
+// state mid-block (fault, trace, guard walk, nested safepoints, division
+// errors). Observing instructions end a charge group: the group's batched
+// accounting lands just before the observing instruction executes, so at
+// every observation point the counters are exactly what the per-instruction
+// tiers would show.
+func cobserving(op ir.Op) bool {
+	switch op {
+	case ir.OpLoad, ir.OpStore, ir.OpGuard, ir.OpCall, ir.OpAlloca,
+		ir.OpSDiv, ir.OpSRem, ir.OpUDiv, ir.OpURem:
+		return true
+	}
+	return false
+}
+
+// compileBlock fills cf.blocks[bi] with its superinstruction closure.
+func (v *VM) compileBlock(f *ir.Func, fi *funcInfo, pf *pfunc, cf *cfunc, bi int32) {
+	code := pf.blocks[bi].code
+	prof := fi.prof
+
+	// take closes the accumulated charge group: the batched accounting for
+	// the group (including the observing instruction about to run, whose
+	// per-instruction tiers charge it before executing it) plus the group's
+	// pure steps, run with no per-step error checks — pures are infallible.
+	// The charge itself lands on the cenv's deferred counters.
+	var groupN, groupCyc uint64
+	var groupPures []cpure
+	take := func(extraN, extraCyc uint64) (uint64, uint64, []cpure) {
+		n, cyc, pures := groupN+extraN, groupCyc+extraCyc, groupPures
+		groupN, groupCyc, groupPures = 0, 0, nil
+		return n, cyc, pures
+	}
+
+	var steps []cstep
+
+	// Identify the terminator and a possible fused compare+branch: the
+	// block's last two instructions collapse when the compare's result
+	// feeds the conditional branch directly. The compare still writes its
+	// slot (other blocks may read it through a phi).
+	ti := len(code) - 1
+	bodyEnd := ti
+	fuseCmpBr := false
+	if ti >= 0 {
+		t := &code[ti]
+		if t.op == ir.OpCondBr && ti >= 1 && t.a.kind == pkSlot {
+			p := &code[ti-1]
+			if (p.op == ir.OpICmp || p.op == ir.OpFCmp) && p.dst >= 0 && p.dst == t.a.idx {
+				fuseCmpBr = true
+				bodyEnd = ti - 1
+			}
+		}
+	}
+
+	// Lower the body into segments: pures accumulate into the pending
+	// group; each observing instruction closes the group into one fused
+	// step (deferred charge + pures + its own action).
+	for i := 0; i < bodyEnd; i++ {
+		in := &code[i]
+		if !cobserving(in.op) {
+			// GEP+guard+access fusion: a single-dynamic-index GEP whose
+			// result immediately feeds the guard and access collapses into
+			// the access step — the address computes inline, skipping one
+			// closure call and a register round-trip (the result slot is
+			// still written: later instructions and cold paths read it).
+			if in.op == ir.OpGEP && len(in.gepSteps) == 1 && in.dst >= 0 && i+2 < bodyEnd {
+				g, nx := &code[i+1], &code[i+2]
+				if g.op == ir.OpGuard && g.a.kind == pkSlot && g.a.idx == in.dst &&
+					((g.kind == ir.GuardLoad && nx.op == ir.OpLoad && g.a == nx.a) ||
+						(g.kind == ir.GuardStore && nx.op == ir.OpStore && g.a == nx.b)) {
+					groupN++ // the GEP rides the group charge
+					groupCyc += uint64(in.cost)
+					segN, segCyc, pures := take(1, uint64(g.cost))
+					steps = append(steps, v.compileGuardedAccess(cf, g, nx, in, prof, segN, segCyc, pures))
+					i += 2
+					continue
+				}
+			}
+			groupN++
+			groupCyc += uint64(in.cost)
+			groupPures = append(groupPures, v.compilePure(cf, in))
+			continue
+		}
+		// Guard+access fusion: a load/store guard immediately followed by
+		// the access it covers (same address operand) becomes one step.
+		if in.op == ir.OpGuard && i+1 < bodyEnd {
+			nx := &code[i+1]
+			if (in.kind == ir.GuardLoad && nx.op == ir.OpLoad && in.a == nx.a) ||
+				(in.kind == ir.GuardStore && nx.op == ir.OpStore && in.a == nx.b) {
+				// The guard rides the group charge; the whole segment —
+				// charge, pures, fused probe+access — is one step.
+				segN, segCyc, pures := take(1, uint64(in.cost))
+				steps = append(steps, v.compileGuardedAccess(cf, in, nx, nil, prof, segN, segCyc, pures))
+				i++
+				continue
+			}
+		}
+		segN, segCyc, pures := take(1, uint64(in.cost))
+		ob := v.compileObserving(f, fi, pf, cf, bi, i, in, prof)
+		steps = append(steps, func(e *cenv) error {
+			e.pendN += segN
+			e.pendCyc += segCyc
+			for _, p := range pures {
+				p(e)
+			}
+			v.cflush(e)
+			return ob(e)
+		})
+	}
+
+	// Trailing pures plus the terminator(s) form the final charge group,
+	// run just before the terminator closure.
+	var termN, termCyc uint64
+	for i := bodyEnd; i <= ti && i >= 0; i++ {
+		termN++
+		termCyc += uint64(code[i].cost)
+	}
+	finalN, finalCyc, finalPures := take(termN, termCyc)
+
+	term := v.compileTerm(f, cf, code, ti, fuseCmpBr)
+
+	blk := cf.blocks[bi]
+	myIdx := bi
+	bsteps := steps
+
+	// Self-loop specialization: a fused compare+branch whose taken edge
+	// re-enters this same block, in a block with no call steps, can iterate
+	// inside one run() invocation while the VM is unobserved. The entry
+	// checks are loop-invariant there: with a single thread, no sampler, no
+	// move policy, and no limits, nothing else executes between iterations —
+	// no call can spawn a thread or move pages (the body has no calls), so
+	// the epoch and the observer set are frozen until run() returns. Each
+	// fast iteration is just phi copies, body steps, the final charge group,
+	// and the compare — no trampoline, no safepoint, no epoch re-check.
+	// Any observer present at entry (or appearing before entry) disables the
+	// internal loop, falling back to one block per run() with a safepoint at
+	// every head, byte-identical with the per-instruction tiers.
+	hasCall := false
+	for i := 0; i < bodyEnd; i++ {
+		if code[i].op == ir.OpCall {
+			hasCall = true
+			break
+		}
+	}
+	if fuseCmpBr && !hasCall && (code[ti].succ0 == bi || code[ti].succ1 == bi) {
+		v.compileSelfLoop(fi, pf, cf, bi, code, ti, bsteps, finalN, finalCyc, finalPures)
+		return
+	}
+	maxI, maxC := v.safepointLimits()
+	blk.run = func(e *cenv) (*cblock, error) {
+		t := e.t
+		// A block-head safepoint only matters when it would DO something: a
+		// sibling thread needs the slice bookkeeping, a sample or migration
+		// is due, or a limit is about to trip. The pre-checks mirror the
+		// safepoint's own tests exactly, evaluated on (flushed + deferred)
+		// counters — the same values a flush would produce — and Track.Due /
+		// RareMigration.Pending are side-effect-free when false. So skipping
+		// flush + safepoint when every pre-check is false is invisible: the
+		// charges ride through to the next observation point. Limits compare
+		// at the block head before the incoming edge's phi copies are
+		// charged, exactly where the per-instruction tiers trap.
+		if len(v.sched.threads) > 1 ||
+			(v.track != nil && v.track.Due(v.Cycles+e.pendCyc)) ||
+			(v.movePolicy != nil && v.moveTrigger.Pending(v.Instrs+e.pendN)) ||
+			v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
+			// Deferred charges flush before the safepoint: the sampler, move
+			// policies, and pause attribution all read the counters there.
+			v.cflush(e)
+			if err := t.safepoint(); err != nil {
+				return nil, err
+			}
+		}
+		// The epoch check runs after the safepoint: an injected move at
+		// this very safepoint must deopt this block, not the next.
+		if v.proc.Regions.Epoch != cf.epoch {
+			v.closureDeopts++
+			fi.cf = nil
+			v.cflush(e)
+			ret, err := v.pexecFrom(t, e.fr, pf, myIdx, 0, e.pending, true)
+			e.ret = ret
+			return nil, err
+		}
+		if n := len(e.pendingC); n > 0 {
+			applyCopies(e, e.pendingC)
+			e.pendN += uint64(n)
+			e.pending, e.pendingC = nil, nil
+		}
+		for _, st := range bsteps {
+			if err := st(e); err != nil {
+				if err == errClosureDone {
+					return nil, nil
+				}
+				return nil, err
+			}
+		}
+		e.pendN += finalN
+		e.pendCyc += finalCyc
+		for _, p := range finalPures {
+			p(e)
+		}
+		return term(e)
+	}
+}
+
+// safepointLimits returns the instruction and cycle limits as saturating
+// thresholds (no limit = MaxUint64), so hot paths compare against them
+// unconditionally.
+func (v *VM) safepointLimits() (uint64, uint64) {
+	maxI, maxC := v.cfg.MaxInstrs, v.cfg.MaxCycles
+	if maxI == 0 {
+		maxI = ^uint64(0)
+	}
+	if maxC == 0 {
+		maxC = ^uint64(0)
+	}
+	return maxI, maxC
+}
+
+// applyCopies performs one edge's compiled phi assignments with
+// parallel-copy semantics: all sources are read before any destination is
+// written. The small-n cases stay in locals; wider phi sets buffer through
+// the activation's scratch slice.
+func applyCopies(e *cenv, cc []ccopy) {
+	fr := e.fr
+	switch n := len(cc); n {
+	case 1:
+		fr.regs[cc[0].dst] = cc[0].src.get(fr)
+	case 2:
+		t0, t1 := cc[0].src.get(fr), cc[1].src.get(fr)
+		fr.regs[cc[0].dst] = t0
+		fr.regs[cc[1].dst] = t1
+	default:
+		for i := 0; i < n; i++ {
+			e.tmp[i] = cc[i].src.get(fr)
+		}
+		for i := 0; i < n; i++ {
+			fr.regs[cc[i].dst] = e.tmp[i]
+		}
+	}
+}
+
+// compileCmpBit lowers a compare that feeds a fused conditional branch:
+// the closure writes the compare's result slot (later blocks may read it
+// through a phi) and returns the branch bit.
+func (v *VM) compileCmpBit(cf *cfunc, p *pinstr) func(fr *frame) uint64 {
+	ca, cb := v.cdecode(cf, p.a), v.cdecode(cf, p.b)
+	dst := p.dst
+	pred := p.pred
+	if p.op == ir.OpFCmp {
+		return func(fr *frame) uint64 {
+			x := math.Float64frombits(ca.get(fr))
+			y := math.Float64frombits(cb.get(fr))
+			bit := boolBit(fcmp(pred, x, y))
+			fr.regs[dst] = bit
+			return bit
+		}
+	}
+	maskCmp, srcBits := p.maskCmp, int(p.srcBits)
+	if maskCmp {
+		return func(fr *frame) uint64 {
+			a, b := maskToWidth(ca.get(fr), srcBits), maskToWidth(cb.get(fr), srcBits)
+			bit := boolBit(icmp(pred, a, b))
+			fr.regs[dst] = bit
+			return bit
+		}
+	}
+	return func(fr *frame) uint64 {
+		bit := boolBit(icmp(pred, ca.get(fr), cb.get(fr)))
+		fr.regs[dst] = bit
+		return bit
+	}
+}
+
+// compileSelfLoop builds the specialized runner for a block whose fused
+// compare+branch re-enters the block itself (see the call site for why the
+// internal loop is sound). The observed path — anything attached that reads
+// counters at safepoints, or a sibling thread — runs exactly one iteration
+// per run() call, like every other block.
+func (v *VM) compileSelfLoop(fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, code []pinstr, ti int, bsteps []cstep, finalN, finalCyc uint64, finalPures []cpure) {
+	in := &code[ti]
+	cmp := v.compileCmpBit(cf, &code[ti-1])
+	b0, b1 := cf.blocks[in.succ0], cf.blocks[in.succ1]
+	cp0, cp1 := in.copies0, in.copies1
+	ccp0, ccp1 := v.compileCopies(cf, cp0), v.compileCopies(cf, cp1)
+	n0, n1 := uint64(len(cp0)), uint64(len(cp1))
+	selfOnTrue := in.succ0 == bi
+	selfOnFalse := in.succ1 == bi
+
+	maxI, maxC := v.safepointLimits()
+	blk := cf.blocks[bi]
+	blk.run = func(e *cenv) (*cblock, error) {
+		t := e.t
+		// fast freezes for the whole run() call: the body has no call steps,
+		// so nothing inside the internal loop can attach a policy, spawn a
+		// thread, or move pages — and without a move policy, even a
+		// safepoint taken for a due sample cannot change the epoch. Limits
+		// and the sampler stay live via the per-iteration head check.
+		fast := v.movePolicy == nil && len(v.sched.threads) == 1
+		trk := v.track
+		if !fast || (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+			v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
+			v.cflush(e)
+			if err := t.safepoint(); err != nil {
+				return nil, err
+			}
+		}
+		if v.proc.Regions.Epoch != cf.epoch {
+			v.closureDeopts++
+			fi.cf = nil
+			v.cflush(e)
+			ret, err := v.pexecFrom(t, e.fr, pf, bi, 0, e.pending, true)
+			e.ret = ret
+			return nil, err
+		}
+		if n := len(e.pendingC); n > 0 {
+			applyCopies(e, e.pendingC)
+			e.pendN += uint64(n)
+			e.pending, e.pendingC = nil, nil
+		}
+		for {
+			for _, st := range bsteps {
+				if err := st(e); err != nil {
+					if err == errClosureDone {
+						return nil, nil
+					}
+					return nil, err
+				}
+			}
+			e.pendN += finalN
+			e.pendCyc += finalCyc
+			for _, p := range finalPures {
+				p(e)
+			}
+			if cmp(e.fr) != 0 {
+				if selfOnTrue && fast {
+					// The virtual block head: a due sample or a limit about
+					// to trip takes the safepoint on flushed counters,
+					// before the edge copies are charged — exactly where
+					// the per-instruction tiers sample or trap. (Copies
+					// cost zero cycles, so sample timing is unaffected by
+					// their charge landing in the previous iteration.)
+					if (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+						v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
+						v.cflush(e)
+						if err := t.safepoint(); err != nil {
+							return nil, err
+						}
+					}
+					applyCopies(e, ccp0)
+					e.pendN += n0
+					continue
+				}
+				e.pending, e.pendingC = cp0, ccp0
+				return b0, nil
+			}
+			if selfOnFalse && fast {
+				if (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+					v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
+					v.cflush(e)
+					if err := t.safepoint(); err != nil {
+						return nil, err
+					}
+				}
+				applyCopies(e, ccp1)
+				e.pendN += n1
+				continue
+			}
+			e.pending, e.pendingC = cp1, ccp1
+			return b1, nil
+		}
+	}
+}
+
+// compileTerm lowers a block's terminator (possibly fused with the
+// preceding compare). The terminator's cycle charge already landed in the
+// block's final charge group.
+func (v *VM) compileTerm(f *ir.Func, cf *cfunc, code []pinstr, ti int, fuseCmpBr bool) func(e *cenv) (*cblock, error) {
+	if ti < 0 {
+		return func(e *cenv) (*cblock, error) {
+			v.cflush(e)
+			return nil, fmt.Errorf("vm: block without terminator in @%s", f.Name)
+		}
+	}
+	in := &code[ti]
+	switch in.op {
+	case ir.OpBr:
+		nb := cf.blocks[in.succ0]
+		cp := in.copies0
+		ccp := v.compileCopies(cf, cp)
+		return func(e *cenv) (*cblock, error) {
+			e.pending, e.pendingC = cp, ccp
+			return nb, nil
+		}
+
+	case ir.OpCondBr:
+		b0, b1 := cf.blocks[in.succ0], cf.blocks[in.succ1]
+		cp0, cp1 := in.copies0, in.copies1
+		ccp0, ccp1 := v.compileCopies(cf, cp0), v.compileCopies(cf, cp1)
+		if fuseCmpBr {
+			p := &code[ti-1]
+			ca, cb := v.cdecode(cf, p.a), v.cdecode(cf, p.b)
+			dst := p.dst
+			pred := p.pred
+			if p.op == ir.OpFCmp {
+				return func(e *cenv) (*cblock, error) {
+					fr := e.fr
+					x := math.Float64frombits(ca.get(fr))
+					y := math.Float64frombits(cb.get(fr))
+					bit := boolBit(fcmp(pred, x, y))
+					fr.regs[dst] = bit
+					if bit != 0 {
+						e.pending, e.pendingC = cp0, ccp0
+						return b0, nil
+					}
+					e.pending, e.pendingC = cp1, ccp1
+					return b1, nil
+				}
+			}
+			maskCmp, srcBits := p.maskCmp, int(p.srcBits)
+			return func(e *cenv) (*cblock, error) {
+				fr := e.fr
+				a, b := ca.get(fr), cb.get(fr)
+				if maskCmp {
+					a, b = maskToWidth(a, srcBits), maskToWidth(b, srcBits)
+				}
+				bit := boolBit(icmp(pred, a, b))
+				fr.regs[dst] = bit
+				if bit != 0 {
+					e.pending, e.pendingC = cp0, ccp0
+					return b0, nil
+				}
+				e.pending, e.pendingC = cp1, ccp1
+				return b1, nil
+			}
+		}
+		cond := v.cdecode(cf, in.a)
+		return func(e *cenv) (*cblock, error) {
+			if cond.get(e.fr)&1 != 0 {
+				e.pending, e.pendingC = cp0, ccp0
+				return b0, nil
+			}
+			e.pending, e.pendingC = cp1, ccp1
+			return b1, nil
+		}
+
+	case ir.OpRet:
+		if in.args != nil {
+			a := v.cdecode(cf, in.a)
+			return func(e *cenv) (*cblock, error) {
+				v.cflush(e)
+				e.ret = a.get(e.fr)
+				return nil, nil
+			}
+		}
+		return func(e *cenv) (*cblock, error) {
+			v.cflush(e)
+			e.ret = 0
+			return nil, nil
+		}
+
+	default: // ir.OpUnreachable, or a malformed block
+		return func(e *cenv) (*cblock, error) {
+			v.cflush(e)
+			return nil, fmt.Errorf("vm: reached unreachable in @%s", f.Name)
+		}
+	}
+}
+
+// compileCopies lowers one CFG edge's phi assignments to compiled form.
+func (v *VM) compileCopies(cf *cfunc, cp []pcopy) []ccopy {
+	if len(cp) == 0 {
+		return nil
+	}
+	cc := make([]ccopy, len(cp))
+	for i, c := range cp {
+		cc[i] = ccopy{dst: c.dst, src: v.cdecode(cf, c.src)}
+	}
+	return cc
+}
+
+// compilePure lowers one pure (non-observing, non-terminator) instruction.
+// Pure steps never fail and never touch the accounting counters — their
+// segment's prefix closure charges for them and runs them back to back.
+func (v *VM) compilePure(cf *cfunc, in *pinstr) cpure {
+	dst := in.dst
+	switch in.op {
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+		op := in.op
+		return func(e *cenv) {
+			fr := e.fr
+			x, y := math.Float64frombits(a.get(fr)), math.Float64frombits(b.get(fr))
+			var r float64
+			switch op {
+			case ir.OpFAdd:
+				r = x + y
+			case ir.OpFSub:
+				r = x - y
+			case ir.OpFMul:
+				r = x * y
+			case ir.OpFDiv:
+				r = x / y
+			}
+			fr.regs[dst] = math.Float64bits(r)
+		}
+
+	case ir.OpICmp:
+		a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+		pred := in.pred
+		if in.maskCmp {
+			srcBits := int(in.srcBits)
+			return func(e *cenv) {
+				fr := e.fr
+				x, y := maskToWidth(a.get(fr), srcBits), maskToWidth(b.get(fr), srcBits)
+				fr.regs[dst] = boolBit(icmp(pred, x, y))
+			}
+		}
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = boolBit(icmp(pred, a.get(fr), b.get(fr)))
+		}
+
+	case ir.OpFCmp:
+		a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+		pred := in.pred
+		return func(e *cenv) {
+			fr := e.fr
+			x := math.Float64frombits(a.get(fr))
+			y := math.Float64frombits(b.get(fr))
+			fr.regs[dst] = boolBit(fcmp(pred, x, y))
+		}
+
+	case ir.OpTrunc:
+		a := v.cdecode(cf, in.a)
+		bits := int(in.bits)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = uint64(signExtend(a.get(fr), bits))
+		}
+	case ir.OpZExt:
+		a := v.cdecode(cf, in.a)
+		srcBits := int(in.srcBits)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = maskToWidth(a.get(fr), srcBits)
+		}
+	case ir.OpSExt:
+		a := v.cdecode(cf, in.a)
+		srcBits := int(in.srcBits)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = uint64(signExtend(a.get(fr), srcBits))
+		}
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		a := v.cdecode(cf, in.a)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = a.get(fr)
+		}
+	case ir.OpSIToFP:
+		a := v.cdecode(cf, in.a)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = math.Float64bits(float64(int64(a.get(fr))))
+		}
+	case ir.OpFPToSI:
+		a := v.cdecode(cf, in.a)
+		bits := int(in.bits)
+		return func(e *cenv) {
+			fr := e.fr
+			fr.regs[dst] = maskSigned(int64(math.Float64frombits(a.get(fr))), bits)
+		}
+
+	case ir.OpGEP:
+		a := v.cdecode(cf, in.a)
+		gc := in.gepConst
+		if len(in.gepSteps) == 0 {
+			return func(e *cenv) {
+				fr := e.fr
+				addr := a.get(fr) + gc
+				if dst >= 0 {
+					fr.regs[dst] = addr
+				}
+			}
+		}
+		gsteps := make([]cgep, len(in.gepSteps))
+		for i, st := range in.gepSteps {
+			gsteps[i] = cgep{op: v.cdecode(cf, st.op), stride: st.stride}
+		}
+		if len(gsteps) == 1 {
+			g0 := gsteps[0]
+			return func(e *cenv) {
+				fr := e.fr
+				addr := a.get(fr) + gc + uint64(int64(g0.op.get(fr))*g0.stride)
+				if dst >= 0 {
+					fr.regs[dst] = addr
+				}
+			}
+		}
+		return func(e *cenv) {
+			fr := e.fr
+			addr := a.get(fr) + gc
+			for i := range gsteps {
+				addr += uint64(int64(gsteps[i].op.get(fr)) * gsteps[i].stride)
+			}
+			if dst >= 0 {
+				fr.regs[dst] = addr
+			}
+		}
+
+	case ir.OpSelect:
+		a, b, c := v.cdecode(cf, in.a), v.cdecode(cf, in.b), v.cdecode(cf, in.c)
+		return func(e *cenv) {
+			fr := e.fr
+			var r uint64
+			if a.get(fr)&1 != 0 {
+				r = b.get(fr)
+			} else {
+				r = c.get(fr)
+			}
+			if dst >= 0 {
+				fr.regs[dst] = r
+			}
+		}
+	}
+
+	// Pure integer binops (error-free: divisions are observing).
+	a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+	bits := int(in.bits)
+	op := in.op
+	if bits == 64 {
+		switch op {
+		case ir.OpAdd:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) + b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		case ir.OpSub:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) - b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		case ir.OpMul:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) * b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		case ir.OpAnd:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) & b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		case ir.OpOr:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) | b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		case ir.OpXor:
+			return func(e *cenv) {
+				fr := e.fr
+				r := a.get(fr) ^ b.get(fr)
+				if dst >= 0 {
+					fr.regs[dst] = r
+				}
+			}
+		}
+	}
+	return func(e *cenv) {
+		fr := e.fr
+		r, _ := intBinop(op, a.get(fr), b.get(fr), bits)
+		if dst >= 0 {
+			fr.regs[dst] = r
+		}
+	}
+}
+
+// compileObserving lowers one observing instruction (ends its charge
+// group). in is a stable pointer into pf's code array, so cold paths can
+// hand it to the shared predecode helpers unchanged.
+func (v *VM) compileObserving(f *ir.Func, fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, ci int, in *pinstr, prof *obs.FuncProfile) cstep {
+	dst := in.dst
+	switch in.op {
+	case ir.OpAlloca:
+		a := v.cdecode(cf, in.a)
+		elemSize := in.elemSize
+		return func(e *cenv) error {
+			t, fr := e.t, e.fr
+			count := int64(a.get(fr))
+			size := alignTo(uint64(count)*elemSize, heapAlign)
+			if t.sp < t.stackBase+size {
+				return &Fault{Addr: t.sp - size, Size: size, Perm: guard.PermRW, Msg: "stack overflow"}
+			}
+			t.sp -= size
+			if t.sp < t.minSP {
+				t.minSP = t.sp
+			}
+			if dst >= 0 {
+				fr.regs[dst] = t.sp
+			}
+			return nil
+		}
+
+	case ir.OpLoad:
+		a := v.cdecode(cf, in.a)
+		width := uint64(in.width)
+		signed, srcBits := in.signed, int(in.srcBits)
+		return func(e *cenv) error {
+			fr := e.fr
+			paddr, err := v.cdataAddr(fr, a, width, guard.PermRead)
+			if err != nil {
+				return err
+			}
+			raw := v.kern.Mem.LoadN(paddr, int(width))
+			if signed {
+				raw = uint64(signExtend(raw, srcBits))
+			}
+			if dst >= 0 {
+				fr.regs[dst] = raw
+			}
+			return nil
+		}
+
+	case ir.OpStore:
+		a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+		width := uint64(in.width)
+		return func(e *cenv) error {
+			fr := e.fr
+			val := a.get(fr)
+			paddr, err := v.cdataAddr(fr, b, width, guard.PermWrite)
+			if err != nil {
+				return err
+			}
+			v.kern.Mem.StoreN(paddr, val, int(width))
+			return nil
+		}
+
+	case ir.OpGuard:
+		// Unfused guard (range/call guards, or an access the fuser could
+		// not pair): the shared predecode path keeps miss/swap-in/fault
+		// semantics identical.
+		return func(e *cenv) error {
+			return v.pexecGuard(e.t, e.fr, in)
+		}
+
+	case ir.OpCall:
+		return v.compileCall(fi, pf, cf, bi, ci, in, prof)
+	}
+
+	// Observing integer binops: the divisions, which can fail.
+	a, b := v.cdecode(cf, in.a), v.cdecode(cf, in.b)
+	bits := int(in.bits)
+	op := in.op
+	raw := in.raw
+	return func(e *cenv) error {
+		fr := e.fr
+		r, err := intBinop(op, a.get(fr), b.get(fr), bits)
+		if err != nil {
+			return fmt.Errorf("vm: @%s: %s: %w", fr.fn.Name, raw, err)
+		}
+		if dst >= 0 {
+			fr.regs[dst] = r
+		}
+		return nil
+	}
+}
+
+// compileCall lowers a call site: argument marshalling, a monomorphic
+// inline cache for compiled callees, and the post-call epoch recheck. A
+// nested call is the one mid-block point where the region epoch can change
+// (page moves, thread spawn granting a stack region, forwarding windows),
+// invalidating this body's baked addresses and fused guard paths — so a
+// bumped epoch finishes the activation on the predecode tier, resuming at
+// the instruction after the call.
+func (v *VM) compileCall(fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, ci int, in *pinstr, prof *obs.FuncProfile) cstep {
+	dst := in.dst
+	callee := in.callee
+	cargsOps := make([]cop, len(in.args))
+	for i := range in.args {
+		cargsOps[i] = v.cdecode(cf, in.args[i])
+	}
+	builtin := callee.IsDecl()
+	ic := &callIC{}
+	return func(e *cenv) error {
+		t, fr := e.t, e.fr
+		cargs := make([]uint64, len(cargsOps))
+		for i := range cargsOps {
+			cargs[i] = cargsOps[i].get(fr)
+		}
+		var ret uint64
+		var err error
+		if builtin {
+			ret, err = v.callBuiltin(t, callee, cargs)
+		} else {
+			calleeFi := v.funcs[callee]
+			if ic.cf != nil && ic.epoch == v.proc.Regions.Epoch && ic.cf == calleeFi.cf {
+				v.closureICHits++
+				ret, err = v.ccallCompiled(t, callee, calleeFi, ic.cf, cargs)
+			} else {
+				v.closureICMisses++
+				ret, err = v.ccallFunc(t, callee, cargs)
+				if nc := calleeFi.cf; nc != nil && nc.epoch == v.proc.Regions.Epoch {
+					ic.cf, ic.epoch = nc, nc.epoch
+				} else {
+					ic.cf = nil
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if dst >= 0 {
+			fr.regs[dst] = ret
+		}
+		if v.proc.Regions.Epoch != cf.epoch {
+			// Deopt mid-block: the rest of this activation runs on the
+			// predecode tier, entering right after the call (no safepoint
+			// until the next block head, same as staying in-tier).
+			v.closureDeopts++
+			fi.cf = nil
+			r2, err2 := v.pexecFrom(t, fr, pf, bi, ci+1, nil, true)
+			if err2 != nil {
+				return err2
+			}
+			e.ret = r2
+			return errClosureDone
+		}
+		return nil
+	}
+}
+
+// compileGuardedAccess fuses a load/store guard with the access it covers
+// (plus, when gep is non-nil, the single-dynamic-index GEP that computes
+// the address — still writing the GEP's result slot for later readers and
+// cold paths). The fast path is one fused xcache probe that both validates
+// the access and proves identity translation (see
+// guard.CheckTranslateCached), then goes straight to physical memory —
+// skipping the separate translate step and the duplicate address-operand
+// read. Every other outcome falls back to the exact unfused sequence, so
+// guard evaluator state, xcache counters, trace events, and swap-in
+// behavior stay byte-identical.
+//
+// segN/segCyc/pures are the enclosing charge group (which includes the GEP
+// and the guard); they land on the deferred counters, as does the access's
+// own charge on a hit. The cold path flushes before the guard walk and
+// charges the access directly, exactly as the per-instruction tiers would.
+func (v *VM) compileGuardedAccess(cf *cfunc, gi, ai, gep *pinstr, prof *obs.FuncProfile, segN, segCyc uint64, pures []cpure) cstep {
+	// eval and mem are set once at VM construction and never replaced;
+	// capturing them skips two pointer chases per access.
+	eval, mem := v.eval, v.kern.Mem
+	ga, gb := v.cdecode(cf, gi.a), v.cdecode(cf, gi.b)
+	width := uint64(ai.width)
+	w := int(ai.width)
+	w8 := ai.width == 8
+	aCost := uint64(ai.cost)
+	dst := ai.dst
+
+	chargeAccess := func() {
+		v.Instrs++
+		v.Cycles += aCost
+		v.Prof.Cat[obs.CatCompute] += aCost
+		prof.Instrs++
+		prof.Cycles += aCost
+	}
+
+	hasGep := gep != nil
+	var gbase, gidx cop
+	var ggc uint64
+	var gstride int64
+	var gdst int32
+	if hasGep {
+		gbase = v.cdecode(cf, gep.a)
+		ggc = gep.gepConst
+		gidx = v.cdecode(cf, gep.gepSteps[0].op)
+		gstride = gep.gepSteps[0].stride
+		gdst = gep.dst
+	}
+
+	// On a hit the segment's charge and the access's own charge land as one
+	// deferred update; the cold path charges them separately (segment before
+	// the guard walk, access after it) to match the per-instruction order.
+	hitN, hitCyc := segN+1, segCyc+aCost
+
+	if ai.op == ir.OpLoad {
+		signed, srcBits := ai.signed, int(ai.srcBits)
+		aop := v.cdecode(cf, ai.a)
+		return func(e *cenv) error {
+			fr := e.fr
+			for _, p := range pures {
+				p(e)
+			}
+			regs := fr.regs
+			var addr uint64
+			if hasGep {
+				addr = regs[gbase] + ggc + uint64(int64(regs[gidx])*gstride)
+				regs[gdst] = addr
+			} else {
+				addr = regs[ga]
+			}
+			gsize := regs[gb]
+			if int64(gsize) > 0 && width <= gsize {
+				if pa, ok := eval.CheckTranslateCached(e.xc, addr, gsize, guard.PermRead); ok {
+					e.pendN += hitN
+					e.pendCyc += hitCyc
+					var raw uint64
+					if w8 {
+						raw = mem.Load64(pa)
+					} else {
+						raw = mem.LoadN(pa, w)
+					}
+					if signed {
+						raw = uint64(signExtend(raw, srcBits))
+					}
+					if dst >= 0 {
+						regs[dst] = raw
+					}
+					return nil
+				}
+			}
+			t := e.t
+			e.pendN += segN
+			e.pendCyc += segCyc
+			v.cflush(e)
+			if err := v.pexecGuard(t, fr, gi); err != nil {
+				return err
+			}
+			chargeAccess()
+			paddr, err := v.cdataAddr(fr, aop, width, guard.PermRead)
+			if err != nil {
+				return err
+			}
+			raw := mem.LoadN(paddr, w)
+			if signed {
+				raw = uint64(signExtend(raw, srcBits))
+			}
+			if dst >= 0 {
+				fr.regs[dst] = raw
+			}
+			return nil
+		}
+	}
+
+	// Store fusion.
+	vop := v.cdecode(cf, ai.a)
+	bop := v.cdecode(cf, ai.b)
+	return func(e *cenv) error {
+		fr := e.fr
+		for _, p := range pures {
+			p(e)
+		}
+		regs := fr.regs
+		var addr uint64
+		if hasGep {
+			addr = regs[gbase] + ggc + uint64(int64(regs[gidx])*gstride)
+			regs[gdst] = addr
+		} else {
+			addr = regs[ga]
+		}
+		gsize := regs[gb]
+		if int64(gsize) > 0 && width <= gsize {
+			if pa, ok := eval.CheckTranslateCached(e.xc, addr, gsize, guard.PermWrite); ok {
+				e.pendN += hitN
+				e.pendCyc += hitCyc
+				if w8 {
+					mem.Store64(pa, regs[vop])
+				} else {
+					mem.StoreN(pa, regs[vop], w)
+				}
+				return nil
+			}
+		}
+		t := e.t
+		e.pendN += segN
+		e.pendCyc += segCyc
+		v.cflush(e)
+		if err := v.pexecGuard(t, fr, gi); err != nil {
+			return err
+		}
+		chargeAccess()
+		val := vop.get(fr)
+		paddr, err := v.cdataAddr(fr, bop, width, guard.PermWrite)
+		if err != nil {
+			return err
+		}
+		mem.StoreN(paddr, val, w)
+		return nil
+	}
+}

@@ -1,0 +1,361 @@
+package vm
+
+import (
+	"testing"
+
+	"carat/internal/guard"
+	"carat/internal/passes"
+)
+
+// Exact-count tests for the closure tier's deopt and inline-cache
+// machinery. The counting model (see closure.go): one deopt per compiled
+// activation live when the region epoch bumps (the innermost bails at its
+// next block head, each compiled caller at its post-call check), one deopt
+// per stale-entry recompile, and one per compile refusal (which pins the
+// function to the predecode tier permanently).
+
+// closureWorkerSrc calls @work 100 times through one call site, so the
+// site's inline cache sees exactly one miss and 99 hits.
+const closureWorkerSrc = `module "closworker"
+global @a : [64 x i64]
+func @work(%i: i64) -> i64 {
+entry:
+  %m = and i64 %i, 63
+  %p = gep i64, @a, %m
+  store i64 %i, %p
+  %v = load i64, %p
+  ret i64 %v
+}
+func @main() -> i64 {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0, ^entry], [%i1, ^loop]
+  %acc = phi i64 [0, ^entry], [%acc1, ^loop]
+  %v = call i64 @work(i64 %i)
+  %acc1 = add i64 %acc, %v
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, 100
+  condbr %c, ^loop, ^done
+done:
+  ret i64 %acc1
+}`
+
+// closureLoopSrc is a call-free main: exactly one compiled activation is
+// ever live, so an injected epoch bump must cost exactly one deopt.
+const closureLoopSrc = `module "closloop"
+global @a : [64 x i64]
+func @main() -> i64 {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0, ^entry], [%i1, ^loop]
+  %acc = phi i64 [0, ^entry], [%acc1, ^loop]
+  %m = and i64 %i, 63
+  %p = gep i64, @a, %m
+  store i64 %i, %p
+  %v = load i64, %p
+  %acc1 = add i64 %acc, %v
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, 300
+  condbr %c, ^loop, ^done
+done:
+  ret i64 %acc1
+}`
+
+// closureRun loads src with the closure tier on, applies tweak, runs, and
+// returns the VM and result.
+func closureRun(t *testing.T, src string, lvl passes.Level, tweak func(*VM)) (*VM, int64) {
+	t.Helper()
+	m := compile(t, src, lvl)
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	cfg.Closure = true
+	v, err := Load(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tweak != nil {
+		tweak(v)
+	}
+	ret, err := v.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, ret
+}
+
+// TestClosureInlineCacheExactCounts: a hot monomorphic call site misses
+// once (compiling the callee) and hits on every subsequent call; nothing
+// deopts in a move-free run.
+func TestClosureInlineCacheExactCounts(t *testing.T) {
+	v, ret := closureRun(t, closureWorkerSrc, passes.LevelTracking, nil)
+	if want := int64(100 * 99 / 2); ret != want {
+		t.Fatalf("ret = %d, want %d", ret, want)
+	}
+	blocks, deopts, icHits, icMisses := v.ClosureStats()
+	// main has 3 blocks (entry/loop/done), work has 1.
+	if blocks != 4 {
+		t.Errorf("blocks = %d, want 4 (main 3 + work 1)", blocks)
+	}
+	if deopts != 0 {
+		t.Errorf("deopts = %d, want 0 (no epoch bumps)", deopts)
+	}
+	if icMisses != 1 {
+		t.Errorf("ic_misses = %d, want 1 (first call compiles @work)", icMisses)
+	}
+	if icHits != 99 {
+		t.Errorf("ic_hits = %d, want 99", icHits)
+	}
+	// The same counters must surface through the published metrics.
+	if got := v.Obs().Counter("carat.vm.closure.ic_hits").Get(); got != icHits {
+		t.Errorf("carat.vm.closure.ic_hits = %d, want %d", got, icHits)
+	}
+	if got := v.Obs().Counter("carat.vm.closure.deopts").Get(); got != deopts {
+		t.Errorf("carat.vm.closure.deopts = %d, want %d", got, deopts)
+	}
+}
+
+// TestClosureDeoptOnEpochBumpExactlyOnce: a single region grant mid-run
+// (an epoch bump, the same signal page moves raise) deopts the single
+// live compiled activation exactly once, and the result still matches the
+// predecode tier.
+func TestClosureDeoptOnEpochBumpExactlyOnce(t *testing.T) {
+	m := compile(t, closureLoopSrc, passes.LevelTracking)
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	want, err := func() (int64, error) {
+		v, err := Load(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Run()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	granted := false
+	v, ret := closureRun(t, closureLoopSrc, passes.LevelTracking, func(v *VM) {
+		v.SetMovePolicy(500, func() error {
+			if granted {
+				return nil
+			}
+			granted = true
+			_, err := v.Process().GrantRegion(4096, guard.PermRW)
+			return err
+		})
+	})
+	if !granted {
+		t.Fatal("move policy never fired; program too short")
+	}
+	if ret != want {
+		t.Errorf("ret = %d, want %d (predecode tier)", ret, want)
+	}
+	blocks, deopts, _, _ := v.ClosureStats()
+	if deopts != 1 {
+		t.Errorf("deopts = %d, want exactly 1 (one bump, one live activation)", deopts)
+	}
+	// main never re-enters after deopting mid-activation: no recompile.
+	if blocks != 3 {
+		t.Errorf("blocks = %d, want 3 (entry/loop/done, compiled once)", blocks)
+	}
+}
+
+// TestClosureDeoptOnForwardingWindow: OpenForward/FlipForward/CloseForward
+// each bump the region epoch; a full window cycled inside one safepoint
+// costs the live activation exactly one deopt (it checks the stamp once)
+// and the program result is unperturbed.
+func TestClosureDeoptOnForwardingWindow(t *testing.T) {
+	m := compile(t, closureLoopSrc, passes.LevelTracking)
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	want, err := func() (int64, error) {
+		v, err := Load(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Run()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cycled := false
+	v, ret := closureRun(t, closureLoopSrc, passes.LevelTracking, func(v *VM) {
+		src, err := v.Process().GrantRegion(4096, guard.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := v.Process().GrantRegion(4096, guard.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := v.Process().Regions
+		v.SetMovePolicy(500, func() error {
+			if cycled {
+				return nil
+			}
+			cycled = true
+			if err := rs.OpenForward(src, dst, 4096); err != nil {
+				return err
+			}
+			rs.FlipForward()
+			rs.CloseForward()
+			return nil
+		})
+	})
+	if !cycled {
+		t.Fatal("move policy never fired; program too short")
+	}
+	if ret != want {
+		t.Errorf("ret = %d, want %d (predecode tier)", ret, want)
+	}
+	_, deopts, _, _ := v.ClosureStats()
+	if deopts != 1 {
+		t.Errorf("deopts = %d, want exactly 1 (stamp checked once per block head)", deopts)
+	}
+}
+
+// TestClosureRefusesUndecodableShapes: a dynamic struct-index GEP carries
+// the predecoder's fallback flag, so the closure compiler must refuse the
+// whole function — exactly one deopt, zero blocks, and the predecode tier
+// produces the result.
+func TestClosureRefusesUndecodableShapes(t *testing.T) {
+	const src = `module "dynstruct"
+global @s : {i64, i64}
+func @main() -> i64 {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0, ^entry], [%i1, ^loop]
+  %f = and i64 %i, 1
+  %p = gep {i64, i64}, @s, 0, %f
+  store i64 %i, %p
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, 8
+  condbr %c, ^loop, ^done
+done:
+  %p0 = gep {i64, i64}, @s, 0, 0
+  %v0 = load i64, %p0
+  %p1 = gep {i64, i64}, @s, 0, 1
+  %v1 = load i64, %p1
+  %r = add i64 %v0, %v1
+  ret i64 %r
+}`
+	m := compile(t, src, passes.LevelTracking)
+	cfg := DefaultConfig()
+	cfg.MemBytes = 1 << 23
+	cfg.HeapBytes = 1 << 19
+	want, err := func() (int64, error) {
+		v, err := Load(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Run()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, ret := closureRun(t, src, passes.LevelTracking, nil)
+	if ret != want {
+		t.Errorf("ret = %d, want %d (predecode tier)", ret, want)
+	}
+	blocks, deopts, icHits, icMisses := v.ClosureStats()
+	if blocks != 0 {
+		t.Errorf("blocks = %d, want 0 (compile refused)", blocks)
+	}
+	if deopts != 1 {
+		t.Errorf("deopts = %d, want exactly 1 (one refusal)", deopts)
+	}
+	if icHits != 0 || icMisses != 0 {
+		t.Errorf("ic stats = %d/%d, want 0/0 (no compiled call sites)", icHits, icMisses)
+	}
+}
+
+// TestClosureReentryAfterDeopt: after an epoch bump with two compiled
+// activations live (main and @work's compiled body reachable), the tier
+// recovers — @work recompiles and execution returns to compiled code.
+// Exactly two deopts (the bump costs one per compiled activation or one
+// plus a stale-entry recompile, depending on where the safepoint lands —
+// both schedules total two) and exactly one recompiled block.
+func TestClosureReentryAfterDeopt(t *testing.T) {
+	granted := false
+	v, ret := closureRun(t, closureWorkerSrc, passes.LevelTracking, func(v *VM) {
+		v.SetMovePolicy(500, func() error {
+			if granted {
+				return nil
+			}
+			granted = true
+			_, err := v.Process().GrantRegion(4096, guard.PermRW)
+			return err
+		})
+	})
+	if !granted {
+		t.Fatal("move policy never fired; program too short")
+	}
+	if want := int64(100 * 99 / 2); ret != want {
+		t.Fatalf("ret = %d, want %d", ret, want)
+	}
+	blocks, deopts, icHits, icMisses := v.ClosureStats()
+	if deopts != 2 {
+		t.Errorf("deopts = %d, want exactly 2", deopts)
+	}
+	// 4 first-compile blocks + @work's single block recompiled once.
+	if blocks != 5 {
+		t.Errorf("blocks = %d, want 5 (4 initial + 1 recompile of @work)", blocks)
+	}
+	// Once main's activation deopts it finishes on the predecode tier, so
+	// the call site's cache is only consulted up to the bump: exactly the
+	// one cold miss, and strictly fewer than the move-free run's 99 hits.
+	if icMisses != 1 {
+		t.Errorf("ic_misses = %d, want 1 (only the cold miss)", icMisses)
+	}
+	if icHits == 0 || icHits >= 99 {
+		t.Errorf("ic_hits = %d, want in [1, 98] (site hot, then abandoned at the bump)", icHits)
+	}
+}
+
+// TestClosureParityUnderInjectedMoves is the belt-and-braces end-to-end
+// leg: worst-case page moves (real epoch bumps, not synthetic grants)
+// leave the closure tier's result and modeled clock identical to the
+// predecode tier, while deopts are actually exercised.
+func TestClosureParityUnderInjectedMoves(t *testing.T) {
+	runTier := func(closure bool) (*VM, int64) {
+		m := compile(t, closureWorkerSrc, passes.LevelTracking)
+		cfg := DefaultConfig()
+		cfg.MemBytes = 1 << 23
+		cfg.HeapBytes = 1 << 19
+		cfg.Closure = closure
+		v, err := Load(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.SetMovePolicy(400, func() error { return v.InjectWorstCaseMove() })
+		ret, err := v.Run()
+		if err != nil {
+			t.Fatalf("closure=%v: %v", closure, err)
+		}
+		return v, ret
+	}
+	pv, pret := runTier(false)
+	cv, cret := runTier(true)
+	if pret != cret {
+		t.Errorf("ret: predecode %d, closure %d", pret, cret)
+	}
+	if pv.Instrs != cv.Instrs || pv.Cycles != cv.Cycles {
+		t.Errorf("model diverged: instrs %d/%d, cycles %d/%d",
+			pv.Instrs, cv.Instrs, pv.Cycles, cv.Cycles)
+	}
+	if pv.Kernel().Mem.Checksum() != cv.Kernel().Mem.Checksum() {
+		t.Error("physical memory checksums diverged")
+	}
+	_, deopts, _, _ := cv.ClosureStats()
+	if deopts == 0 {
+		t.Error("no deopts under worst-case moves — epoch stamping not exercised")
+	}
+}

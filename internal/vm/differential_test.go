@@ -135,9 +135,17 @@ func genProgram(seed int64) *ir.Module {
 	return m
 }
 
-// runSeed compiles the seed's program at the given level and runs it.
+// runSeed compiles the seed's program at the given level and runs it on
+// the default (predecode+xcache) engine.
 func runSeed(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 	tweak func(*VM)) int64 {
+	return runSeedEngine(t, seed, lvl, mech, false, tweak)
+}
+
+// runSeedEngine is runSeed with an engine choice: closure selects the
+// closure compilation tier on top of the default config.
+func runSeedEngine(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
+	closure bool, tweak func(*VM)) int64 {
 	t.Helper()
 	m := genProgram(seed)
 	pl := passes.Build(lvl)
@@ -148,6 +156,7 @@ func runSeed(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 	cfg.MemBytes = 1 << 23
 	cfg.HeapBytes = 1 << 19
 	cfg.GuardMech = mech
+	cfg.Closure = closure
 	v, err := Load(m, cfg)
 	if err != nil {
 		t.Fatalf("seed %d: load: %v", seed, err)
@@ -157,7 +166,7 @@ func runSeed(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 	}
 	ret, err := v.Run()
 	if err != nil {
-		t.Fatalf("seed %d: run: %v", seed, err)
+		t.Fatalf("seed %d (closure=%v): run: %v", seed, closure, err)
 	}
 	return ret
 }
@@ -173,6 +182,9 @@ func TestDifferentialPipelineLevels(t *testing.T) {
 			if got := runSeed(t, seed, lvl, guard.MechRange, nil); got != want {
 				t.Errorf("seed %d level %d: got %d, want %d", seed, lvl, got, want)
 			}
+			if got := runSeedEngine(t, seed, lvl, guard.MechRange, true, nil); got != want {
+				t.Errorf("seed %d level %d closure: got %d, want %d", seed, lvl, got, want)
+			}
 		}
 	}
 }
@@ -186,6 +198,9 @@ func TestDifferentialGuardMechanisms(t *testing.T) {
 			if got := runSeed(t, seed, passes.LevelGuardsOpt, mech, nil); got != want {
 				t.Errorf("seed %d mech %v: got %d, want %d", seed, mech, got, want)
 			}
+			if got := runSeedEngine(t, seed, passes.LevelGuardsOpt, mech, true, nil); got != want {
+				t.Errorf("seed %d mech %v closure: got %d, want %d", seed, mech, got, want)
+			}
 		}
 	}
 }
@@ -193,11 +208,14 @@ func TestDifferentialGuardMechanisms(t *testing.T) {
 func TestDifferentialUnderPageMoves(t *testing.T) {
 	for seed := int64(100); seed <= 125; seed++ {
 		want := runSeed(t, seed, passes.LevelTracking, guard.MechRange, nil)
-		got := runSeed(t, seed, passes.LevelTracking, guard.MechRange, func(v *VM) {
+		movePolicy := func(v *VM) {
 			v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
-		})
-		if got != want {
+		}
+		if got := runSeed(t, seed, passes.LevelTracking, guard.MechRange, movePolicy); got != want {
 			t.Errorf("seed %d with page moves: got %d, want %d", seed, got, want)
+		}
+		if got := runSeedEngine(t, seed, passes.LevelTracking, guard.MechRange, true, movePolicy); got != want {
+			t.Errorf("seed %d with page moves closure: got %d, want %d", seed, got, want)
 		}
 	}
 }
@@ -205,16 +223,19 @@ func TestDifferentialUnderPageMoves(t *testing.T) {
 func TestDifferentialUnderAllocationMoves(t *testing.T) {
 	for seed := int64(200); seed <= 220; seed++ {
 		want := runSeed(t, seed, passes.LevelTracking, guard.MechRange, nil)
-		got := runSeed(t, seed, passes.LevelTracking, guard.MechRange, func(v *VM) {
+		movePolicy := func(v *VM) {
 			v.SetMovePolicy(600, func() error {
 				if err := v.InjectWorstCaseAllocationMove(); err != nil {
 					return nil // seed may have no heap allocations
 				}
 				return nil
 			})
-		})
-		if got != want {
+		}
+		if got := runSeed(t, seed, passes.LevelTracking, guard.MechRange, movePolicy); got != want {
 			t.Errorf("seed %d with allocation moves: got %d, want %d", seed, got, want)
+		}
+		if got := runSeedEngine(t, seed, passes.LevelTracking, guard.MechRange, true, movePolicy); got != want {
+			t.Errorf("seed %d with allocation moves closure: got %d, want %d", seed, got, want)
 		}
 	}
 }
@@ -301,16 +322,20 @@ done:
 	}
 	for pi, src := range progs {
 		for _, lvl := range []passes.Level{passes.LevelGuardsOnly, passes.LevelGuardsOpt, passes.LevelTracking} {
-			m := compile(t, src, lvl)
-			cfg := DefaultConfig()
-			cfg.MemBytes = 1 << 22
-			cfg.HeapBytes = 1 << 18
-			v, err := Load(m, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := v.Run(); err == nil {
-				t.Errorf("program %d at level %d: illegal access was admitted", pi+1, lvl)
+			for _, closure := range []bool{false, true} {
+				m := compile(t, src, lvl)
+				cfg := DefaultConfig()
+				cfg.MemBytes = 1 << 22
+				cfg.HeapBytes = 1 << 18
+				cfg.Closure = closure
+				v, err := Load(m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := v.Run(); err == nil {
+					t.Errorf("program %d at level %d (closure=%v): illegal access was admitted",
+						pi+1, lvl, closure)
+				}
 			}
 		}
 	}

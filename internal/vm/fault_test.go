@@ -12,7 +12,7 @@ import (
 // through the VM and a move policy that keeps requesting worst-case moves,
 // swallowing injected aborts the way mmpolicy's daemon does. Returns the
 // program result and how many moves were rolled back.
-func runSeedFaulted(t *testing.T, seed int64, rate float64) (int64, uint64) {
+func runSeedFaulted(t *testing.T, seed int64, rate float64, closure bool) (int64, uint64) {
 	t.Helper()
 	m := genProgram(seed)
 	pl := passes.Build(passes.LevelTracking)
@@ -24,6 +24,7 @@ func runSeedFaulted(t *testing.T, seed int64, rate float64) (int64, uint64) {
 	cfg.HeapBytes = 1 << 19
 	cfg.GuardMech = guard.MechRange
 	cfg.XCache = true
+	cfg.Closure = closure
 	inj := fault.New(seed, nil)
 	inj.SetRate(fault.MoveAbort, rate)
 	inj.SetRate(fault.PatchFail, rate)
@@ -57,11 +58,15 @@ func TestDifferentialUnderAbortedMoves(t *testing.T) {
 	var sawRollback bool
 	for seed := int64(100); seed <= 115; seed++ {
 		want := runSeed(t, seed, passes.LevelTracking, guard.MechRange, nil)
-		got, rollbacks := runSeedFaulted(t, seed, 0.5)
+		got, rollbacks := runSeedFaulted(t, seed, 0.5, false)
 		if got != want {
 			t.Errorf("seed %d with aborted moves: got %d, want %d", seed, got, want)
 		}
-		if rollbacks > 0 {
+		gotClo, rollClo := runSeedFaulted(t, seed, 0.5, true)
+		if gotClo != want {
+			t.Errorf("seed %d with aborted moves (closure): got %d, want %d", seed, gotClo, want)
+		}
+		if rollbacks > 0 && rollClo > 0 {
 			sawRollback = true
 		}
 	}

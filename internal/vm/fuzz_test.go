@@ -19,6 +19,12 @@ import (
 // Unlike runSeed it reports failures instead of t.Fatal-ing so the fuzzer
 // can minimize.
 func fuzzRun(t *testing.T, seed int64, lvl passes.Level, tweak func(*VM)) (int64, bool) {
+	return fuzzRunEngine(t, seed, lvl, false, tweak)
+}
+
+// fuzzRunEngine is fuzzRun with an engine choice (closure tier on/off).
+func fuzzRunEngine(t *testing.T, seed int64, lvl passes.Level, closure bool,
+	tweak func(*VM)) (int64, bool) {
 	m := genProgram(seed)
 	pl := passes.Build(lvl)
 	if err := pl.Run(m); err != nil {
@@ -29,6 +35,7 @@ func fuzzRun(t *testing.T, seed int64, lvl passes.Level, tweak func(*VM)) (int64
 	cfg.MemBytes = 1 << 23
 	cfg.HeapBytes = 1 << 19
 	cfg.GuardMech = guard.MechRange
+	cfg.Closure = closure
 	v, err := Load(m, cfg)
 	if err != nil {
 		t.Errorf("seed %d: load: %v", seed, err)
@@ -64,6 +71,9 @@ func FuzzDifferentialPipeline(f *testing.F) {
 			if got, ok := fuzzRun(t, seed, lvl, nil); ok && got != want {
 				t.Errorf("seed %d level %d: got %d, want %d", seed, lvl, got, want)
 			}
+			if got, ok := fuzzRunEngine(t, seed, lvl, true, nil); ok && got != want {
+				t.Errorf("seed %d level %d closure: got %d, want %d", seed, lvl, got, want)
+			}
 		}
 	})
 }
@@ -79,11 +89,14 @@ func FuzzDifferentialMoves(f *testing.F) {
 		if !ok {
 			return
 		}
-		got, ok := fuzzRun(t, seed, passes.LevelTracking, func(v *VM) {
+		movePolicy := func(v *VM) {
 			v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
-		})
-		if ok && got != want {
+		}
+		if got, ok := fuzzRun(t, seed, passes.LevelTracking, movePolicy); ok && got != want {
 			t.Errorf("seed %d with page moves: got %d, want %d", seed, got, want)
+		}
+		if got, ok := fuzzRunEngine(t, seed, passes.LevelTracking, true, movePolicy); ok && got != want {
+			t.Errorf("seed %d with page moves closure: got %d, want %d", seed, got, want)
 		}
 	})
 }

@@ -24,6 +24,15 @@ func pauseMetric(name string) bool {
 	return strings.HasPrefix(name, runtime.PauseHist) || name == "carat.runtime.batch_pauses"
 }
 
+// tierMetric reports whether a metric name is execution-tier bookkeeping:
+// the closure tier's own counters exist only when that tier is enabled, and
+// deopt/recompile counts legitimately differ between the legacy and
+// incremental protocols (incremental phases bump the region epoch more
+// often). Everything else must match byte-for-byte across tiers.
+func tierMetric(name string) bool {
+	return strings.HasPrefix(name, "carat.vm.closure.")
+}
+
 // seedDigest is everything one fuzz-seed run must reproduce across modes.
 type seedDigest struct {
 	ret     int64
@@ -33,8 +42,9 @@ type seedDigest struct {
 }
 
 // runSeedDigest runs a fuzz seed under worst-case page moves and digests
-// the observable outcome, excluding pause-attribution metrics.
-func runSeedDigest(t *testing.T, seed int64, incremental bool) seedDigest {
+// the observable outcome, excluding pause-attribution and tier-bookkeeping
+// metrics.
+func runSeedDigest(t *testing.T, seed int64, incremental, closure bool) seedDigest {
 	t.Helper()
 	m := genProgram(seed)
 	pl := passes.Build(passes.LevelTracking)
@@ -46,6 +56,7 @@ func runSeedDigest(t *testing.T, seed int64, incremental bool) seedDigest {
 	cfg.HeapBytes = 1 << 19
 	cfg.GuardMech = guard.MechRange
 	cfg.Incremental = incremental
+	cfg.Closure = closure
 	cfg.MoveBatch = runtime.MinMoveBatch // smallest batches = most boundaries
 	v, err := Load(m, cfg)
 	if err != nil {
@@ -54,17 +65,17 @@ func runSeedDigest(t *testing.T, seed int64, incremental bool) seedDigest {
 	v.SetMovePolicy(750, func() error { return v.InjectWorstCaseMove() })
 	ret, err := v.Run()
 	if err != nil {
-		t.Fatalf("seed %d (incremental=%v): run: %v", seed, incremental, err)
+		t.Fatalf("seed %d (incremental=%v closure=%v): run: %v", seed, incremental, closure, err)
 	}
 
 	snap := v.Obs().Snapshot()
 	for name := range snap.Counters {
-		if pauseMetric(name) {
+		if pauseMetric(name) || tierMetric(name) {
 			delete(snap.Counters, name)
 		}
 	}
 	for name := range snap.Histograms {
-		if pauseMetric(name) {
+		if pauseMetric(name) || tierMetric(name) {
 			delete(snap.Histograms, name)
 		}
 	}
@@ -81,25 +92,36 @@ func runSeedDigest(t *testing.T, seed int64, incremental bool) seedDigest {
 }
 
 // TestIncrementalParityMatrix runs the existing differential fuzz seeds
-// under {legacy, incremental} and requires byte-identical results: return
-// value, modeled cycle clock, physical memory checksum, and the full
-// metrics snapshot minus pause attribution.
+// under {legacy, incremental} x {predecode, closure} and requires
+// byte-identical results: return value, modeled cycle clock, physical
+// memory checksum, and the full metrics snapshot minus pause attribution
+// and tier bookkeeping.
 func TestIncrementalParityMatrix(t *testing.T) {
+	legs := []struct {
+		name                 string
+		incremental, closure bool
+	}{
+		{"incremental", true, false},
+		{"closure", false, true},
+		{"incremental+closure", true, true},
+	}
 	for seed := int64(100); seed <= 112; seed++ {
-		legacy := runSeedDigest(t, seed, false)
-		incr := runSeedDigest(t, seed, true)
-		if legacy.ret != incr.ret {
-			t.Errorf("seed %d: ret %d (legacy) != %d (incremental)", seed, legacy.ret, incr.ret)
-		}
-		if legacy.cycles != incr.cycles {
-			t.Errorf("seed %d: cycles %d (legacy) != %d (incremental)", seed, legacy.cycles, incr.cycles)
-		}
-		if legacy.memSum != incr.memSum {
-			t.Errorf("seed %d: memory checksum %#x (legacy) != %#x (incremental)", seed, legacy.memSum, incr.memSum)
-		}
-		if legacy.metrics != incr.metrics {
-			t.Errorf("seed %d: metrics diverge beyond pause attribution:\n legacy      %s\n incremental %s",
-				seed, legacy.metrics, incr.metrics)
+		legacy := runSeedDigest(t, seed, false, false)
+		for _, leg := range legs {
+			got := runSeedDigest(t, seed, leg.incremental, leg.closure)
+			if legacy.ret != got.ret {
+				t.Errorf("seed %d: ret %d (legacy) != %d (%s)", seed, legacy.ret, got.ret, leg.name)
+			}
+			if legacy.cycles != got.cycles {
+				t.Errorf("seed %d: cycles %d (legacy) != %d (%s)", seed, legacy.cycles, got.cycles, leg.name)
+			}
+			if legacy.memSum != got.memSum {
+				t.Errorf("seed %d: memory checksum %#x (legacy) != %#x (%s)", seed, legacy.memSum, got.memSum, leg.name)
+			}
+			if legacy.metrics != got.metrics {
+				t.Errorf("seed %d: metrics diverge beyond pause attribution (%s):\n legacy %s\n %s %s",
+					seed, leg.name, legacy.metrics, leg.name, got.metrics)
+			}
 		}
 	}
 }

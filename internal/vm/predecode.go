@@ -327,6 +327,9 @@ func (v *VM) call(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 	if f.IsDecl() {
 		return v.callBuiltin(t, f, args)
 	}
+	if v.cfg.Closure {
+		return v.ccallFunc(t, f, args)
+	}
 	if v.cfg.Predecode {
 		return v.pcallFunc(t, f, args)
 	}
@@ -359,17 +362,30 @@ func (v *VM) pcallFunc(t *thread, f *ir.Func, args []uint64) (uint64, error) {
 	if len(t.frames) > 10000 {
 		return 0, fmt.Errorf("vm: call stack overflow in @%s", f.Name)
 	}
+	return v.pexecFrom(t, fr, pf, 0, 0, nil, false)
+}
 
-	var bi int32
-	var pending []pcopy
+// pexecFrom runs frame fr through the predecoded engine starting at
+// instruction ci0 of block bi with the given phi copies still pending.
+// pcallFunc enters at (0, 0); the closure tier's deopt paths enter at a
+// block head with skipSafepoint set (the closure block already took that
+// head's safepoint) or mid-block after a call step. The frame is the
+// caller's: deopting transfers an in-flight activation between tiers
+// without disturbing stack or profiling bookkeeping.
+func (v *VM) pexecFrom(t *thread, fr *frame, pf *pfunc, bi int32, ci0 int, pending []pcopy, skipSafepoint bool) (uint64, error) {
+	f := fr.fn
+	fi := fr.fi
 	var tmp []uint64
 	if pf.maxPhis > 0 {
 		tmp = make([]uint64, pf.maxPhis)
 	}
+	ci := ci0
 
 blockLoop:
 	for {
-		if err := t.safepoint(); err != nil {
+		if skipSafepoint {
+			skipSafepoint = false
+		} else if err := t.safepoint(); err != nil {
 			return 0, err
 		}
 		if len(pending) > 0 {
@@ -384,7 +400,7 @@ blockLoop:
 			pending = nil
 		}
 		code := pf.blocks[bi].code
-		for ci := 0; ci < len(code); ci++ {
+		for ; ci < len(code); ci++ {
 			in := &code[ci]
 			v.Instrs++
 			c := uint64(in.cost)
@@ -402,14 +418,14 @@ blockLoop:
 
 			switch in.op {
 			case ir.OpBr:
-				pending, bi = in.copies0, in.succ0
+				pending, bi, ci = in.copies0, in.succ0, 0
 				continue blockLoop
 
 			case ir.OpCondBr:
 				if v.pval(fr, in.a)&1 != 0 {
-					pending, bi = in.copies0, in.succ0
+					pending, bi, ci = in.copies0, in.succ0, 0
 				} else {
-					pending, bi = in.copies1, in.succ1
+					pending, bi, ci = in.copies1, in.succ1, 0
 				}
 				continue blockLoop
 

@@ -11,10 +11,11 @@ import (
 	"carat/internal/passes"
 )
 
-// Engine parity: the predecoded engine and the guard/translation cache are
-// host-speed optimizations ONLY. Every modeled observable — result, output,
-// instruction count, cycle count, per-category profile, guard evaluator
-// stats — must be byte-identical across the full {Predecode, XCache}
+// Engine parity: the predecoded engine, the guard/translation cache, and
+// the closure compilation tier are host-speed optimizations ONLY. Every
+// modeled observable — result, output, instruction count, cycle count,
+// per-category profile, guard evaluator stats, physical memory image —
+// must be byte-identical across the full {Predecode, XCache, Closure}
 // on/off matrix, including under injected page moves, allocation moves,
 // and swap storms.
 
@@ -28,10 +29,11 @@ type engineResult struct {
 	faults     uint64
 	cat        [obs.NumCategories]uint64
 	output     []int64
+	memSum     uint64
 }
 
 func runEngine(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
-	predecode, xcache bool, vmTweak func(*VM)) engineResult {
+	predecode, xcache, closure bool, vmTweak func(*VM)) engineResult {
 	t.Helper()
 	m := genProgram(seed)
 	pl := passes.Build(lvl)
@@ -44,6 +46,7 @@ func runEngine(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 	cfg.GuardMech = mech
 	cfg.Predecode = predecode
 	cfg.XCache = xcache
+	cfg.Closure = closure
 	v, err := Load(m, cfg)
 	if err != nil {
 		t.Fatalf("seed %d: load: %v", seed, err)
@@ -53,7 +56,7 @@ func runEngine(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 	}
 	ret, err := v.Run()
 	if err != nil {
-		t.Fatalf("seed %d (predecode=%v xcache=%v): run: %v", seed, predecode, xcache, err)
+		t.Fatalf("seed %d (predecode=%v xcache=%v closure=%v): run: %v", seed, predecode, xcache, closure, err)
 	}
 	return engineResult{
 		ret:        ret,
@@ -64,19 +67,30 @@ func runEngine(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism,
 		faults:     v.eval.Faults,
 		cat:        v.Prof.Cat,
 		output:     v.Output,
+		memSum:     v.Kernel().Mem.Checksum(),
 	}
 }
 
-// engineMatrix runs one seed through all four engine configurations and
+// engineConfigs is the engine parity matrix: baseline, each tier alone,
+// the PR-4 pair, and the closure tier with and without the xcache.
+var engineConfigs = []struct{ pre, xc, clo bool }{
+	{true, false, false},
+	{false, true, false},
+	{true, true, false},
+	{true, true, true},
+	{true, false, true},
+}
+
+// engineMatrix runs one seed through every engine configuration and
 // requires bit-identical results.
 func engineMatrix(t *testing.T, seed int64, lvl passes.Level, mech guard.Mechanism, vmTweak func(*VM)) {
 	t.Helper()
-	want := runEngine(t, seed, lvl, mech, false, false, vmTweak)
-	for _, c := range []struct{ pre, xc bool }{{true, false}, {false, true}, {true, true}} {
-		got := runEngine(t, seed, lvl, mech, c.pre, c.xc, vmTweak)
+	want := runEngine(t, seed, lvl, mech, false, false, false, vmTweak)
+	for _, c := range engineConfigs {
+		got := runEngine(t, seed, lvl, mech, c.pre, c.xc, c.clo, vmTweak)
 		if !reflect.DeepEqual(got, want) {
-			t.Errorf("seed %d predecode=%v xcache=%v diverges:\n got %+v\nwant %+v",
-				seed, c.pre, c.xc, got, want)
+			t.Errorf("seed %d predecode=%v xcache=%v closure=%v diverges:\n got %+v\nwant %+v",
+				seed, c.pre, c.xc, c.clo, got, want)
 		}
 	}
 }
@@ -126,11 +140,16 @@ func TestEngineParityTracksGuardStats(t *testing.T) {
 	// Table-1-style evaluator statistics must be identical with and
 	// without the cache — AvgCycles is derived from (Cycles, Checks),
 	// both compared here explicitly on a guard-heavy program.
-	a := runEngine(t, 470, passes.LevelGuardsOnly, guard.MechBinarySearch, false, false, nil)
-	b := runEngine(t, 470, passes.LevelGuardsOnly, guard.MechBinarySearch, true, true, nil)
+	a := runEngine(t, 470, passes.LevelGuardsOnly, guard.MechBinarySearch, false, false, false, nil)
+	b := runEngine(t, 470, passes.LevelGuardsOnly, guard.MechBinarySearch, true, true, false, nil)
+	c := runEngine(t, 470, passes.LevelGuardsOnly, guard.MechBinarySearch, true, true, true, nil)
 	if a.checks != b.checks || a.evalCycles != b.evalCycles {
 		t.Errorf("guard stats diverge: checks %d/%d cycles %d/%d",
 			a.checks, b.checks, a.evalCycles, b.evalCycles)
+	}
+	if a.checks != c.checks || a.evalCycles != c.evalCycles {
+		t.Errorf("closure guard stats diverge: checks %d/%d cycles %d/%d",
+			a.checks, c.checks, a.evalCycles, c.evalCycles)
 	}
 	if a.checks == 0 {
 		t.Fatal("program executed no guards")
@@ -423,7 +442,7 @@ func TestPredecodeDeterminism(t *testing.T) {
 	// Two identical runs of the full-featured config must agree to the
 	// cycle on a program exercising threads, tracking, and moves.
 	mk := func() (int64, uint64, uint64) {
-		r := runEngine(t, 480, passes.LevelTracking, guard.MechRange, true, true, func(v *VM) {
+		r := runEngine(t, 480, passes.LevelTracking, guard.MechRange, true, true, true, func(v *VM) {
 			v.SetMovePolicy(1000, func() error { return v.InjectWorstCaseMove() })
 		})
 		return r.ret, r.cycles, r.instrs

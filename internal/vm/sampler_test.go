@@ -102,20 +102,23 @@ func TestSamplerReconcilesWithCycleCounters(t *testing.T) {
 // attaching the profiler (at any interval) must leave modeled instructions,
 // cycles, and the program result byte-identical.
 func TestSamplerDoesNotPerturbModeledResults(t *testing.T) {
-	runOnce := func(sampler *obs.Sampler) (*VM, int64) {
+	runOnce := func(sampler *obs.Sampler, closure bool) (*VM, int64) {
 		m := compile(t, sumSrc, passes.LevelTracking)
 		cfg := DefaultConfig()
 		cfg.MemBytes = 1 << 24
 		cfg.HeapBytes = 1 << 20
 		cfg.Sampler = sampler
+		cfg.Closure = closure
 		return run(t, m, cfg)
 	}
-	base, baseRet := runOnce(nil)
-	for _, interval := range []uint64{1, 64, 4096} {
-		v, ret := runOnce(obs.NewSampler(interval))
-		if ret != baseRet || v.Instrs != base.Instrs || v.Cycles != base.Cycles {
-			t.Errorf("interval %d perturbed the model: ret %d/%d, instrs %d/%d, cycles %d/%d",
-				interval, ret, baseRet, v.Instrs, base.Instrs, v.Cycles, base.Cycles)
+	for _, closure := range []bool{false, true} {
+		base, baseRet := runOnce(nil, closure)
+		for _, interval := range []uint64{1, 64, 4096} {
+			v, ret := runOnce(obs.NewSampler(interval), closure)
+			if ret != baseRet || v.Instrs != base.Instrs || v.Cycles != base.Cycles {
+				t.Errorf("interval %d (closure=%v) perturbed the model: ret %d/%d, instrs %d/%d, cycles %d/%d",
+					interval, closure, ret, baseRet, v.Instrs, base.Instrs, v.Cycles, base.Cycles)
+			}
 		}
 	}
 }

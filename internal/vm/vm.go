@@ -95,6 +95,18 @@ type Config struct {
 	// cache on or off.
 	XCache bool
 
+	// Closure selects the third execution tier: each predecoded function is
+	// lowered once more into chained Go closures — one superinstruction
+	// closure per basic block, fusing compare+branch, GEP+load/store, and
+	// guard-check+access pairs — with monomorphic inline caches on call
+	// sites. The compiled form bakes global/function addresses and is
+	// stamped with the region-set epoch; any epoch bump (page moves, grants,
+	// forwarding windows) deopts in-flight activations back to the predecode
+	// tier and recompiles on the next call. Implies the predecode lowering.
+	// Host-speed only: modeled results are byte-identical to both other
+	// tiers.
+	Closure bool
+
 	// Obs, when set, is the shared metrics registry for all layers of
 	// this machine (kernel, runtime, tlb, vm). A private registry is
 	// created when nil.
@@ -200,6 +212,15 @@ type VM struct {
 	GuardChecks uint64
 	Output      []int64
 
+	// Closure-tier counters (host-side, never part of the model): blocks
+	// lowered to superinstruction closures, deopt events (stale epoch at
+	// entry, in-flight bailouts to the predecode tier, compile refusals),
+	// and inline-cache hits/misses on closure call sites.
+	closureBlocks   uint64
+	closureDeopts   uint64
+	closureICHits   uint64
+	closureICMisses uint64
+
 	// Prof attributes every charged cycle to a category and (for compute)
 	// a function; obsReg backs the carat.vm.* metrics published by Run.
 	Prof      *obs.CycleProfile
@@ -287,6 +308,13 @@ type funcInfo struct {
 	ptrSlots []int
 	prof     *obs.FuncProfile // resolved once at load; hot-loop updates are plain adds
 	pf       *pfunc           // predecoded body, built on first pcallFunc
+
+	// Closure-tier state: cf is the compiled closure body (nil until the
+	// first closure call, dropped again on deopt); noClosure marks a
+	// function the closure compiler refused (undecodable shape) — it runs
+	// on the predecode tier permanently.
+	cf        *cfunc
+	noClosure bool
 }
 
 func buildFuncInfo(f *ir.Func) *funcInfo {
@@ -666,7 +694,20 @@ func (v *VM) publishMetrics() {
 		v.obsReg.Counter("carat.vm.xcache.misses").Add(misses)
 		v.obsReg.Counter("carat.vm.xcache.invalidations").Add(invs)
 	}
+	if v.cfg.Closure {
+		v.obsReg.Counter("carat.vm.closure.blocks").Add(v.closureBlocks)
+		v.obsReg.Counter("carat.vm.closure.deopts").Add(v.closureDeopts)
+		v.obsReg.Counter("carat.vm.closure.ic_hits").Add(v.closureICHits)
+		v.obsReg.Counter("carat.vm.closure.ic_misses").Add(v.closureICMisses)
+	}
 	v.Prof.PublishTo(v.obsReg, "carat.vm")
+}
+
+// ClosureStats returns the closure-tier counters: basic blocks lowered to
+// superinstruction closures, deopt events, and call-site inline-cache
+// hits/misses. All zero unless Config.Closure is set.
+func (v *VM) ClosureStats() (blocks, deopts, icHits, icMisses uint64) {
+	return v.closureBlocks, v.closureDeopts, v.closureICHits, v.closureICMisses
 }
 
 // XCacheStats sums the per-thread guard/translation cache counters.

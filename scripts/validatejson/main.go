@@ -37,7 +37,7 @@ import (
 // internal/bench).
 var supported = map[string]int{
 	"carat.bench.result":  2,
-	"carat.bench.exec":    2,
+	"carat.bench.exec":    3,
 	"carat.vm.run":        1,
 	"carat.metrics":       1,
 	"carat.trace":         1,
@@ -116,6 +116,64 @@ func validate(name string, r io.Reader) error {
 		if err := validatePolicy(data); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+	}
+	if doc.Schema == "carat.bench.exec" && doc.Version >= 3 {
+		if err := validateBenchExec(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// validateBenchExec structurally checks a carat.bench.exec v3 document:
+// the engine matrix must include a closure leg and a closure+telemetry
+// leg, every engine must report the same modeled instruction/cycle totals
+// (the engines are host-speed tiers over one model, so modeled results are
+// engine-invariant by construction), closure legs must carry inline-cache
+// counters, and speedup_closure must be present.
+func validateBenchExec(data []byte) error {
+	var doc struct {
+		Engines []struct {
+			Engine    string `json:"engine"`
+			Closure   bool   `json:"closure"`
+			Telemetry bool   `json:"telemetry"`
+			Instrs    uint64 `json:"instrs"`
+			Cycles    uint64 `json:"cycles"`
+			ICHits    uint64 `json:"ic_hits"`
+			ICMisses  uint64 `json:"ic_misses"`
+		} `json:"engines"`
+		SpeedupClosure float64 `json:"speedup_closure"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("carat.bench.exec: %w", err)
+	}
+	if len(doc.Engines) == 0 {
+		return fmt.Errorf("carat.bench.exec: no engines")
+	}
+	var sawClosure, sawTelemetry bool
+	for _, e := range doc.Engines {
+		if e.Instrs != doc.Engines[0].Instrs || e.Cycles != doc.Engines[0].Cycles {
+			return fmt.Errorf("carat.bench.exec: engine %q modeled (%d instrs, %d cycles) diverges from %q (%d, %d)",
+				e.Engine, e.Instrs, e.Cycles, doc.Engines[0].Engine, doc.Engines[0].Instrs, doc.Engines[0].Cycles)
+		}
+		if e.Closure {
+			sawClosure = true
+			if e.ICHits == 0 && e.ICMisses == 0 {
+				return fmt.Errorf("carat.bench.exec: closure engine %q reports no inline-cache activity", e.Engine)
+			}
+			if e.Telemetry {
+				sawTelemetry = true
+			}
+		}
+	}
+	if !sawClosure {
+		return fmt.Errorf("carat.bench.exec: v3 document has no closure leg")
+	}
+	if !sawTelemetry {
+		return fmt.Errorf("carat.bench.exec: v3 document has no closure+telemetry leg")
+	}
+	if doc.SpeedupClosure <= 0 {
+		return fmt.Errorf("carat.bench.exec: speedup_closure missing or non-positive")
 	}
 	return nil
 }
