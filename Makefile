@@ -14,7 +14,7 @@ FUZZTIME ?= 20s
 # cover` accepts. Raise it when coverage grows; never lower it.
 COVER_FLOOR ?= 75
 
-.PHONY: all fmt vet build test race smoke bench check lint cover soak fuzz serve loadtest
+.PHONY: all fmt vet build test race smoke bench scale check lint cover soak fuzz serve loadtest workflowsync
 
 all: check
 
@@ -67,6 +67,16 @@ bench: build
 	$(GO) run ./scripts/benchexec -out BENCH_exec.json -baseline BENCH_exec.baseline.json -reps 8
 	$(GO) run ./scripts/validatejson BENCH_exec.json
 
+# scale measures multi-core process scaling: 8 concurrent processes of
+# one machine at GOMAXPROCS={1,2,8} plus injected-abort legs, writes
+# BENCH_scale.json, validates its schema, and fails if per-process
+# digests differ across any leg, if aggregate 8-vs-1 throughput is below
+# the core-scaled floor (3x on an 8-core host), or if the speedup
+# regressed >20% against the committed baseline (same core class only).
+scale: build
+	$(GO) run ./scripts/benchexec -scale -out BENCH_scale.json -baseline BENCH_scale.baseline.json
+	$(GO) run ./scripts/validatejson BENCH_scale.json
+
 # serve builds and launches caratd in the foreground with the sample
 # config (Ctrl-C / SIGTERM drains gracefully). Override the bind with
 # SERVE_ADDR=host:port.
@@ -114,5 +124,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDifferentialPipeline -fuzztime $(FUZZTIME) ./internal/vm/
 	$(GO) test -run '^$$' -fuzz FuzzDifferentialMoves -fuzztime $(FUZZTIME) ./internal/vm/
 	$(GO) test -run '^$$' -fuzz FuzzGuardsAgreeOnForgedPointers -fuzztime $(FUZZTIME) ./internal/vm/
+	$(GO) test -run '^$$' -fuzz FuzzGroupMoves -fuzztime $(FUZZTIME) ./internal/vm/
 
-check: fmt vet build test race
+# workflowsync guards against stale shadow copies of the CI workflows: if
+# a copy of a workflow file ever appears under scripts/, it must be
+# byte-identical to the canonical file in .github/workflows/ (historically
+# such copies drifted silently). No copy present = nothing to check.
+workflowsync:
+	@for f in ci.yml soak.yml; do \
+		if [ -f scripts/$$f ]; then \
+			diff -u .github/workflows/$$f scripts/$$f || \
+				{ echo "workflowsync: scripts/$$f drifted from .github/workflows/$$f (delete the copy or resync it)"; exit 1; }; \
+		fi; \
+	done
+
+check: fmt vet build test race workflowsync

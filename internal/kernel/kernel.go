@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"carat/internal/fault"
 	"carat/internal/guard"
@@ -42,6 +43,14 @@ type Kernel struct {
 	Obs *obs.Registry
 	tr  *obs.Tracer
 	inj *fault.Injector
+
+	// ownMu guards the page-ownership map (physical page index -> owning
+	// process) and the process-ID counter. The map backs OwnerOf/OwnersOf:
+	// the stop-set computation of the ragged safepoint protocol (see
+	// arena.go).
+	ownMu  sync.Mutex
+	owners map[uint64]*Process
+	nextID uint64
 }
 
 // Stats is the kernel's typed view over its carat.kernel.* metrics. The
@@ -156,12 +165,20 @@ type MoveResult struct {
 // runtime handler. The region set lives, conceptually, in the runtime's
 // landing zone; the kernel is its only writer (§4.2 "Protection").
 type Process struct {
-	K       *Kernel
+	K *Kernel
+	// ID orders processes machine-wide. Ragged-stop protocols acquire
+	// per-process suspensions in ascending ID order, so two concurrent
+	// movers whose stop sets overlap can never deadlock.
+	ID      uint64
 	Regions *guard.RegionSet
 	Handler MoveHandler
 
 	// limiter, when set, meters this process's page grants (see Limiter).
 	limiter Limiter
+
+	// arena, when set, is the private page range every grant and move
+	// destination of this process is served from (see arena.go).
+	arena *Arena
 
 	// notifiers receive MMU-notifier-style paging events (see notifier.go).
 	notifiers []MMUNotifier
@@ -169,7 +186,54 @@ type Process struct {
 
 // NewProcess registers a process with an empty region set.
 func (k *Kernel) NewProcess() *Process {
-	return &Process{K: k, Regions: guard.NewRegionSet()}
+	k.ownMu.Lock()
+	k.nextID++
+	id := k.nextID
+	k.ownMu.Unlock()
+	return &Process{K: k, ID: id, Regions: guard.NewRegionSet()}
+}
+
+// SetArena routes all of this process's page allocations (grants and move
+// destinations) through a private arena. Install before the first grant:
+// frames allocated earlier came from the machine allocator and would be
+// freed into the wrong pool.
+func (p *Process) SetArena(a *Arena) { p.arena = a }
+
+// Arena returns the process's private arena (nil when unset).
+func (p *Process) Arena() *Arena { return p.arena }
+
+// allocFrames grabs n contiguous page frames from the process's arena, or
+// from the machine allocator when no arena is installed, and records this
+// process as their owner.
+func (p *Process) allocFrames(n uint64) (uint64, error) {
+	var base uint64
+	var err error
+	if p.arena != nil {
+		base, err = p.arena.allocPages(n)
+	} else {
+		base, err = p.K.Alloc.Alloc(n)
+	}
+	if err != nil {
+		return 0, err
+	}
+	p.K.setOwner(base, n, p)
+	return base, nil
+}
+
+// freeFrames returns n page frames to whichever allocator owns them and
+// clears their ownership records.
+func (p *Process) freeFrames(base, n uint64) error {
+	var err error
+	if p.arena != nil && p.arena.Contains(base) {
+		err = p.arena.freePages(base, n)
+	} else {
+		err = p.K.Alloc.Free(base, n)
+	}
+	if err != nil {
+		return err
+	}
+	p.K.clearOwner(base, n)
+	return nil
 }
 
 // SetLimiter installs a page-grant limiter (nil removes it). Call before
@@ -200,7 +264,7 @@ func (p *Process) GrantRegion(sizeBytes uint64, perm guard.Perm) (uint64, error)
 	if err := p.reservePages(pages); err != nil {
 		return 0, err
 	}
-	base, err := p.K.Alloc.Alloc(pages)
+	base, err := p.allocFrames(pages)
 	if err != nil {
 		p.releasePages(pages)
 		return 0, err
@@ -225,7 +289,7 @@ func (p *Process) ReleaseRegion(base, length uint64) error {
 		return fmt.Errorf("kernel: unaligned region release")
 	}
 	p.Regions.Remove(base, length)
-	if err := p.K.Alloc.Free(base, length/PageSize); err != nil {
+	if err := p.freeFrames(base, length/PageSize); err != nil {
 		return err
 	}
 	p.K.Stats.PageFrees.Add(length / PageSize)
@@ -305,14 +369,14 @@ func (r *MoveRequest) NegotiateDst(src uint64, pages uint64) (uint64, error) {
 	if err := r.proc.reservePages(pages); err != nil {
 		return 0, err
 	}
-	dst, err := r.kernel.Alloc.Alloc(pages)
+	dst, err := r.proc.allocFrames(pages)
 	if err != nil {
 		r.proc.releasePages(pages)
 		return 0, err
 	}
 	r.kernel.Stats.PageAllocs.Add(pages)
 	if err := r.proc.Regions.Add(guard.Region{Base: dst, Len: pages * PageSize, Perm: reg.Perm}); err != nil {
-		_ = r.kernel.Alloc.Free(dst, pages)
+		_ = r.proc.freeFrames(dst, pages)
 		r.proc.releasePages(pages)
 		return 0, err
 	}

@@ -32,9 +32,11 @@ type admission struct {
 	retryAfter  int     // seconds, advertised on 429
 
 	inflight atomic.Int64
+	peak     atomic.Int64 // high-water mark of inflight over the process lifetime
 	draining atomic.Bool
 
 	inflightG  *obs.Gauge
+	peakG      *obs.Gauge
 	stateG     *obs.Gauge
 	rejections *obs.Counter
 }
@@ -55,6 +57,7 @@ func newAdmission(k *kernel.Kernel, maxInflight int, highWater float64, retryAft
 		highWater:   highWater,
 		retryAfter:  retryAfter,
 		inflightG:   reg.Gauge("carat.server.inflight"),
+		peakG:       reg.Gauge("carat.server.inflight_peak"),
 		stateG:      reg.Gauge("carat.server.admission_state"),
 		rejections:  reg.Counter("carat.server.admission_rejections"),
 	}
@@ -92,7 +95,21 @@ func (a *admission) admit() (release func(), httpStatus int, reason string, ok b
 		return nil, 429, "memory watermark", false
 	}
 	a.stateG.Set(stateAdmitting)
-	a.inflightG.Set(uint64(a.inflight.Load()))
+	n := a.inflight.Load()
+	a.inflightG.Set(uint64(n))
+	// Lifetime high-water mark: loadgen asserts it exceeds 1 under a
+	// concurrent session load — the proof the server actually overlaps
+	// tenant executions instead of silently serializing them.
+	for {
+		p := a.peak.Load()
+		if n <= p {
+			break
+		}
+		if a.peak.CompareAndSwap(p, n) {
+			a.peakG.Set(uint64(n))
+			break
+		}
+	}
 	return func() {
 		a.inflight.Add(-1)
 		a.inflightG.Set(uint64(max64(a.inflight.Load(), 0)))

@@ -474,7 +474,7 @@ func (v *VM) compileBlock(f *ir.Func, fi *funcInfo, pf *pfunc, cf *cfunc, bi int
 		// charges ride through to the next observation point. Limits compare
 		// at the block head before the incoming edge's phi copies are
 		// charged, exactly where the per-instruction tiers trap.
-		if len(v.sched.threads) > 1 ||
+		if v.sched.stopReq.Load() || len(v.sched.threads) > 1 ||
 			(v.track != nil && v.track.Due(v.Cycles+e.pendCyc)) ||
 			(v.movePolicy != nil && v.moveTrigger.Pending(v.Instrs+e.pendN)) ||
 			v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
@@ -612,7 +612,8 @@ func (v *VM) compileSelfLoop(fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, code 
 		// and the sampler stay live via the per-iteration head check.
 		fast := v.movePolicy == nil && len(v.sched.threads) == 1
 		trk := v.track
-		if !fast || (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+		if v.sched.stopReq.Load() || !fast ||
+			(trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
 			v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
 			v.cflush(e)
 			if err := t.safepoint(); err != nil {
@@ -648,16 +649,27 @@ func (v *VM) compileSelfLoop(fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, code 
 			}
 			if cmp(e.fr) != 0 {
 				if selfOnTrue && fast {
-					// The virtual block head: a due sample or a limit about
-					// to trip takes the safepoint on flushed counters,
-					// before the edge copies are charged — exactly where
-					// the per-instruction tiers sample or trap. (Copies
+					// The virtual block head: a stop request, a due sample, or
+					// a limit about to trip takes the safepoint on flushed
+					// counters, before the edge copies are charged — exactly
+					// where the per-instruction tiers sample or trap. (Copies
 					// cost zero cycles, so sample timing is unaffected by
 					// their charge landing in the previous iteration.)
-					if (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+					if v.sched.stopReq.Load() ||
+						(trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
 						v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
 						v.cflush(e)
 						if err := t.safepoint(); err != nil {
+							return nil, err
+						}
+						// A park inside that safepoint may have let an
+						// external mover change the epoch — the frozen-epoch
+						// argument only covers work done by this loop itself.
+						if v.proc.Regions.Epoch != cf.epoch {
+							v.closureDeopts++
+							fi.cf = nil
+							ret, err := v.pexecFrom(t, e.fr, pf, bi, 0, cp0, true)
+							e.ret = ret
 							return nil, err
 						}
 					}
@@ -669,10 +681,18 @@ func (v *VM) compileSelfLoop(fi *funcInfo, pf *pfunc, cf *cfunc, bi int32, code 
 				return b0, nil
 			}
 			if selfOnFalse && fast {
-				if (trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
+				if v.sched.stopReq.Load() ||
+					(trk != nil && trk.Due(v.Cycles+e.pendCyc)) ||
 					v.Instrs+e.pendN > maxI || v.Cycles+e.pendCyc > maxC {
 					v.cflush(e)
 					if err := t.safepoint(); err != nil {
+						return nil, err
+					}
+					if v.proc.Regions.Epoch != cf.epoch {
+						v.closureDeopts++
+						fi.cf = nil
+						ret, err := v.pexecFrom(t, e.fr, pf, bi, 0, cp1, true)
+						e.ret = ret
 						return nil, err
 					}
 				}

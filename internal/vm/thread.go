@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"carat/internal/guard"
 	"carat/internal/ir"
@@ -69,10 +71,79 @@ type scheduler struct {
 	nextID  int64
 	quantum uint64
 	stopped bool // world currently stopped (nested stops are a protocol bug)
+
+	// External suspension — the per-process stop request of the ragged
+	// safepoint protocol. stopReq is the process's "due" word: every
+	// block-head safepoint gate (all three execution tiers, including the
+	// closure tier's self-loop fast path) loads it, and when set the
+	// running guest thread parks inside safepoint() until every suspension
+	// is resumed. Only THIS process checks the word; sibling processes on
+	// the same machine never see it — a stop request for process A costs
+	// process B nothing but its ordinary block-head load of B's own word.
+	//
+	// susMu/susCond guard suspendReqs (outstanding suspensions) and
+	// running (a guest thread currently holds the baton). The mutex also
+	// publishes everything a suspender mutates (register patches, table
+	// rebases, region-set changes) to the guest before it resumes.
+	stopReq     atomic.Bool
+	susMu       sync.Mutex
+	susCond     *sync.Cond
+	suspendReqs int
+	running     bool
 }
 
 func newScheduler(v *VM) *scheduler {
-	return &scheduler{v: v, quantum: 10_000}
+	s := &scheduler{v: v, quantum: 10_000}
+	s.susCond = sync.NewCond(&s.susMu)
+	return s
+}
+
+// suspend blocks until this process's guest execution is parked at a
+// safepoint (or not running at all) and returns a resume function. Nested
+// suspensions stack; the guest resumes when the last one is released.
+// Callable from any goroutine EXCEPT the process's own guest threads —
+// a guest suspending itself would deadlock (its own park is what the
+// suspender waits for). While suspended, the caller may stop this
+// process's world (moves, protection changes, swaps) without racing the
+// guest: every thread is at a safepoint with its register state
+// published, exactly the Figure-8 precondition.
+func (s *scheduler) suspend() (resume func()) {
+	s.susMu.Lock()
+	s.suspendReqs++
+	s.stopReq.Store(true)
+	for s.running {
+		s.susCond.Wait()
+	}
+	s.susMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.susMu.Lock()
+			s.suspendReqs--
+			if s.suspendReqs == 0 {
+				s.stopReq.Store(false)
+			}
+			s.susCond.Broadcast()
+			s.susMu.Unlock()
+		})
+	}
+}
+
+// park holds the calling guest thread at its safepoint until every
+// outstanding suspension is resumed. The thread's escape batch is flushed
+// first so the suspender observes a fully-applied allocation map (same
+// invariant as a world stop). Charges are already flushed: every caller
+// reaches park through a safepoint gate that flushed deferred counters.
+func (s *scheduler) park(t *thread) {
+	t.escBuf.Flush()
+	s.susMu.Lock()
+	for s.suspendReqs > 0 {
+		s.running = false
+		s.susCond.Broadcast()
+		s.susCond.Wait()
+	}
+	s.running = true
+	s.susMu.Unlock()
 }
 
 // newThread allocates a stack region and creates a parked thread.
@@ -147,9 +218,13 @@ func (t *thread) yield() {
 }
 
 // safepoint is called at block boundaries; it processes scheduler work:
-// time-slice expiry, injected page moves, and instruction limits.
+// external stop requests, time-slice expiry, injected page moves, and
+// instruction limits.
 func (t *thread) safepoint() error {
 	v := t.v
+	if v.sched.stopReq.Load() {
+		v.sched.park(t)
+	}
 	if v.cfg.MaxInstrs > 0 && v.Instrs > v.cfg.MaxInstrs {
 		return fmt.Errorf("vm: instruction limit exceeded (%d)", v.cfg.MaxInstrs)
 	}
@@ -206,8 +281,33 @@ func (s *scheduler) runnableOthers(cur *thread) bool {
 	return false
 }
 
+// beginRun opens the running window for the suspension protocol: a
+// suspension arriving before the run starts holds it here; one arriving
+// mid-run parks the guest at its next safepoint. VM.Run brackets its
+// ENTIRE body (guest execution plus the cycle-folding/metrics tail) with
+// beginRun/endRun, so a suspender that observed running==false owns every
+// piece of VM state — not just the scheduler's.
+func (s *scheduler) beginRun() {
+	s.susMu.Lock()
+	for s.suspendReqs > 0 {
+		s.susCond.Wait()
+	}
+	s.running = true
+	s.susMu.Unlock()
+}
+
+// endRun closes the running window, handing the process to any waiting
+// suspender.
+func (s *scheduler) endRun() {
+	s.susMu.Lock()
+	s.running = false
+	s.susCond.Broadcast()
+	s.susMu.Unlock()
+}
+
 // runMain creates the main thread and drives the round-robin until every
-// thread finishes. It returns main's result.
+// thread finishes. It returns main's result. The caller (VM.Run) must
+// hold the running window via beginRun/endRun.
 func (s *scheduler) runMain(main *ir.Func) (int64, error) {
 	mt, err := s.newThread(main, 0)
 	if err != nil {

@@ -143,6 +143,16 @@ type Config struct {
 	// window). 0 means runtime.DefaultMoveBatch; values below
 	// runtime.MinMoveBatch clamp up. Ignored unless Incremental is set.
 	MoveBatch int
+
+	// ArenaPages, when nonzero, carves a private contiguous page arena of
+	// that size out of the (usually shared) kernel at load time and routes
+	// every grant and move destination of this process into it. This is
+	// what makes a process's physical layout — and therefore its guard
+	// walks, translation-cache behavior, and memory digest — independent of
+	// how other processes' allocations interleave with its own, the
+	// precondition for the multi-core determinism contract. 0 keeps the
+	// shared first-fit allocator (fine for a machine with one process).
+	ArenaPages uint64
 }
 
 // DefaultConfig returns a reasonable configuration for running workloads.
@@ -175,13 +185,14 @@ func (f *Fault) Error() string {
 
 // VM is a loaded process ready to run.
 type VM struct {
-	cfg  Config
-	mod  *ir.Module
-	kern *kernel.Kernel
-	proc *kernel.Process
-	rt   *runtime.Runtime
-	hier *tlb.Hierarchy
-	eval *guard.Evaluator
+	cfg   Config
+	mod   *ir.Module
+	kern  *kernel.Kernel
+	proc  *kernel.Process
+	rt    *runtime.Runtime
+	hier  *tlb.Hierarchy
+	eval  *guard.Evaluator
+	arena *kernel.Arena // non-nil iff Config.ArenaPages was set
 
 	// Layout.
 	codeBase    uint64
@@ -369,16 +380,29 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 	}
 	// On a shared machine a failed load must hand its partial grants back.
 	loaded := false
+	var arena *kernel.Arena
 	defer func() {
 		if !loaded {
 			_ = proc.ReleaseAll()
+			if arena != nil {
+				_ = k.ReleaseArena(arena)
+			}
 		}
 	}()
+	if cfg.ArenaPages > 0 {
+		a, aerr := k.NewArena(cfg.ArenaPages)
+		if aerr != nil {
+			return nil, fmt.Errorf("vm: %w", aerr)
+		}
+		arena = a
+		proc.SetArena(a)
+	}
 	v := &VM{
 		cfg:        cfg,
 		mod:        mod,
 		kern:       k,
 		proc:       proc,
+		arena:      arena,
 		codeOf:     make(map[*ir.Func]uint64),
 		funcAt:     make(map[uint64]*ir.Func),
 		globalAddr: make(map[*ir.Global]uint64),
@@ -566,9 +590,38 @@ func Load(mod *ir.Module, cfg Config) (*VM, error) {
 }
 
 // Release frees every page region the process still holds, returning the
-// memory (and any quota reservations) to the machine. Required after each
-// run on a shared kernel; a no-op on the second call.
-func (v *VM) Release() error { return v.proc.ReleaseAll() }
+// memory (and any quota reservations) to the machine, and returns the
+// process's arena (if any) too. Required after each run on a shared
+// kernel; a no-op on the second call.
+func (v *VM) Release() error {
+	if err := v.proc.ReleaseAll(); err != nil {
+		return err
+	}
+	if v.arena != nil {
+		if err := v.kern.ReleaseArena(v.arena); err != nil {
+			return err
+		}
+		v.arena = nil
+	}
+	return nil
+}
+
+// Arena returns the process's private page arena, or nil when the VM was
+// loaded without Config.ArenaPages.
+func (v *VM) Arena() *kernel.Arena { return v.arena }
+
+// Suspend parks this VM's guest execution at its next safepoint and
+// returns once it is parked (or before the run has started — the run then
+// waits). The returned resume function releases the suspension and is
+// idempotent. Suspensions nest: the guest resumes when the last one is
+// released. While suspended, the caller owns the process's world — it may
+// request moves, protection changes, or swaps against this process from
+// its own goroutine without racing guest execution, which is the only
+// sanctioned way to drive a foreign process's memory from outside its
+// safepoints. Must not be called from this VM's own guest execution
+// (a self-suspension would wait for its own park and deadlock); guests
+// use move policies instead.
+func (v *VM) Suspend() (resume func()) { return v.sched.suspend() }
 
 // foldPhaseSamples converts the non-exec cycle counters accumulated since
 // Load into profiler samples. Counter baselines (trackStart etc.) keep a
@@ -660,6 +713,8 @@ func (v *VM) Run() (int64, error) {
 	if main == nil || main.IsDecl() {
 		return 0, fmt.Errorf("vm: module has no @main")
 	}
+	v.sched.beginRun()
+	defer v.sched.endRun()
 	ret, err := v.sched.runMain(main)
 	if v.track != nil {
 		// Final exec catch-up at the pre-fold clock (the fold-ins below

@@ -11,6 +11,7 @@ package worldtest
 
 import (
 	"testing"
+	"time"
 
 	"carat/internal/runtime"
 )
@@ -32,7 +33,9 @@ type Fake struct {
 
 	Stops, Resumes           int // full StopTheWorld / ResumeTheWorld
 	BatchStops, BatchResumes int // bounded-window round trips
+	Suspends, SusResumes     int // ragged per-process suspensions
 	stopped                  bool
+	suspended                int
 }
 
 // NewFake builds a fake world over the given register files.
@@ -63,6 +66,22 @@ func (f *Fake) StopBatch() []runtime.RegSet {
 
 // ResumeBatch implements runtime.BoundedWorld.
 func (f *Fake) ResumeBatch() { f.stopped = false; f.BatchResumes++ }
+
+// Suspend implements Suspender: the fake has no concurrently running
+// guest, so suspension just counts and nests.
+func (f *Fake) Suspend() (resume func()) {
+	f.suspended++
+	f.Suspends++
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		f.suspended--
+		f.SusResumes++
+	}
+}
 
 func (f *Fake) handles() []runtime.RegSet {
 	out := make([]runtime.RegSet, len(f.RegSets))
@@ -143,6 +162,62 @@ func Conformance(t *testing.T, name string, w runtime.BoundedWorld) {
 			name, len(regs2), len(regs))
 	}
 	w.ResumeTheWorld()
+}
+
+// Suspender is the per-process half of the ragged-safepoint protocol: a
+// world that can park ONE process's guest execution at a safepoint from an
+// external goroutine, returning an idempotent resume. The VM scheduler and
+// the worldtest fake both implement it.
+type Suspender interface {
+	Suspend() (resume func())
+}
+
+// SuspendConformance drives s through the suspension contract: pairing,
+// nesting (the process stays parked until the LAST suspension resumes),
+// and idempotent resume functions. The process must not be suspended on
+// entry and is left unsuspended on return.
+func SuspendConformance(t *testing.T, name string, s Suspender) {
+	t.Helper()
+
+	// Single suspension pairs with its resume; double resume is a no-op.
+	r := s.Suspend()
+	r()
+	r()
+
+	// Nesting: two suspensions stack; each resume releases one.
+	r1 := s.Suspend()
+	r2 := s.Suspend()
+	r1()
+	r1() // idempotent mid-stack
+	r2()
+
+	// After full release, a fresh suspension must still work.
+	r3 := s.Suspend()
+	r3()
+	_ = name
+}
+
+// RaggedIsolation asserts the core multi-core invariant: suspending
+// process A must not block process B. It suspends a, then drives run()
+// — which must execute process B's workload to completion — on its own
+// goroutine. If B's block-head fast path wrongly acknowledges A's stop
+// request, run() hangs and the watchdog fails the test. a is resumed
+// before return.
+func RaggedIsolation(t *testing.T, name string, a Suspender, run func() error) {
+	t.Helper()
+	resume := a.Suspend()
+	defer resume()
+
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("%s: process B failed while A was suspended: %v", name, err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Errorf("%s: process B blocked by process A's suspension (ragged stop leaked)", name)
+	}
 }
 
 func mustPanic(t *testing.T, what string, fn func()) {

@@ -29,6 +29,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	hostrt "runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -87,10 +88,15 @@ type loadDoc struct {
 		Evictions uint64  `json:"evictions"`
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"module_cache"`
-	AdmissionRejections uint64  `json:"admission_rejections"`
-	InvariantViolations uint64  `json:"invariant_violations"`
-	DigestMismatches    uint64  `json:"digest_mismatches"`
-	WallMS              float64 `json:"wall_ms"`
+	AdmissionRejections uint64 `json:"admission_rejections"`
+	InvariantViolations uint64 `json:"invariant_violations"`
+	DigestMismatches    uint64 `json:"digest_mismatches"`
+	// PeakInflight is the server's lifetime high-water mark of concurrently
+	// executing runs (carat_server_inflight_peak): >1 proves tenant
+	// executions actually overlapped instead of silently serializing.
+	PeakInflight uint64  `json:"peak_inflight"`
+	GOMAXPROCS   int     `json:"gomaxprocs"` // loadgen-side host parallelism
+	WallMS       float64 `json:"wall_ms"`
 	// PauseCycles (compatible v1 addition) is present when the final
 	// /metrics scrape saw any world-stop pauses.
 	PauseCycles *pauseSummary `json:"pause_cycles,omitempty"`
@@ -228,6 +234,7 @@ func run(addr string, sessions, requests, mods, tenants, burst int, out string) 
 		return fmt.Errorf("scrape /metrics: %w", err)
 	}
 	doc.DigestMismatches = digests.mismatches
+	doc.GOMAXPROCS = hostrt.GOMAXPROCS(0)
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1000
 
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -257,6 +264,15 @@ func run(addr string, sessions, requests, mods, tenants, burst int, out string) 
 	}
 	if doc.InvariantViolations > 0 {
 		failures = append(failures, fmt.Sprintf("%d invariant violations on the server", doc.InvariantViolations))
+	}
+	// Concurrency assertion: with many sessions in flight the server must
+	// have actually overlapped executions. A peak of 0 or 1 means every
+	// run was serialized — historically this passed silently (e.g. the
+	// daemon pinned to one core, or a global lock around Run).
+	if sessions > 1 && doc.PeakInflight < 2 {
+		failures = append(failures, fmt.Sprintf(
+			"peak inflight %d with %d concurrent sessions — the server serialized every run",
+			doc.PeakInflight, sessions))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%s", strings.Join(failures, "; "))
@@ -523,6 +539,7 @@ func scrapeMetrics(client *http.Client, base string, doc *loadDoc) error {
 	}
 	doc.AdmissionRejections = uint64(vals["carat_server_admission_rejections"])
 	doc.InvariantViolations = uint64(vals["carat_server_invariant_violations"])
+	doc.PeakInflight = uint64(vals["carat_server_inflight_peak"])
 	return nil
 }
 

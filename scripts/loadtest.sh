@@ -8,6 +8,11 @@ set -eu
 GO=${GO:-go}
 SESSIONS=${1:-1000}
 OUT=${OUT:-BENCH_server.load.json}
+# Explicit multi-core budget for the daemon: loadgen asserts the server's
+# peak in-flight count exceeded 1 (real overlap between tenant runs), and
+# an implicit GOMAXPROCS=1 host would serialize them silently.
+GOMAXPROCS=${GOMAXPROCS:-4}
+export GOMAXPROCS
 tmp=$(mktemp -d)
 pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM

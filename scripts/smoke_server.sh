@@ -8,6 +8,12 @@ set -eu
 
 GO=${GO:-go}
 SESSIONS=${SESSIONS:-64}
+# Pin the daemon (and loadgen) to several cores explicitly: the loadgen
+# pass asserts the server's peak in-flight count exceeded 1, i.e. tenant
+# executions really overlapped. With an implicit GOMAXPROCS=1 the daemon
+# can serialize every run and the old smoke would still pass.
+GOMAXPROCS=${GOMAXPROCS:-4}
+export GOMAXPROCS
 tmp=$(mktemp -d)
 pid=""
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM

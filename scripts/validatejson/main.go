@@ -38,6 +38,7 @@ import (
 var supported = map[string]int{
 	"carat.bench.result":  2,
 	"carat.bench.exec":    3,
+	"carat.bench.scale":   1,
 	"carat.vm.run":        1,
 	"carat.metrics":       1,
 	"carat.trace":         1,
@@ -121,6 +122,85 @@ func validate(name string, r io.Reader) error {
 		if err := validateBenchExec(data); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+	}
+	if doc.Schema == "carat.bench.scale" {
+		if err := validateBenchScale(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// validateBenchScale structurally checks a carat.bench.scale v1 document:
+// the leg matrix must cover GOMAXPROCS 1 and 8 in both the plain and
+// injected-abort families, every leg must carry one digest per process
+// with digests element-wise identical within its family (the determinism
+// contract, re-checked here so a hand-edited artifact cannot claim it),
+// abort legs must actually have rolled moves back, and the recorded
+// speedup must agree with the plain legs' throughputs.
+func validateBenchScale(data []byte) error {
+	var doc struct {
+		Procs int `json:"procs"`
+		Legs  []struct {
+			GOMAXPROCS       int      `json:"gomaxprocs"`
+			Aborts           bool     `json:"aborts"`
+			AggMInstrsPerSec float64  `json:"agg_minstrs_per_sec"`
+			Digests          []uint64 `json:"digests"`
+			Rollbacks        uint64   `json:"rollbacks"`
+		} `json:"legs"`
+		SpeedupAt8    float64 `json:"speedup_8v1"`
+		DeterminismOK bool    `json:"determinism_ok"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("carat.bench.scale: %w", err)
+	}
+	if doc.Procs <= 1 {
+		return fmt.Errorf("carat.bench.scale: procs must be >1")
+	}
+	if !doc.DeterminismOK {
+		return fmt.Errorf("carat.bench.scale: determinism_ok is false")
+	}
+	famDigests := map[bool][]uint64{}
+	covered := map[[2]interface{}]bool{}
+	var thr1, thr8 float64
+	for _, l := range doc.Legs {
+		if len(l.Digests) != doc.Procs {
+			return fmt.Errorf("carat.bench.scale: leg GOMAXPROCS=%d aborts=%v has %d digests, procs says %d",
+				l.GOMAXPROCS, l.Aborts, len(l.Digests), doc.Procs)
+		}
+		if ref, ok := famDigests[l.Aborts]; ok {
+			for j := range l.Digests {
+				if l.Digests[j] != ref[j] {
+					return fmt.Errorf("carat.bench.scale: digest mismatch within aborts=%v family at GOMAXPROCS=%d process %d",
+						l.Aborts, l.GOMAXPROCS, j)
+				}
+			}
+		} else {
+			famDigests[l.Aborts] = l.Digests
+		}
+		if l.Aborts && l.Rollbacks == 0 {
+			return fmt.Errorf("carat.bench.scale: abort leg GOMAXPROCS=%d rolled back no moves — injection not reaching the move path",
+				l.GOMAXPROCS)
+		}
+		covered[[2]interface{}{l.GOMAXPROCS, l.Aborts}] = true
+		if !l.Aborts && l.GOMAXPROCS == 1 {
+			thr1 = l.AggMInstrsPerSec
+		}
+		if !l.Aborts && l.GOMAXPROCS == 8 {
+			thr8 = l.AggMInstrsPerSec
+		}
+	}
+	for _, want := range [][2]interface{}{{1, false}, {8, false}, {1, true}, {8, true}} {
+		if !covered[want] {
+			return fmt.Errorf("carat.bench.scale: missing leg GOMAXPROCS=%v aborts=%v", want[0], want[1])
+		}
+	}
+	if thr1 <= 0 || thr8 <= 0 {
+		return fmt.Errorf("carat.bench.scale: non-positive plain-leg throughput")
+	}
+	if got := thr8 / thr1; got < doc.SpeedupAt8*0.999 || got > doc.SpeedupAt8*1.001 {
+		return fmt.Errorf("carat.bench.scale: speedup_8v1 %.3f disagrees with leg throughputs (%.3f)",
+			doc.SpeedupAt8, got)
 	}
 	return nil
 }
